@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Design-choice ablations for section 2 of the paper:
+ *
+ *  1. One-at-a-time vs PB on the real simulator: how differently the
+ *     two designs rank the parameters, and how the one-at-a-time
+ *     answer depends on where its base point sits.
+ *  2. Foldover vs plain PB: rank stability of the top parameters.
+ *  3. Range-width sensitivity: the paper's warning that too-wide
+ *     low/high values inflate a parameter's apparent effect.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hh"
+#include "doe/effects.hh"
+#include "doe/foldover.hh"
+#include "doe/one_at_a_time.hh"
+#include "doe/pb_design.hh"
+#include "doe/ranking.hh"
+#include "methodology/parameter_space.hh"
+#include "methodology/pb_experiment.hh"
+#include "methodology/report.hh"
+#include "stats/correlation.hh"
+#include "trace/workloads.hh"
+
+namespace doe = rigor::doe;
+namespace methodology = rigor::methodology;
+namespace stats = rigor::stats;
+namespace trace = rigor::trace;
+
+namespace
+{
+
+std::vector<double>
+runDesign(const doe::DesignMatrix &design,
+          const trace::WorkloadProfile &p, std::uint64_t n)
+{
+    std::vector<double> responses;
+    responses.reserve(design.numRows());
+    for (std::size_t r = 0; r < design.numRows(); ++r) {
+        const rigor::sim::ProcessorConfig config =
+            methodology::configForLevels(design.row(r));
+        responses.push_back(
+            methodology::simulateOnce(p, config, n));
+    }
+    return responses;
+}
+
+void
+printTopFive(const char *label, const std::vector<double> &effects)
+{
+    const std::vector<unsigned> ranks = doe::rankByMagnitude(effects);
+    std::printf("%s top-5:", label);
+    for (unsigned want = 1; want <= 5; ++want)
+        for (std::size_t f = 0; f < ranks.size(); ++f)
+            if (ranks[f] == want)
+                std::printf("  %u=%s", want,
+                            methodology::factorNames()[f].c_str());
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t n =
+        rigor::bench::instructionsPerRun() / 2;
+    const trace::WorkloadProfile &workload =
+        trace::workloadByName("gzip");
+
+    // ---------------------------------------------------------------
+    // 1. One-at-a-time vs PB.
+    // ---------------------------------------------------------------
+    std::printf("=== Ablation 1: one-at-a-time vs Plackett-Burman "
+                "(workload: %s) ===\n\n",
+                workload.name.c_str());
+
+    const doe::DesignMatrix pb =
+        doe::foldover(doe::pbDesign(44));
+    const std::vector<double> pb_responses =
+        runDesign(pb, workload, n);
+    std::vector<double> pb_effects =
+        doe::computeEffects(pb, pb_responses);
+    pb_effects.resize(methodology::numFactors);
+
+    for (const doe::Level base :
+         {doe::Level::Low, doe::Level::High}) {
+        const doe::DesignMatrix oaat =
+            doe::oneAtATimeDesign(methodology::numFactors, base);
+        const std::vector<double> responses =
+            runDesign(oaat, workload, n);
+        const std::vector<double> effects =
+            doe::oneAtATimeEffects(base, responses);
+
+        std::vector<double> abs_pb;
+        std::vector<double> abs_oaat;
+        for (std::size_t f = 0; f < effects.size(); ++f) {
+            abs_pb.push_back(std::abs(pb_effects[f]));
+            abs_oaat.push_back(std::abs(effects[f]));
+        }
+        const double rho =
+            stats::spearmanCorrelation(abs_pb, abs_oaat);
+        std::printf("one-at-a-time (base = all-%s): %u runs, rank "
+                    "agreement with PB (Spearman): %.3f\n",
+                    base == doe::Level::Low ? "low" : "high",
+                    methodology::numFactors + 1, rho);
+        printTopFive("  ", effects);
+    }
+    std::printf("PB foldover: %zu runs\n", pb.numRows());
+    printTopFive("  ", pb_effects);
+    std::printf("\nReading: the one-at-a-time answer changes with its "
+                "base point and disagrees with the interaction-aware "
+                "design, at only ~half the cost of the PB foldover.\n\n");
+
+    // ---------------------------------------------------------------
+    // 2. Foldover vs plain PB.
+    // ---------------------------------------------------------------
+    std::printf("=== Ablation 2: plain PB (44 runs) vs foldover PB "
+                "(88 runs) ===\n\n");
+    const doe::DesignMatrix plain = doe::pbDesign(44);
+    const std::vector<double> plain_responses =
+        runDesign(plain, workload, n);
+    std::vector<double> plain_effects =
+        doe::computeEffects(plain, plain_responses);
+    plain_effects.resize(methodology::numFactors);
+
+    std::vector<double> abs_plain;
+    std::vector<double> abs_fold;
+    for (std::size_t f = 0; f < methodology::numFactors; ++f) {
+        abs_plain.push_back(std::abs(plain_effects[f]));
+        abs_fold.push_back(std::abs(pb_effects[f]));
+    }
+    std::printf("rank agreement plain vs foldover (Spearman): %.3f\n",
+                stats::spearmanCorrelation(abs_plain, abs_fold));
+    printTopFive("  plain   ", plain_effects);
+    printTopFive("  foldover", pb_effects);
+    std::printf("\nReading: the orderings broadly agree; foldover "
+                "buys protection of the main effects from two-factor "
+                "interactions for 2x the runs.\n\n");
+
+    // ---------------------------------------------------------------
+    // 3. Range-width inflation.
+    // ---------------------------------------------------------------
+    std::printf("=== Ablation 3: range width inflates apparent "
+                "effects (section 2.2 warning) ===\n\n");
+    // Vary only the L2 latency range on a 2-factor full factorial
+    // with ROB, everything else typical.
+    const trace::WorkloadProfile &mem_workload =
+        trace::workloadByName("mcf");
+    methodology::TextTable table(
+        {"L2 latency range", "|effect| (cycles)"});
+    for (const auto &[lo, hi] :
+         std::vector<std::pair<unsigned, unsigned>>{
+             {12, 8}, {20, 5}, {40, 2}}) {
+        rigor::sim::ProcessorConfig low_cfg;  // typical machine
+        rigor::sim::ProcessorConfig high_cfg;
+        low_cfg.l2.latency = lo;
+        high_cfg.l2.latency = hi;
+        const double y_low =
+            methodology::simulateOnce(mem_workload, low_cfg, n);
+        const double y_high =
+            methodology::simulateOnce(mem_workload, high_cfg, n);
+        table.addRow({std::to_string(lo) + " -> " + std::to_string(hi),
+                      methodology::formatDouble(y_low - y_high, 0)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("Reading: widening the low/high values grows the "
+                "apparent effect roughly in proportion — values "
+                "should sit just outside the normal range.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the table-regeneration harnesses.
+ */
+
+#ifndef RIGOR_BENCH_COMMON_HH
+#define RIGOR_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "methodology/pb_experiment.hh"
+#include "trace/workloads.hh"
+
+namespace rigor::bench
+{
+
+/**
+ * Dynamic instructions per simulation run. The paper ran the full
+ * MinneSPEC workloads (0.6-4.0 G instructions); the default here
+ * keeps the 1144-simulation experiment to laptop scale. Override
+ * with RIGOR_INSTRUCTIONS.
+ */
+inline std::uint64_t
+instructionsPerRun()
+{
+    if (const char *env = std::getenv("RIGOR_INSTRUCTIONS")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            return static_cast<std::uint64_t>(v);
+    }
+    return 100000;
+}
+
+/** Run the full 88-configuration experiment over all 13 workloads. */
+inline methodology::PbExperimentResult
+runFullExperiment(const methodology::HookFactory &hook_factory = {})
+{
+    methodology::PbExperimentOptions opts;
+    opts.instructionsPerRun = instructionsPerRun();
+    // A full-length warm-up lets the sequential/strided sweeps cover
+    // cache-resident working sets before measurement begins.
+    opts.warmupInstructions = opts.instructionsPerRun;
+    opts.hookFactory = hook_factory;
+    std::fprintf(stderr,
+                 "[bench] running 88 configs x 13 workloads at %llu "
+                 "instructions per run...\n",
+                 static_cast<unsigned long long>(
+                     opts.instructionsPerRun));
+    return methodology::runPbExperiment(trace::spec2000Workloads(),
+                                        opts);
+}
+
+} // namespace rigor::bench
+
+#endif // RIGOR_BENCH_COMMON_HH

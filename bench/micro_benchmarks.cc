@@ -1,0 +1,118 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: throughput of the simulator core,
+ * the synthetic trace generator, PB design construction, and the
+ * effect/ranking analysis — the pieces whose speed determines whether
+ * the 1144-simulation experiment is laptop-scale.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "doe/effects.hh"
+#include "doe/foldover.hh"
+#include "doe/pb_design.hh"
+#include "methodology/parameter_space.hh"
+#include "methodology/pb_experiment.hh"
+#include "sim/core.hh"
+#include "trace/generator.hh"
+#include "trace/workloads.hh"
+
+namespace doe = rigor::doe;
+namespace methodology = rigor::methodology;
+namespace sim = rigor::sim;
+namespace trace = rigor::trace;
+
+namespace
+{
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const trace::WorkloadProfile &p = trace::workloadByName("gcc");
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        trace::SyntheticTraceGenerator gen(p, n);
+        trace::Instruction inst;
+        std::uint64_t count = 0;
+        while (gen.next(inst))
+            ++count;
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                            state.iterations());
+}
+BENCHMARK(BM_TraceGeneration)->Arg(100000);
+
+void
+BM_CoreSimulation(benchmark::State &state)
+{
+    const trace::WorkloadProfile &p = trace::workloadByName("gzip");
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    const sim::ProcessorConfig config =
+        methodology::uniformConfig(doe::Level::High);
+    for (auto _ : state) {
+        trace::SyntheticTraceGenerator gen(p, n);
+        sim::SuperscalarCore core(config);
+        benchmark::DoNotOptimize(core.run(gen).cycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                            state.iterations());
+}
+BENCHMARK(BM_CoreSimulation)->Arg(100000);
+
+void
+BM_CoreSimulationMemoryBound(benchmark::State &state)
+{
+    const trace::WorkloadProfile &p = trace::workloadByName("mcf");
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    const sim::ProcessorConfig config =
+        methodology::uniformConfig(doe::Level::Low);
+    for (auto _ : state) {
+        trace::SyntheticTraceGenerator gen(p, n);
+        sim::SuperscalarCore core(config);
+        benchmark::DoNotOptimize(core.run(gen).cycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                            state.iterations());
+}
+BENCHMARK(BM_CoreSimulationMemoryBound)->Arg(100000);
+
+void
+BM_PbDesignConstruction(benchmark::State &state)
+{
+    const auto x = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        const doe::DesignMatrix m = doe::foldover(doe::pbDesign(x));
+        benchmark::DoNotOptimize(m.numRows());
+    }
+}
+BENCHMARK(BM_PbDesignConstruction)->Arg(8)->Arg(44)->Arg(84);
+
+void
+BM_EffectComputation(benchmark::State &state)
+{
+    const doe::DesignMatrix design =
+        doe::foldover(doe::pbDesign(44));
+    std::vector<double> responses(design.numRows());
+    for (std::size_t i = 0; i < responses.size(); ++i)
+        responses[i] = static_cast<double>(i * 37 % 101);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            doe::computeEffects(design, responses));
+    }
+}
+BENCHMARK(BM_EffectComputation);
+
+void
+BM_ConfigFromLevels(benchmark::State &state)
+{
+    const doe::DesignMatrix design = doe::pbDesign(44);
+    const std::vector<doe::Level> levels = design.row(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            methodology::configForLevels(levels).robEntries);
+    }
+}
+BENCHMARK(BM_ConfigFromLevels);
+
+} // namespace

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates Table 4: the paper's worked example of computing PB
+ * effects for parameters A-G from eight responses, including the
+ * Effect_A = -23 expansion printed in the text.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "doe/effects.hh"
+#include "doe/pb_design.hh"
+#include "doe/ranking.hh"
+
+int
+main()
+{
+    namespace doe = rigor::doe;
+
+    const std::vector<double> responses = {1.0, 9.0, 74.0, 28.0,
+                                           3.0, 6.0, 112.0, 84.0};
+    const doe::DesignMatrix design = doe::pbDesign(8);
+    const std::vector<double> effects =
+        doe::computeEffects(design, responses);
+
+    std::printf("Table 4: Example Analysis Using a Plackett and "
+                "Burman Design Without Foldover (X = 8)\n\n");
+    std::printf("       A   B   C   D   E   F   G   Result\n");
+    for (std::size_t r = 0; r < design.numRows(); ++r) {
+        std::printf("    ");
+        for (std::size_t c = 0; c < design.numColumns(); ++c)
+            std::printf("%+4d", design.sign(r, c));
+        std::printf("   %6.0f\n", responses[r]);
+    }
+    std::printf("Effect ");
+    for (double e : effects)
+        std::printf("%5.0f ", e);
+    std::printf("\n\n");
+
+    std::printf("Effect_A = ");
+    for (std::size_t r = 0; r < design.numRows(); ++r)
+        std::printf("%s(%+d * %.0f)", r == 0 ? "" : " + ",
+                    design.sign(r, 0), responses[r]);
+    std::printf(" = %.0f\n\n", effects[0]);
+
+    const std::vector<unsigned> ranks = doe::rankByMagnitude(effects);
+    std::printf("Significance ranks (1 = most important): ");
+    for (std::size_t c = 0; c < ranks.size(); ++c)
+        std::printf("%c=%u ", static_cast<char>('A' + c), ranks[c]);
+    std::printf("\n=> the parameters with the most effect are F, C, "
+                "and D (paper's conclusion)\n");
+
+    // Self-check against the published numbers.
+    const std::vector<double> expected = {-23.0, -67.0, -137.0, 129.0,
+                                          -105.0, -225.0, 73.0};
+    if (effects != expected) {
+        std::fprintf(stderr, "MISMATCH vs published Table 4!\n");
+        return EXIT_FAILURE;
+    }
+    std::printf("\n[check] effects match the published Table 4 "
+                "exactly.\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Regenerates Tables 6-8: every varied processor parameter with its
+ * low and high Plackett-Burman values, and demonstrates the linked
+ * ("shaded") parameter rules on concrete configurations.
+ */
+
+#include <cstdio>
+
+#include "doe/design_matrix.hh"
+#include "methodology/parameter_space.hh"
+#include "methodology/report.hh"
+
+int
+main()
+{
+    namespace doe = rigor::doe;
+    namespace methodology = rigor::methodology;
+
+    std::printf("Tables 6-8: Processor Parameters and Their "
+                "Plackett and Burman Values\n");
+    std::printf("(%u parameters + 2 dummy factors = %u design "
+                "factors -> X = 44, 88 runs with foldover)\n\n",
+                methodology::numRealParameters,
+                methodology::numFactors);
+
+    methodology::TextTable table({"#", "Parameter", "Low/Off Value",
+                                  "High/On Value"});
+    unsigned idx = 1;
+    for (const methodology::ParameterDef &def :
+         methodology::parameterDefinitions()) {
+        table.addRow({std::to_string(idx++), def.name, def.lowValue,
+                      def.highValue});
+    }
+    std::printf("%s\n", table.toString().c_str());
+
+    std::printf("Fixed: decode/issue/commit width = 4; replacement "
+                "policy = LRU.\n");
+    std::printf("Linked (shaded) parameters: LSQ = ratio x ROB; "
+                "divide/FP mult/div/sqrt throughput = latency; "
+                "following-block latency = 0.02 x first; D-TLB page "
+                "size and latency = I-TLB's.\n\n");
+
+    std::printf("All-low configuration:\n%s\n",
+                methodology::uniformConfig(doe::Level::Low)
+                    .toString()
+                    .c_str());
+    std::printf("All-high configuration:\n%s",
+                methodology::uniformConfig(doe::Level::High)
+                    .toString()
+                    .c_str());
+    return 0;
+}

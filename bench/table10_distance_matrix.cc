@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates Table 10: the Euclidean distances between benchmark
+ * rank vectors.
+ *
+ * Two modes, both reported:
+ *  1. From the published Table 9 rank vectors — must reproduce the
+ *     published Table 10 within print precision (exact-pipeline
+ *     validation).
+ *  2. From this repo's measured ranks (set RIGOR_MEASURED=0 to skip).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "cluster/distance_matrix.hh"
+#include "methodology/classification.hh"
+#include "methodology/published_data.hh"
+
+int
+main()
+{
+    namespace cluster = rigor::cluster;
+    namespace methodology = rigor::methodology;
+
+    // ---- Mode 1: published ranks -> published distances ----
+    const methodology::PublishedRankTable &t9 =
+        methodology::publishedTable9();
+    const cluster::DistanceMatrix computed =
+        cluster::DistanceMatrix::fromPoints(
+            t9.rankVectorsByBenchmark());
+
+    std::printf("Table 10: Distance Between Benchmark Vectors, Based "
+                "on Parameter Ranks\n(recomputed from the published "
+                "Table 9 rank vectors)\n\n");
+    std::printf("%s\n",
+                computed.toString(t9.benchmarks).c_str());
+
+    const cluster::DistanceMatrix &published =
+        methodology::publishedTable10();
+    double worst = 0.0;
+    for (std::size_t i = 0; i < computed.size(); ++i)
+        for (std::size_t j = i + 1; j < computed.size(); ++j)
+            worst = std::max(worst, std::abs(computed.at(i, j) -
+                                             published.at(i, j)));
+    std::printf("[check] max |recomputed - published| = %.2f "
+                "(print precision is 0.1)\n",
+                worst);
+    std::printf("[check] gzip vs vpr-Place: %.1f (paper: 89.8, "
+                "sqrt(8058))\n\n",
+                computed.at(0, 1));
+
+    // ---- Mode 2: measured ranks ----
+    const char *measured_env = std::getenv("RIGOR_MEASURED");
+    if (measured_env && std::string(measured_env) == "0") {
+        std::printf("(measured-mode skipped: RIGOR_MEASURED=0)\n");
+        return 0;
+    }
+    const methodology::PbExperimentResult result =
+        rigor::bench::runFullExperiment();
+    const cluster::DistanceMatrix measured =
+        cluster::DistanceMatrix::fromPoints(result.rankVectors());
+    std::printf("Measured distance matrix (this repo's simulator and "
+                "synthetic workloads):\n\n%s",
+                measured.toString(result.benchmarks).c_str());
+    return 0;
+}

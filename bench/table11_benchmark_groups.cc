@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates Table 11: benchmarks grouped by their effect on the
+ * processor at the similarity threshold sqrt(4000) ~ 63.2.
+ *
+ * From the published Table 9 rank vectors the grouping must equal the
+ * paper's eight groups exactly; the measured grouping from this
+ * repo's simulator follows (set RIGOR_MEASURED=0 to skip).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hh"
+#include "cluster/hierarchical.hh"
+#include "methodology/classification.hh"
+#include "methodology/published_data.hh"
+
+int
+main()
+{
+    namespace cluster = rigor::cluster;
+    namespace methodology = rigor::methodology;
+
+    const double threshold = methodology::defaultSimilarityThreshold();
+    std::printf("Table 11: Benchmarks Grouped by Their Effect on the "
+                "Processor (threshold %.1f = sqrt(4000))\n\n",
+                threshold);
+
+    // ---- Published-rank reproduction ----
+    const methodology::PublishedRankTable &t9 =
+        methodology::publishedTable9();
+    const methodology::ClassificationResult published_groups =
+        methodology::classifyBenchmarks(t9.benchmarks,
+                                        t9.rankVectorsByBenchmark(),
+                                        threshold);
+    std::printf("From the published Table 9 ranks:\n%s\n",
+                published_groups.groupsToString().c_str());
+    const bool exact =
+        published_groups.groups == methodology::publishedTable11Groups();
+    std::printf("[check] matches the paper's Table 11 exactly: %s\n\n",
+                exact ? "yes" : "NO");
+
+    // Extension: the full dendrogram, showing how the groups evolve
+    // as the threshold varies instead of committing to one cutoff.
+    const cluster::Dendrogram dendro = cluster::agglomerate(
+        published_groups.distances, cluster::Linkage::Single);
+    std::printf("Single-linkage merge sequence (distance, cluster):\n%s"
+                "\n",
+                dendro.toString(t9.benchmarks).c_str());
+
+    // ---- Measured grouping ----
+    const char *measured_env = std::getenv("RIGOR_MEASURED");
+    if (measured_env && std::string(measured_env) == "0") {
+        std::printf("(measured-mode skipped: RIGOR_MEASURED=0)\n");
+        return 0;
+    }
+    const methodology::PbExperimentResult result =
+        rigor::bench::runFullExperiment();
+    const methodology::ClassificationResult measured =
+        methodology::classifyBenchmarks(result.benchmarks,
+                                        result.rankVectors(),
+                                        threshold);
+    std::printf("Measured grouping (this repo's simulator):\n%s",
+                measured.groupsToString().c_str());
+    return 0;
+}

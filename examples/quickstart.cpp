@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: screen the important factors of ANY response function
+ * with a Plackett-Burman design in ~20 lines.
+ *
+ * The "system under test" here is a toy analytic model with seven
+ * knobs, three of which matter (and one only through an interaction).
+ * The same five calls — pbDesign, foldover, row -> response,
+ * computeEffects, rankByMagnitude — drive the full processor
+ * experiment in the other examples.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "doe/effects.hh"
+#include "doe/foldover.hh"
+#include "doe/pb_design.hh"
+#include "doe/ranking.hh"
+
+namespace doe = rigor::doe;
+
+namespace
+{
+
+/** A pretend simulator: execution time as a function of 7 knobs. */
+double
+executionTime(const std::vector<doe::Level> &k)
+{
+    const auto v = [&](std::size_t i) {
+        return static_cast<double>(doe::levelValue(k[i]));
+    };
+    return 1000.0          //
+           - 120.0 * v(0)  // knob 0: big win when high
+           + 45.0 * v(3)   // knob 3: hurts when high
+           - 15.0 * v(5)   // knob 5: small effect
+           - 30.0 * v(1) * v(2); // knobs 1 x 2: pure interaction
+}
+
+} // namespace
+
+int
+main()
+{
+    // 7 factors fit in the smallest PB design: X = 8, with foldover
+    // 16 runs (vs 2^7 = 128 for the full factorial).
+    const doe::DesignMatrix design = doe::foldover(doe::pbDesign(8));
+
+    std::vector<double> responses;
+    for (std::size_t r = 0; r < design.numRows(); ++r)
+        responses.push_back(executionTime(design.row(r)));
+
+    const std::vector<double> effects =
+        doe::computeNormalizedEffects(design, responses);
+    const std::vector<unsigned> ranks = doe::rankByMagnitude(effects);
+
+    std::printf("knob  effect(low->high)  rank\n");
+    for (std::size_t f = 0; f < effects.size(); ++f)
+        std::printf("%4zu  %17.1f  %4u\n", f, effects[f], ranks[f]);
+
+    std::printf("\nKnob 0 dominates, knob 3 is next, knob 5 is minor; "
+                "knobs 1, 2, 4, 6 show ~zero main effect.\n");
+    std::printf("(The 1x2 interaction is invisible to main effects "
+                "by design — foldover guarantees it cannot "
+                "contaminate them. Estimate it explicitly:)\n");
+    std::printf("interaction(1,2) contrast = %.1f\n",
+                doe::computeInteractionEffect(design, responses, 1, 2) /
+                    (static_cast<double>(design.numRows()) / 2.0));
+    return 0;
+}

@@ -1,0 +1,72 @@
+#include "cluster/distance.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rigor::cluster
+{
+
+namespace
+{
+
+void
+checkLengths(std::span<const double> x, std::span<const double> y)
+{
+    if (x.size() != y.size() || x.empty())
+        throw std::invalid_argument(
+            "distance: vectors must be non-empty and of equal length");
+}
+
+} // namespace
+
+double
+euclideanDistance(std::span<const double> x, std::span<const double> y)
+{
+    checkLengths(x, y);
+    double ss = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double d = x[i] - y[i];
+        ss += d * d;
+    }
+    return std::sqrt(ss);
+}
+
+double
+manhattanDistance(std::span<const double> x, std::span<const double> y)
+{
+    checkLengths(x, y);
+    double total = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        total += std::abs(x[i] - y[i]);
+    return total;
+}
+
+double
+chebyshevDistance(std::span<const double> x, std::span<const double> y)
+{
+    checkLengths(x, y);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        worst = std::max(worst, std::abs(x[i] - y[i]));
+    return worst;
+}
+
+double
+cosineDistance(std::span<const double> x, std::span<const double> y)
+{
+    checkLengths(x, y);
+    double dot = 0.0;
+    double nx = 0.0;
+    double ny = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        dot += x[i] * y[i];
+        nx += x[i] * x[i];
+        ny += y[i] * y[i];
+    }
+    if (nx == 0.0 || ny == 0.0)
+        throw std::invalid_argument(
+            "cosineDistance: vectors must be non-zero");
+    return 1.0 - dot / std::sqrt(nx * ny);
+}
+
+} // namespace rigor::cluster

@@ -1,0 +1,56 @@
+#include "cluster/threshold_grouping.hh"
+
+#include "cluster/union_find.hh"
+
+namespace rigor::cluster
+{
+
+Groups
+groupByThresholdComponents(const DistanceMatrix &distances,
+                           double threshold)
+{
+    UnionFind uf(distances.size());
+    for (const auto &[i, j] : distances.pairsBelow(threshold))
+        uf.unite(i, j);
+    return uf.sets();
+}
+
+Groups
+groupByThresholdCliques(const DistanceMatrix &distances, double threshold)
+{
+    Groups groups;
+    for (std::size_t item = 0; item < distances.size(); ++item) {
+        bool placed = false;
+        for (std::vector<std::size_t> &group : groups) {
+            bool fits = true;
+            for (std::size_t member : group) {
+                if (distances.at(item, member) >= threshold) {
+                    fits = false;
+                    break;
+                }
+            }
+            if (fits) {
+                group.push_back(item);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            groups.push_back({item});
+    }
+    return groups;
+}
+
+bool
+allGroupsPairwiseSimilar(const DistanceMatrix &distances,
+                         const Groups &groups, double threshold)
+{
+    for (const std::vector<std::size_t> &group : groups)
+        for (std::size_t a = 0; a < group.size(); ++a)
+            for (std::size_t b = a + 1; b < group.size(); ++b)
+                if (distances.at(group[a], group[b]) >= threshold)
+                    return false;
+    return true;
+}
+
+} // namespace rigor::cluster

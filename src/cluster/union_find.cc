@@ -1,0 +1,77 @@
+#include "cluster/union_find.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+
+namespace rigor::cluster
+{
+
+UnionFind::UnionFind(std::size_t n)
+    : _parent(n), _rank(n, 0), _numSets(n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        _parent[i] = i;
+}
+
+std::size_t
+UnionFind::find(std::size_t x)
+{
+    if (x >= _parent.size())
+        throw std::out_of_range("UnionFind::find: element out of range");
+    // Path compression: point every node on the walk at the root.
+    std::size_t root = x;
+    while (_parent[root] != root)
+        root = _parent[root];
+    while (_parent[x] != root) {
+        const std::size_t next = _parent[x];
+        _parent[x] = root;
+        x = next;
+    }
+    return root;
+}
+
+bool
+UnionFind::unite(std::size_t a, std::size_t b)
+{
+    std::size_t ra = find(a);
+    std::size_t rb = find(b);
+    if (ra == rb)
+        return false;
+    if (_rank[ra] < _rank[rb])
+        std::swap(ra, rb);
+    _parent[rb] = ra;
+    if (_rank[ra] == _rank[rb])
+        ++_rank[ra];
+    --_numSets;
+    return true;
+}
+
+bool
+UnionFind::connected(std::size_t a, std::size_t b)
+{
+    return find(a) == find(b);
+}
+
+std::vector<std::vector<std::size_t>>
+UnionFind::sets()
+{
+    std::map<std::size_t, std::vector<std::size_t>> by_root;
+    for (std::size_t i = 0; i < _parent.size(); ++i)
+        by_root[find(i)].push_back(i);
+
+    std::vector<std::vector<std::size_t>> out;
+    out.reserve(by_root.size());
+    for (auto &[root, members] : by_root) {
+        std::sort(members.begin(), members.end());
+        out.push_back(std::move(members));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.front() < b.front();
+              });
+    return out;
+}
+
+} // namespace rigor::cluster

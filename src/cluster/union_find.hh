@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Disjoint-set (union-find) structure with union by rank and path
+ * compression. Used by the threshold grouping to form connected
+ * components of the "similar" graph.
+ */
+
+#ifndef RIGOR_CLUSTER_UNION_FIND_HH
+#define RIGOR_CLUSTER_UNION_FIND_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rigor::cluster
+{
+
+class UnionFind
+{
+  public:
+    /** @p n singleton sets, elements 0 .. n-1. */
+    explicit UnionFind(std::size_t n);
+
+    /** Representative of the set containing @p x. */
+    std::size_t find(std::size_t x);
+
+    /**
+     * Merge the sets containing @p a and @p b.
+     * @return true when the sets were distinct (a merge happened)
+     */
+    bool unite(std::size_t a, std::size_t b);
+
+    /** True when both elements are in the same set. */
+    bool connected(std::size_t a, std::size_t b);
+
+    /** Number of disjoint sets remaining. */
+    std::size_t numSets() const { return _numSets; }
+
+    /**
+     * All sets as sorted element lists, ordered by smallest member.
+     */
+    std::vector<std::vector<std::size_t>> sets();
+
+  private:
+    std::vector<std::size_t> _parent;
+    std::vector<std::uint8_t> _rank;
+    std::size_t _numSets;
+};
+
+} // namespace rigor::cluster
+
+#endif // RIGOR_CLUSTER_UNION_FIND_HH

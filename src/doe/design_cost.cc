@@ -1,0 +1,65 @@
+#include "doe/design_cost.hh"
+
+#include <limits>
+#include <stdexcept>
+
+#include "doe/pb_design.hh"
+
+namespace rigor::doe
+{
+
+std::string
+designKindName(DesignKind kind)
+{
+    switch (kind) {
+      case DesignKind::OneAtATime:
+        return "One Parameter at-a-time";
+      case DesignKind::PlackettBurman:
+        return "Fractional (Plackett and Burman)";
+      case DesignKind::PlackettBurmanFoldover:
+        return "Fractional (PB with foldover)";
+      case DesignKind::FullFactorial:
+        return "Full Multifactorial (ANOVA)";
+    }
+    throw std::logic_error("designKindName: unreachable");
+}
+
+std::string
+designKindDetail(DesignKind kind)
+{
+    switch (kind) {
+      case DesignKind::OneAtATime:
+        return "Single Parameter";
+      case DesignKind::PlackettBurman:
+        return "All Parameters";
+      case DesignKind::PlackettBurmanFoldover:
+        return "All Parameters, Selected Interactions";
+      case DesignKind::FullFactorial:
+        return "All Parameters, All Interactions";
+    }
+    throw std::logic_error("designKindDetail: unreachable");
+}
+
+std::uint64_t
+simulationsRequired(DesignKind kind, unsigned num_factors)
+{
+    if (num_factors == 0)
+        throw std::invalid_argument(
+            "simulationsRequired: need at least one factor");
+
+    switch (kind) {
+      case DesignKind::OneAtATime:
+        return static_cast<std::uint64_t>(num_factors) + 1;
+      case DesignKind::PlackettBurman:
+        return pbRuns(num_factors);
+      case DesignKind::PlackettBurmanFoldover:
+        return 2ULL * pbRuns(num_factors);
+      case DesignKind::FullFactorial:
+        if (num_factors >= 64)
+            return std::numeric_limits<std::uint64_t>::max();
+        return std::uint64_t{1} << num_factors;
+    }
+    throw std::logic_error("simulationsRequired: unreachable");
+}
+
+} // namespace rigor::doe

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Simulation-cost model for the three experiment designs of Table 1.
+ */
+
+#ifndef RIGOR_DOE_DESIGN_COST_HH
+#define RIGOR_DOE_DESIGN_COST_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rigor::doe
+{
+
+/** The three design families the paper compares in Table 1. */
+enum class DesignKind
+{
+    OneAtATime,
+    PlackettBurman,
+    PlackettBurmanFoldover,
+    FullFactorial,
+};
+
+/** Display name matching Table 1's "Design" column. */
+std::string designKindName(DesignKind kind);
+
+/** Display text matching Table 1's "Level of Detail" column. */
+std::string designKindDetail(DesignKind kind);
+
+/**
+ * Number of simulations the design needs for @p num_factors two-level
+ * factors. Full factorial cost saturates at UINT64_MAX once 2^N
+ * overflows (N >= 64).
+ */
+std::uint64_t simulationsRequired(DesignKind kind, unsigned num_factors);
+
+} // namespace rigor::doe
+
+#endif // RIGOR_DOE_DESIGN_COST_HH

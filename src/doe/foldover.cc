@@ -1,0 +1,42 @@
+#include "doe/foldover.hh"
+
+namespace rigor::doe
+{
+
+DesignMatrix
+foldover(const DesignMatrix &design)
+{
+    const std::size_t rows = design.numRows();
+    const std::size_t cols = design.numColumns();
+    DesignMatrix folded(2 * rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const Level l = design.at(r, c);
+            folded.set(r, c, l);
+            folded.set(rows + r, c, flip(l));
+        }
+    }
+    return folded;
+}
+
+bool
+mainEffectsClearOfTwoFactorInteractions(const DesignMatrix &design)
+{
+    const std::size_t rows = design.numRows();
+    const std::size_t cols = design.numColumns();
+    for (std::size_t main = 0; main < cols; ++main) {
+        for (std::size_t a = 0; a < cols; ++a) {
+            for (std::size_t b = a + 1; b < cols; ++b) {
+                long dot = 0;
+                for (std::size_t r = 0; r < rows; ++r)
+                    dot += design.sign(r, main) * design.sign(r, a) *
+                           design.sign(r, b);
+                if (dot != 0)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace rigor::doe

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Foldover augmentation of a two-level design [Montgomery91].
+ *
+ * Foldover appends, for every row of the original design, a row with
+ * every sign flipped (the paper's Table 3). The folded design doubles
+ * the run count to 2X but de-aliases main effects from two-factor
+ * interactions: in the combined design each main-effect column is
+ * orthogonal to every product of two columns.
+ */
+
+#ifndef RIGOR_DOE_FOLDOVER_HH
+#define RIGOR_DOE_FOLDOVER_HH
+
+#include "doe/design_matrix.hh"
+
+namespace rigor::doe
+{
+
+/**
+ * Return the foldover of @p design: the original rows followed by the
+ * sign-flipped mirror rows, exactly the layout of the paper's Table 3.
+ */
+DesignMatrix foldover(const DesignMatrix &design);
+
+/**
+ * True when every main-effect column of @p design is orthogonal to
+ * every elementwise product of two (distinct) columns — the property
+ * foldover buys. Quadratic cost in columns; intended for tests and
+ * design verification, not hot paths.
+ */
+bool mainEffectsClearOfTwoFactorInteractions(const DesignMatrix &design);
+
+} // namespace rigor::doe
+
+#endif // RIGOR_DOE_FOLDOVER_HH

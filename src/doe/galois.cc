@@ -1,0 +1,292 @@
+#include "doe/galois.hh"
+
+#include <stdexcept>
+
+#include "doe/hadamard.hh"
+
+namespace rigor::doe
+{
+
+GaloisField::GaloisField(unsigned p, unsigned m) : _p(p), _m(m)
+{
+    if (p < 3 || !isPrime(p))
+        throw std::invalid_argument(
+            "GaloisField: characteristic must be an odd prime");
+    if (m == 0)
+        throw std::invalid_argument(
+            "GaloisField: degree must be at least 1");
+
+    std::uint64_t q = 1;
+    for (unsigned i = 0; i < m; ++i) {
+        q *= p;
+        if (q > 1u << 20)
+            throw std::invalid_argument("GaloisField: field too large");
+    }
+    _q = static_cast<std::uint32_t>(q);
+
+    if (m == 1) {
+        _modulus = {0, 1}; // x — unused for prime fields
+        return;
+    }
+
+    // Search for a monic irreducible polynomial x^m + ... by
+    // enumerating the p^m possible lower-coefficient vectors.
+    for (std::uint32_t low = 0; low < _q; ++low) {
+        std::vector<unsigned> poly(m + 1, 0);
+        std::uint32_t rest = low;
+        for (unsigned i = 0; i < m; ++i) {
+            poly[i] = rest % p;
+            rest /= p;
+        }
+        poly[m] = 1;
+        if (isIrreducible(poly)) {
+            _modulus = poly;
+            return;
+        }
+    }
+    throw std::logic_error(
+        "GaloisField: no irreducible polynomial found (impossible)");
+}
+
+std::vector<unsigned>
+GaloisField::toPoly(std::uint32_t e) const
+{
+    std::vector<unsigned> poly(_m, 0);
+    for (unsigned i = 0; i < _m; ++i) {
+        poly[i] = e % _p;
+        e /= _p;
+    }
+    return poly;
+}
+
+std::uint32_t
+GaloisField::fromPoly(const std::vector<unsigned> &poly) const
+{
+    std::uint32_t e = 0;
+    for (unsigned i = _m; i-- > 0;)
+        e = e * _p + (i < poly.size() ? poly[i] % _p : 0);
+    return e;
+}
+
+std::uint32_t
+GaloisField::add(std::uint32_t a, std::uint32_t b) const
+{
+    const std::vector<unsigned> pa = toPoly(a);
+    const std::vector<unsigned> pb = toPoly(b);
+    std::vector<unsigned> out(_m);
+    for (unsigned i = 0; i < _m; ++i)
+        out[i] = (pa[i] + pb[i]) % _p;
+    return fromPoly(out);
+}
+
+std::uint32_t
+GaloisField::subtract(std::uint32_t a, std::uint32_t b) const
+{
+    const std::vector<unsigned> pa = toPoly(a);
+    const std::vector<unsigned> pb = toPoly(b);
+    std::vector<unsigned> out(_m);
+    for (unsigned i = 0; i < _m; ++i)
+        out[i] = (pa[i] + _p - pb[i]) % _p;
+    return fromPoly(out);
+}
+
+std::uint32_t
+GaloisField::multiply(std::uint32_t a, std::uint32_t b) const
+{
+    const std::vector<unsigned> pa = toPoly(a);
+    const std::vector<unsigned> pb = toPoly(b);
+
+    // Schoolbook product, degree up to 2m - 2.
+    std::vector<unsigned> prod(2 * _m - 1, 0);
+    for (unsigned i = 0; i < _m; ++i)
+        for (unsigned j = 0; j < _m; ++j)
+            prod[i + j] =
+                (prod[i + j] + pa[i] * pb[j]) % _p;
+
+    // Reduce modulo the monic irreducible: x^m = -(lower part).
+    for (unsigned d = 2 * _m - 2; d >= _m && d < prod.size(); --d) {
+        const unsigned coeff = prod[d];
+        if (coeff == 0)
+            continue;
+        prod[d] = 0;
+        for (unsigned i = 0; i < _m; ++i) {
+            // x^d = x^(d-m) * x^m = -x^(d-m) * lower(modulus).
+            prod[d - _m + i] =
+                (prod[d - _m + i] + coeff * (_p - _modulus[i])) % _p;
+        }
+    }
+    prod.resize(_m);
+    return fromPoly(prod);
+}
+
+std::uint32_t
+GaloisField::power(std::uint32_t a, std::uint64_t e) const
+{
+    std::uint32_t result = 1; // multiplicative identity encodes as 1
+    std::uint32_t base = a;
+    while (e > 0) {
+        if (e & 1)
+            result = multiply(result, base);
+        base = multiply(base, base);
+        e >>= 1;
+    }
+    return result;
+}
+
+int
+GaloisField::chi(std::uint32_t a) const
+{
+    if (a == 0)
+        return 0;
+    // Euler's criterion: a^((q-1)/2) is 1 for squares, else it is
+    // the unique element of order 2.
+    const std::uint32_t r = power(a, (_q - 1) / 2);
+    return r == 1 ? 1 : -1;
+}
+
+std::vector<std::uint32_t>
+GaloisField::squares() const
+{
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t a = 1; a < _q; ++a)
+        if (chi(a) == 1)
+            out.push_back(a);
+    return out;
+}
+
+bool
+GaloisField::isIrreducible(const std::vector<unsigned> &poly) const
+{
+    const unsigned m = static_cast<unsigned>(poly.size()) - 1;
+    if (m == 1)
+        return true;
+
+    // A monic polynomial of degree 2 or 3 is irreducible iff it has
+    // no root in GF(p); higher degrees also need divisor-freedom, but
+    // this module only instantiates m <= 3 in practice. For safety,
+    // perform full trial division by all monic polynomials of degree
+    // 1 .. m/2 for any m.
+    const auto eval = [&](unsigned x) {
+        unsigned long acc = 0;
+        for (unsigned i = poly.size(); i-- > 0;)
+            acc = (acc * x + poly[i]) % _p;
+        return static_cast<unsigned>(acc);
+    };
+    for (unsigned x = 0; x < _p; ++x)
+        if (eval(x) == 0)
+            return false;
+    if (m <= 3)
+        return true;
+
+    // General trial division for larger degrees.
+    const auto divides = [&](const std::vector<unsigned> &div) {
+        std::vector<unsigned> rem = poly;
+        const unsigned dd = static_cast<unsigned>(div.size()) - 1;
+        for (unsigned d = static_cast<unsigned>(rem.size()) - 1;
+             d >= dd && d < rem.size(); --d) {
+            const unsigned coeff = rem[d];
+            if (coeff == 0)
+                continue;
+            for (unsigned i = 0; i <= dd; ++i)
+                rem[d - dd + i] =
+                    (rem[d - dd + i] + coeff * (_p - div[i])) % _p;
+        }
+        for (unsigned i = 0; i < dd; ++i)
+            if (rem[i] != 0)
+                return false;
+        return true;
+    };
+
+    for (unsigned deg = 2; deg <= m / 2; ++deg) {
+        std::uint64_t count = 1;
+        for (unsigned i = 0; i < deg; ++i)
+            count *= _p;
+        for (std::uint64_t low = 0; low < count; ++low) {
+            std::vector<unsigned> div(deg + 1, 0);
+            std::uint64_t rest = low;
+            for (unsigned i = 0; i < deg; ++i) {
+                div[i] = static_cast<unsigned>(rest % _p);
+                rest /= _p;
+            }
+            div[deg] = 1;
+            if (divides(div))
+                return false;
+        }
+    }
+    return true;
+}
+
+std::vector<std::vector<int>>
+paleyTypeOnePrimePower(unsigned p, unsigned m)
+{
+    const GaloisField field(p, m);
+    const std::uint32_t q = field.size();
+    if (q % 4 != 3)
+        throw std::invalid_argument(
+            "paleyTypeOnePrimePower: q must be 3 mod 4");
+
+    const std::size_t n = q + 1;
+    std::vector<std::vector<int>> h(n, std::vector<int>(n, 1));
+    for (std::size_t i = 1; i < n; ++i)
+        h[i][0] = -1;
+    for (std::size_t i = 1; i < n; ++i)
+        for (std::size_t j = 1; j < n; ++j)
+            h[i][j] = (i == j)
+                          ? 1
+                          : field.chi(field.subtract(
+                                static_cast<std::uint32_t>(i - 1),
+                                static_cast<std::uint32_t>(j - 1)));
+    return h;
+}
+
+std::vector<std::vector<int>>
+paleyTypeTwoPrimePower(unsigned p, unsigned m)
+{
+    const GaloisField field(p, m);
+    const std::uint32_t q = field.size();
+    if (q % 4 != 1)
+        throw std::invalid_argument(
+            "paleyTypeTwoPrimePower: q must be 1 mod 4");
+
+    const std::size_t half = q + 1;
+    std::vector<std::vector<int>> c(half, std::vector<int>(half, 0));
+    for (std::size_t j = 1; j < half; ++j) {
+        c[0][j] = 1;
+        c[j][0] = 1;
+    }
+    for (std::size_t i = 1; i < half; ++i)
+        for (std::size_t j = 1; j < half; ++j)
+            if (i != j)
+                c[i][j] = field.chi(field.subtract(
+                    static_cast<std::uint32_t>(i - 1),
+                    static_cast<std::uint32_t>(j - 1)));
+
+    const std::size_t n = 2 * half;
+    std::vector<std::vector<int>> h(n, std::vector<int>(n, 0));
+    for (std::size_t i = 0; i < half; ++i) {
+        for (std::size_t j = 0; j < half; ++j) {
+            int b00;
+            int b01;
+            int b10;
+            int b11;
+            if (i == j) {
+                b00 = 1;
+                b01 = -1;
+                b10 = -1;
+                b11 = -1;
+            } else {
+                b00 = c[i][j];
+                b01 = c[i][j];
+                b10 = c[i][j];
+                b11 = -c[i][j];
+            }
+            h[2 * i][2 * j] = b00;
+            h[2 * i][2 * j + 1] = b01;
+            h[2 * i + 1][2 * j] = b10;
+            h[2 * i + 1][2 * j + 1] = b11;
+        }
+    }
+    return h;
+}
+
+} // namespace rigor::doe

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Finite (Galois) fields GF(p^m) of odd characteristic.
+ *
+ * The Paley Hadamard constructions generalize from primes to prime
+ * powers: a quadratic-residue character over GF(q) exists for every
+ * odd prime power q. This module supplies just enough field
+ * arithmetic — polynomial representation, multiplication modulo an
+ * irreducible polynomial found by search, and the quadratic-residue
+ * character chi — to extend the Plackett-Burman design sizes to the
+ * prime-power Paley orders (e.g. X = 52 via Paley II over GF(25),
+ * which plain prime arithmetic cannot reach).
+ */
+
+#ifndef RIGOR_DOE_GALOIS_HH
+#define RIGOR_DOE_GALOIS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rigor::doe
+{
+
+/**
+ * The field GF(p^m), p an odd prime, m >= 1.
+ *
+ * Elements are indices 0 .. p^m - 1 encoding polynomial coefficients
+ * base p: element e represents the polynomial
+ * sum_i ((e / p^i) mod p) * x^i.
+ */
+class GaloisField
+{
+  public:
+    /**
+     * Construct GF(p^m). Searches for a monic irreducible polynomial
+     * of degree m over GF(p) (for m == 1 no modulus is needed).
+     *
+     * @param p odd prime characteristic
+     * @param m extension degree (p^m <= ~1e6 for table-free search)
+     */
+    GaloisField(unsigned p, unsigned m);
+
+    unsigned characteristic() const { return _p; }
+    unsigned degree() const { return _m; }
+    /** Field size q = p^m. */
+    std::uint32_t size() const { return _q; }
+
+    /** Field addition (coefficient-wise mod p). */
+    std::uint32_t add(std::uint32_t a, std::uint32_t b) const;
+
+    /** Field subtraction. */
+    std::uint32_t subtract(std::uint32_t a, std::uint32_t b) const;
+
+    /** Field multiplication modulo the irreducible polynomial. */
+    std::uint32_t multiply(std::uint32_t a, std::uint32_t b) const;
+
+    /** a^e by square-and-multiply. */
+    std::uint32_t power(std::uint32_t a, std::uint64_t e) const;
+
+    /**
+     * Quadratic-residue character: +1 when @p a is a non-zero
+     * square, -1 when a non-square, 0 when a == 0. Computed by
+     * Euler's criterion a^((q-1)/2).
+     */
+    int chi(std::uint32_t a) const;
+
+    /** All field elements that are non-zero squares, ascending. */
+    std::vector<std::uint32_t> squares() const;
+
+    /**
+     * The monic irreducible modulus as coefficients, constant term
+     * first (size m + 1); for m == 1 returns {0, 1} (i.e. x).
+     */
+    const std::vector<unsigned> &modulus() const { return _modulus; }
+
+  private:
+    unsigned _p;
+    unsigned _m;
+    std::uint32_t _q;
+    std::vector<unsigned> _modulus;
+
+    std::vector<unsigned> toPoly(std::uint32_t e) const;
+    std::uint32_t fromPoly(const std::vector<unsigned> &poly) const;
+
+    /** True when the degree-m monic poly (coeffs low-first) has no
+     *  roots/factors over GF(p) — tested by trial evaluation for
+     *  m <= 2 and by gcd-free power checks generally. */
+    bool isIrreducible(const std::vector<unsigned> &poly) const;
+};
+
+/**
+ * Paley type I over GF(q), q = p^m == 3 (mod 4): Hadamard order q+1.
+ */
+std::vector<std::vector<int>> paleyTypeOnePrimePower(unsigned p,
+                                                     unsigned m);
+
+/**
+ * Paley type II over GF(q), q = p^m == 1 (mod 4): Hadamard order
+ * 2(q+1). The q = 25 instance yields the order-52 matrix missing
+ * from the prime-only constructions.
+ */
+std::vector<std::vector<int>> paleyTypeTwoPrimePower(unsigned p,
+                                                     unsigned m);
+
+} // namespace rigor::doe
+
+#endif // RIGOR_DOE_GALOIS_HH

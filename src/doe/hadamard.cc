@@ -1,0 +1,261 @@
+#include "doe/hadamard.hh"
+
+#include <stdexcept>
+
+#include "doe/galois.hh"
+
+namespace rigor::doe
+{
+
+bool
+isPrime(unsigned n)
+{
+    if (n < 2)
+        return false;
+    if (n % 2 == 0)
+        return n == 2;
+    for (unsigned d = 3; d * d <= n; d += 2)
+        if (n % d == 0)
+            return false;
+    return true;
+}
+
+int
+legendreSymbol(long a, unsigned p)
+{
+    const long q = static_cast<long>(p);
+    long r = ((a % q) + q) % q;
+    if (r == 0)
+        return 0;
+    // Euler's criterion: a^((p-1)/2) mod p is +1 for residues and
+    // p-1 for non-residues. p is small (< 100 in practice), so
+    // square-and-multiply is plenty fast.
+    long result = 1;
+    long base = r;
+    unsigned long exp = (p - 1) / 2;
+    while (exp > 0) {
+        if (exp & 1)
+            result = result * base % q;
+        base = base * base % q;
+        exp >>= 1;
+    }
+    return result == 1 ? 1 : -1;
+}
+
+SignMatrix
+sylvesterDouble(const SignMatrix &h)
+{
+    const std::size_t n = h.size();
+    SignMatrix out(2 * n, std::vector<int>(2 * n));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            out[i][j] = h[i][j];
+            out[i][j + n] = h[i][j];
+            out[i + n][j] = h[i][j];
+            out[i + n][j + n] = -h[i][j];
+        }
+    }
+    return out;
+}
+
+SignMatrix
+paleyTypeOne(unsigned q)
+{
+    if (!isPrime(q) || q % 4 != 3)
+        throw std::invalid_argument(
+            "paleyTypeOne: q must be a prime congruent to 3 mod 4");
+
+    const std::size_t n = q + 1;
+    // Jacobsthal matrix Q with Q[i][j] = chi(i - j); the Paley I
+    // Hadamard matrix is the bordered S + I with S skew-symmetric.
+    SignMatrix h(n, std::vector<int>(n, 1));
+    // Row 0: all +1. Column 0: -1 except h[0][0].
+    for (std::size_t i = 1; i < n; ++i)
+        h[i][0] = -1;
+    for (std::size_t i = 1; i < n; ++i) {
+        for (std::size_t j = 1; j < n; ++j) {
+            if (i == j) {
+                h[i][j] = 1;
+            } else {
+                const int chi = legendreSymbol(
+                    static_cast<long>(i) - static_cast<long>(j), q);
+                h[i][j] = chi;
+            }
+        }
+    }
+    return h;
+}
+
+SignMatrix
+paleyTypeTwo(unsigned q)
+{
+    if (!isPrime(q) || q % 4 != 1)
+        throw std::invalid_argument(
+            "paleyTypeTwo: q must be a prime congruent to 1 mod 4");
+
+    const std::size_t m = q + 1;
+    // Symmetric conference matrix C of order q+1: zero diagonal,
+    // C[0][j] = C[j][0] = 1 for j > 0, core C[i][j] = chi(i - j).
+    std::vector<std::vector<int>> c(m, std::vector<int>(m, 0));
+    for (std::size_t j = 1; j < m; ++j) {
+        c[0][j] = 1;
+        c[j][0] = 1;
+    }
+    for (std::size_t i = 1; i < m; ++i)
+        for (std::size_t j = 1; j < m; ++j)
+            if (i != j)
+                c[i][j] = legendreSymbol(
+                    static_cast<long>(i) - static_cast<long>(j), q);
+
+    // H = C (x) [[1,1],[1,-1]] + I (x) [[1,-1],[-1,-1]].
+    const std::size_t n = 2 * m;
+    SignMatrix h(n, std::vector<int>(n, 0));
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+            int block[2][2];
+            if (i == j) {
+                block[0][0] = 1;
+                block[0][1] = -1;
+                block[1][0] = -1;
+                block[1][1] = -1;
+            } else {
+                block[0][0] = c[i][j];
+                block[0][1] = c[i][j];
+                block[1][0] = c[i][j];
+                block[1][1] = -c[i][j];
+            }
+            h[2 * i][2 * j] = block[0][0];
+            h[2 * i][2 * j + 1] = block[0][1];
+            h[2 * i + 1][2 * j] = block[1][0];
+            h[2 * i + 1][2 * j + 1] = block[1][1];
+        }
+    }
+    return h;
+}
+
+bool
+isHadamard(const SignMatrix &h)
+{
+    const std::size_t n = h.size();
+    if (n == 0)
+        return false;
+    for (const auto &row : h) {
+        if (row.size() != n)
+            return false;
+        for (int v : row)
+            if (v != 1 && v != -1)
+                return false;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            long dot = 0;
+            for (std::size_t k = 0; k < n; ++k)
+                dot += static_cast<long>(h[i][k]) * h[j][k];
+            const long expected = (i == j) ? static_cast<long>(n) : 0;
+            if (dot != expected)
+                return false;
+        }
+    }
+    return true;
+}
+
+SignMatrix
+normalizeHadamard(const SignMatrix &h)
+{
+    SignMatrix out = h;
+    const std::size_t n = out.size();
+    // Make column 0 all +1 by negating rows.
+    for (std::size_t i = 0; i < n; ++i)
+        if (out[i][0] < 0)
+            for (std::size_t j = 0; j < n; ++j)
+                out[i][j] = -out[i][j];
+    // Make row 0 all +1 by negating columns.
+    for (std::size_t j = 0; j < n; ++j)
+        if (out[0][j] < 0)
+            for (std::size_t i = 0; i < n; ++i)
+                out[i][j] = -out[i][j];
+    return out;
+}
+
+std::pair<unsigned, unsigned>
+oddPrimePowerFactor(unsigned n)
+{
+    if (n < 3 || n % 2 == 0)
+        return {0, 0};
+    // Find the smallest prime divisor and test whether n is a pure
+    // power of it.
+    unsigned p = 0;
+    for (unsigned d = 3; d * d <= n; d += 2) {
+        if (n % d == 0) {
+            p = d;
+            break;
+        }
+    }
+    if (p == 0)
+        return {n, 1}; // n itself is prime
+    unsigned m = 0;
+    unsigned rest = n;
+    while (rest % p == 0) {
+        rest /= p;
+        ++m;
+    }
+    return rest == 1 ? std::pair<unsigned, unsigned>{p, m}
+                     : std::pair<unsigned, unsigned>{0, 0};
+}
+
+bool
+hadamardOrderSupported(unsigned n)
+{
+    if (n == 1 || n == 2)
+        return true;
+    if (n % 4 != 0)
+        return false;
+    // Paley I: n - 1 an odd prime power == 3 (mod 4).
+    if (const auto [p1, m1] = oddPrimePowerFactor(n - 1);
+        p1 != 0 && (n - 1) % 4 == 3)
+        return true;
+    // Paley II: n/2 - 1 an odd prime power == 1 (mod 4).
+    if (n % 2 == 0 && n / 2 >= 2) {
+        if (const auto [p2, m2] = oddPrimePowerFactor(n / 2 - 1);
+            p2 != 0 && (n / 2 - 1) % 4 == 1)
+            return true;
+    }
+    // Sylvester doubling from any smaller supported order.
+    return n % 2 == 0 && hadamardOrderSupported(n / 2);
+}
+
+SignMatrix
+hadamardMatrix(unsigned n)
+{
+    if (n == 1)
+        return {{1}};
+    if (n == 2)
+        return {{1, 1}, {1, -1}};
+    if (n % 4 != 0)
+        throw std::invalid_argument(
+            "hadamardMatrix: order must be 1, 2, or a multiple of 4");
+
+    // Prefer the prime constructions (cheapest), then prime powers,
+    // then doubling.
+    if (isPrime(n - 1) && (n - 1) % 4 == 3)
+        return paleyTypeOne(n - 1);
+    if (n % 2 == 0 && n / 2 >= 2 && isPrime(n / 2 - 1) &&
+        (n / 2 - 1) % 4 == 1)
+        return paleyTypeTwo(n / 2 - 1);
+    if (const auto [p1, m1] = oddPrimePowerFactor(n - 1);
+        p1 != 0 && m1 > 1 && (n - 1) % 4 == 3)
+        return paleyTypeOnePrimePower(p1, m1);
+    if (n % 2 == 0 && n / 2 >= 2) {
+        if (const auto [p2, m2] = oddPrimePowerFactor(n / 2 - 1);
+            p2 != 0 && m2 > 1 && (n / 2 - 1) % 4 == 1)
+            return paleyTypeTwoPrimePower(p2, m2);
+    }
+    if (n % 2 == 0 && hadamardOrderSupported(n / 2))
+        return sylvesterDouble(hadamardMatrix(n / 2));
+
+    throw std::invalid_argument(
+        "hadamardMatrix: no supported construction for this order "
+        "(e.g. 92 requires search-based constructions)");
+}
+
+} // namespace rigor::doe

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Hadamard matrix constructions.
+ *
+ * A Plackett-Burman design of size X is equivalent to a normalized
+ * Hadamard matrix of order X with its constant column removed
+ * [Plackett46]. The cyclic generator rows published by Plackett and
+ * Burman cover most small sizes; this module supplies the classical
+ * constructions (Sylvester doubling, Paley types I and II) so the
+ * library supports every multiple-of-four size for which a classical
+ * construction exists, including the X = 44 design the paper's
+ * evaluation uses (Paley I over GF(43)).
+ */
+
+#ifndef RIGOR_DOE_HADAMARD_HH
+#define RIGOR_DOE_HADAMARD_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rigor::doe
+{
+
+/** Square +1/-1 matrix, row major. */
+using SignMatrix = std::vector<std::vector<int>>;
+
+/** True iff @p n is prime. */
+bool isPrime(unsigned n);
+
+/**
+ * If @p n is a power of an odd prime, return {p, m} with n = p^m;
+ * otherwise {0, 0}.
+ */
+std::pair<unsigned, unsigned> oddPrimePowerFactor(unsigned n);
+
+/**
+ * Legendre symbol chi(a) over GF(p): +1 when @p a is a non-zero
+ * quadratic residue mod p, -1 when a non-residue, 0 when a == 0 mod p.
+ */
+int legendreSymbol(long a, unsigned p);
+
+/** Sylvester doubling: order 2n Hadamard from an order n one. */
+SignMatrix sylvesterDouble(const SignMatrix &h);
+
+/**
+ * Paley type I: Hadamard matrix of order q+1 for prime q == 3 (mod 4).
+ */
+SignMatrix paleyTypeOne(unsigned q);
+
+/**
+ * Paley type II: Hadamard matrix of order 2(q+1) for prime
+ * q == 1 (mod 4).
+ */
+SignMatrix paleyTypeTwo(unsigned q);
+
+/** H * H^T == n * I check. */
+bool isHadamard(const SignMatrix &h);
+
+/**
+ * Normalize a Hadamard matrix: negate rows/columns so the first row
+ * and first column are all +1. Preserves the Hadamard property.
+ */
+SignMatrix normalizeHadamard(const SignMatrix &h);
+
+/**
+ * Construct a Hadamard matrix of order @p n, or throw
+ * std::invalid_argument when no supported construction exists
+ * (n must be 1, 2, or a multiple of 4 reachable via Paley I/II and
+ * Sylvester doubling).
+ */
+SignMatrix hadamardMatrix(unsigned n);
+
+/** True when hadamardMatrix(n) would succeed. */
+bool hadamardOrderSupported(unsigned n);
+
+} // namespace rigor::doe
+
+#endif // RIGOR_DOE_HADAMARD_HH

@@ -1,0 +1,44 @@
+#include "doe/one_at_a_time.hh"
+
+#include <stdexcept>
+
+namespace rigor::doe
+{
+
+DesignMatrix
+oneAtATimeDesign(unsigned num_factors, Level base_level)
+{
+    if (num_factors == 0)
+        throw std::invalid_argument(
+            "oneAtATimeDesign: need at least one factor");
+
+    DesignMatrix m(num_factors + 1, num_factors);
+    for (std::size_t r = 0; r < m.numRows(); ++r)
+        for (std::size_t c = 0; c < m.numColumns(); ++c)
+            m.set(r, c, base_level);
+    for (std::size_t f = 0; f < num_factors; ++f)
+        m.set(f + 1, f, flip(base_level));
+    return m;
+}
+
+std::vector<double>
+oneAtATimeEffects(Level base_level, std::span<const double> responses)
+{
+    if (responses.size() < 2)
+        throw std::invalid_argument(
+            "oneAtATimeEffects: need a base response plus one per factor");
+
+    const std::size_t num_factors = responses.size() - 1;
+    const double base = responses[0];
+    std::vector<double> effects(num_factors);
+    for (std::size_t f = 0; f < num_factors; ++f) {
+        const double delta = responses[f + 1] - base;
+        // If the base held everything high, run f+1 moved factor f
+        // low, so the observed delta is (low - high); negate to
+        // express the effect as (high - low).
+        effects[f] = base_level == Level::High ? -delta : delta;
+    }
+    return effects;
+}
+
+} // namespace rigor::doe

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The one-at-a-time ("simple sensitivity analysis") design.
+ *
+ * This is the straw man of the paper's Table 1: N + 1 runs — a base
+ * configuration plus one run per factor with only that factor moved to
+ * its opposite level. It cannot see interactions at all, and each
+ * effect estimate comes from a single run pair, so it is both less
+ * precise and vulnerable to masking. It is implemented here so the
+ * design-choice ablation benchmark can demonstrate that failure mode
+ * quantitatively against the PB design.
+ */
+
+#ifndef RIGOR_DOE_ONE_AT_A_TIME_HH
+#define RIGOR_DOE_ONE_AT_A_TIME_HH
+
+#include <span>
+#include <vector>
+
+#include "doe/design_matrix.hh"
+
+namespace rigor::doe
+{
+
+/**
+ * Build the one-at-a-time design for @p num_factors factors with the
+ * base configuration at @p base_level: row 0 is the base, row i (for
+ * i >= 1) flips only factor i-1.
+ */
+DesignMatrix oneAtATimeDesign(unsigned num_factors, Level base_level);
+
+/**
+ * Effect estimates from a one-at-a-time experiment: for factor i,
+ * the signed response change from the base run to the run where the
+ * factor is at its non-base level, oriented so that (like a PB
+ * contrast) a positive value means the high level raised the response.
+ *
+ * @param base_level the level every factor holds in run 0
+ * @param responses N + 1 responses, row order as oneAtATimeDesign()
+ */
+std::vector<double> oneAtATimeEffects(Level base_level,
+                                      std::span<const double> responses);
+
+} // namespace rigor::doe
+
+#endif // RIGOR_DOE_ONE_AT_A_TIME_HH

@@ -1,0 +1,165 @@
+#include "doe/pb_design.hh"
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "doe/hadamard.hh"
+
+namespace rigor::doe
+{
+
+namespace
+{
+
+/**
+ * Published cyclic generator rows for sizes without a quadratic-
+ * residue generator. The X = 16 row is the classical maximal-length
+ * shift-register sequence from [Plackett46].
+ */
+const std::map<unsigned, std::string> publishedRows = {
+    {16, "++++-+-++--+---"},
+};
+
+std::vector<int>
+parseRow(const std::string &row)
+{
+    std::vector<int> out;
+    out.reserve(row.size());
+    for (char ch : row)
+        out.push_back(ch == '+' ? 1 : -1);
+    return out;
+}
+
+/** Quadratic-residue generator: +1 at j = 0 and at squares mod q. */
+std::vector<int>
+quadraticResidueRow(unsigned q)
+{
+    std::vector<int> row(q, -1);
+    row[0] = 1;
+    for (unsigned j = 1; j < q; ++j)
+        if (legendreSymbol(static_cast<long>(j), q) == 1)
+            row[j] = 1;
+    return row;
+}
+
+bool
+hasQrGenerator(unsigned x)
+{
+    return x >= 8 && isPrime(x - 1) && (x - 1) % 4 == 3;
+}
+
+/** Build the cyclic design from a generator row. */
+DesignMatrix
+cyclicDesign(const std::vector<int> &generator)
+{
+    const std::size_t q = generator.size();
+    const std::size_t x = q + 1;
+    DesignMatrix m(x, q);
+    // Row i is the generator circularly right-shifted i times:
+    // entry (i, c) = g[(c - i) mod q].
+    for (std::size_t i = 0; i + 1 < x; ++i) {
+        for (std::size_t c = 0; c < q; ++c) {
+            const std::size_t src = (c + q - (i % q)) % q;
+            m.set(i, c,
+                  generator[src] == 1 ? Level::High : Level::Low);
+        }
+    }
+    // Final row: all low.
+    for (std::size_t c = 0; c < q; ++c)
+        m.set(x - 1, c, Level::Low);
+    return m;
+}
+
+/** Strip the constant column from a normalized Hadamard matrix. */
+DesignMatrix
+hadamardDerivedDesign(unsigned x)
+{
+    const SignMatrix h = normalizeHadamard(hadamardMatrix(x));
+    DesignMatrix m(x, x - 1);
+    for (unsigned i = 0; i < x; ++i)
+        for (unsigned j = 1; j < x; ++j)
+            m.set(i, j - 1, h[i][j] == 1 ? Level::High : Level::Low);
+    return m;
+}
+
+} // namespace
+
+unsigned
+pbRuns(unsigned num_factors)
+{
+    if (num_factors == 0)
+        throw std::invalid_argument("pbRuns: need at least one factor");
+    // Next multiple of 4 strictly greater than the factor count, so
+    // the design always has at least num_factors columns.
+    return (num_factors / 4 + 1) * 4;
+}
+
+bool
+pbHasCyclicGenerator(unsigned x)
+{
+    return hasQrGenerator(x) || publishedRows.count(x) > 0;
+}
+
+bool
+pbSizeSupported(unsigned x)
+{
+    if (x < 8 || x % 4 != 0)
+        return false;
+    return pbHasCyclicGenerator(x) || hadamardOrderSupported(x);
+}
+
+std::vector<int>
+pbGeneratorRow(unsigned x)
+{
+    if (hasQrGenerator(x))
+        return quadraticResidueRow(x - 1);
+    const auto it = publishedRows.find(x);
+    if (it != publishedRows.end())
+        return parseRow(it->second);
+    throw std::invalid_argument(
+        "pbGeneratorRow: no cyclic generator for this size");
+}
+
+PbConstruction
+pbConstructionFor(unsigned x)
+{
+    if (hasQrGenerator(x))
+        return PbConstruction::CyclicQuadraticResidue;
+    if (publishedRows.count(x) > 0)
+        return PbConstruction::CyclicPublished;
+    if (hadamardOrderSupported(x))
+        return PbConstruction::HadamardDerived;
+    throw std::invalid_argument(
+        "pbConstructionFor: unsupported design size");
+}
+
+DesignMatrix
+pbDesign(unsigned x)
+{
+    if (x < 8 || x % 4 != 0)
+        throw std::invalid_argument(
+            "pbDesign: size must be a multiple of 4 and at least 8");
+
+    switch (pbConstructionFor(x)) {
+      case PbConstruction::CyclicQuadraticResidue:
+      case PbConstruction::CyclicPublished:
+        return cyclicDesign(pbGeneratorRow(x));
+      case PbConstruction::HadamardDerived:
+        return hadamardDerivedDesign(x);
+    }
+    throw std::logic_error("pbDesign: unreachable");
+}
+
+DesignMatrix
+pbDesignForFactors(unsigned num_factors)
+{
+    unsigned x = pbRuns(num_factors);
+    // Step past any unsupported size (e.g. 92); the next multiple of
+    // four is wasteful but statistically sound.
+    while (!pbSizeSupported(x))
+        x += 4;
+    return pbDesign(x);
+}
+
+} // namespace rigor::doe

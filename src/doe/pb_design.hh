@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Plackett-Burman saturated design construction [Plackett46].
+ *
+ * A PB design of size X (X a multiple of 4) studies up to X - 1
+ * two-level factors in only X runs. For most sizes the design is
+ * cyclic: a published generator row of length X - 1 is circularly
+ * right-shifted X - 2 times and a final row of all -1 is appended
+ * (the construction of the paper's Table 2). The generator rows
+ * published by Plackett and Burman are, for X = q + 1 with prime
+ * q == 3 (mod 4), exactly the quadratic-residue (Legendre) sequences:
+ * entry j is +1 iff j is a square modulo q. This module derives those
+ * rows arithmetically rather than hard-coding them, keeps a table of
+ * published rows for the sizes without a QR generator (e.g. X = 16,
+ * whose generator is a maximal-length shift-register sequence), and
+ * falls back to Hadamard-matrix constructions otherwise.
+ */
+
+#ifndef RIGOR_DOE_PB_DESIGN_HH
+#define RIGOR_DOE_PB_DESIGN_HH
+
+#include <vector>
+
+#include "doe/design_matrix.hh"
+
+namespace rigor::doe
+{
+
+/** How a particular PB design was constructed. */
+enum class PbConstruction
+{
+    /** Cyclic generator from the quadratic-residue sequence. */
+    CyclicQuadraticResidue,
+    /** Cyclic generator from the published Plackett-Burman table. */
+    CyclicPublished,
+    /** Rows of a (normalized) Hadamard matrix, constant column removed. */
+    HadamardDerived,
+};
+
+/**
+ * Number of runs a PB design needs for @p num_factors factors: the
+ * next multiple of four strictly greater than the factor count.
+ */
+unsigned pbRuns(unsigned num_factors);
+
+/** True when a size-X PB design can be constructed by this library. */
+bool pbSizeSupported(unsigned x);
+
+/** True when a size-X PB design has a cyclic generator row. */
+bool pbHasCyclicGenerator(unsigned x);
+
+/**
+ * The length X-1 cyclic generator row (+1/-1 entries) for a size-X
+ * design. Throws std::invalid_argument when the size has no cyclic
+ * generator in this library.
+ */
+std::vector<int> pbGeneratorRow(unsigned x);
+
+/** Which construction pbDesign(x) will use. */
+PbConstruction pbConstructionFor(unsigned x);
+
+/**
+ * Construct the size-X Plackett-Burman design: X runs (rows) by X - 1
+ * factors (columns). @p x must be a multiple of 4.
+ *
+ * For cyclic sizes the layout matches the paper exactly: row 0 is the
+ * generator, rows 1..X-2 are successive circular right shifts, and row
+ * X-1 is all -1.
+ */
+DesignMatrix pbDesign(unsigned x);
+
+/**
+ * Construct the smallest supported PB design that can accommodate
+ * @p num_factors factors. Extra columns are "dummy factors": they
+ * receive no real parameter, and their apparent effects estimate the
+ * design's noise floor (the paper carries two dummy factors through
+ * Tables 9 and 12 for exactly this reason).
+ */
+DesignMatrix pbDesignForFactors(unsigned num_factors);
+
+} // namespace rigor::doe
+
+#endif // RIGOR_DOE_PB_DESIGN_HH

@@ -1,0 +1,83 @@
+#include "doe/ranking.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rigor::doe
+{
+
+std::vector<unsigned>
+rankByMagnitude(std::span<const double> effects)
+{
+    const std::size_t n = effects.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return std::abs(effects[a]) > std::abs(effects[b]);
+                     });
+
+    std::vector<unsigned> ranks(n, 0);
+    for (std::size_t pos = 0; pos < n; ++pos)
+        ranks[order[pos]] = static_cast<unsigned>(pos + 1);
+    return ranks;
+}
+
+std::vector<FactorRankSummary>
+aggregateRanks(std::span<const std::string> factor_names,
+               const std::vector<std::vector<double>>
+                   &effects_per_benchmark)
+{
+    if (effects_per_benchmark.empty())
+        throw std::invalid_argument("aggregateRanks: no benchmarks");
+
+    const std::size_t num_factors = factor_names.size();
+    std::vector<FactorRankSummary> summaries(num_factors);
+    for (std::size_t f = 0; f < num_factors; ++f)
+        summaries[f].name = factor_names[f];
+
+    for (const std::vector<double> &effects : effects_per_benchmark) {
+        if (effects.size() != num_factors)
+            throw std::invalid_argument(
+                "aggregateRanks: effect vector length mismatch");
+        const std::vector<unsigned> ranks = rankByMagnitude(effects);
+        for (std::size_t f = 0; f < num_factors; ++f) {
+            summaries[f].ranks.push_back(ranks[f]);
+            summaries[f].sumOfRanks += ranks[f];
+        }
+    }
+
+    std::stable_sort(summaries.begin(), summaries.end(),
+                     [](const FactorRankSummary &a,
+                        const FactorRankSummary &b) {
+                         return a.sumOfRanks < b.sumOfRanks;
+                     });
+    return summaries;
+}
+
+std::size_t
+significanceCutoff(std::span<const FactorRankSummary> sorted_summaries,
+                   std::size_t max_cut)
+{
+    if (sorted_summaries.size() < 2)
+        return sorted_summaries.size();
+
+    const std::size_t limit =
+        std::min(max_cut, sorted_summaries.size() - 1);
+    std::size_t best_cut = 1;
+    long best_gap = -1;
+    for (std::size_t cut = 1; cut <= limit; ++cut) {
+        const long gap =
+            static_cast<long>(sorted_summaries[cut].sumOfRanks) -
+            static_cast<long>(sorted_summaries[cut - 1].sumOfRanks);
+        if (gap > best_gap) {
+            best_gap = gap;
+            best_cut = cut;
+        }
+    }
+    return best_cut;
+}
+
+} // namespace rigor::doe

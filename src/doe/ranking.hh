@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Significance ranking and cross-benchmark rank aggregation.
+ *
+ * The paper's Tables 9 and 12 are built by (1) ranking each factor per
+ * benchmark by the magnitude of its PB effect (1 = most significant),
+ * then (2) summing each factor's ranks across all benchmarks and
+ * sorting ascending — the factors with the smallest sums matter most
+ * "on average" across the whole suite.
+ */
+
+#ifndef RIGOR_DOE_RANKING_HH
+#define RIGOR_DOE_RANKING_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rigor::doe
+{
+
+/**
+ * Rank factors by effect magnitude: rank 1 is the largest |effect|.
+ * Ties get integer ranks in input order (the paper's tables contain
+ * only integer ranks).
+ */
+std::vector<unsigned> rankByMagnitude(std::span<const double> effects);
+
+/** One factor's row in an aggregated rank table. */
+struct FactorRankSummary
+{
+    std::string name;
+    /** Per-benchmark rank, parallel to the benchmark list. */
+    std::vector<unsigned> ranks;
+    /** Sum of the per-benchmark ranks. */
+    unsigned long sumOfRanks = 0;
+};
+
+/**
+ * Aggregate per-benchmark effect vectors into a Table-9-style summary.
+ *
+ * @param factor_names one name per factor
+ * @param effects_per_benchmark outer index = benchmark, inner vector =
+ *        one signed effect per factor
+ * @return one summary per factor, sorted ascending by sum of ranks
+ */
+std::vector<FactorRankSummary> aggregateRanks(
+    std::span<const std::string> factor_names,
+    const std::vector<std::vector<double>> &effects_per_benchmark);
+
+/**
+ * The largest gap heuristic from section 4.1: the paper identifies the
+ * significant-parameter cutoff by the conspicuous jump in consecutive
+ * sum-of-ranks values ("the large difference between the sum of the
+ * ranks of the tenth parameter and ... the eleventh"). Returns the
+ * number of leading factors before the largest gap, searching cut
+ * points in [1, max_cut].
+ */
+std::size_t significanceCutoff(
+    std::span<const FactorRankSummary> sorted_summaries,
+    std::size_t max_cut);
+
+} // namespace rigor::doe
+
+#endif // RIGOR_DOE_RANKING_HH

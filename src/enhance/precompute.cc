@@ -1,0 +1,101 @@
+#include "enhance/precompute.hh"
+
+#include <algorithm>
+
+namespace rigor::enhance
+{
+
+bool
+isPrecomputable(trace::OpClass op)
+{
+    switch (op) {
+      case trace::OpClass::IntAlu:
+      case trace::OpClass::IntMult:
+      case trace::OpClass::IntDiv:
+        return true;
+      default:
+        return false;
+    }
+}
+
+PrecomputationTable::PrecomputationTable(std::uint32_t entries)
+    : _capacity(entries)
+{
+    _table.reserve(entries);
+}
+
+std::size_t
+PrecomputationTable::profileTrace(trace::TraceSource &source,
+                                  std::uint64_t max_profile_instructions)
+{
+    source.reset();
+
+    std::unordered_map<ComputationKey, std::uint64_t,
+                       ComputationKeyHash>
+        counts;
+    trace::Instruction inst;
+    std::uint64_t seen = 0;
+    while (source.next(inst)) {
+        if (max_profile_instructions != 0 &&
+            ++seen > max_profile_instructions)
+            break;
+        if (!isPrecomputable(inst.op))
+            continue;
+        const ComputationKey key{inst.op, inst.valA, inst.valB};
+        auto it = counts.find(key);
+        if (it != counts.end()) {
+            ++it->second;
+        } else if (counts.size() < profileMapCap) {
+            counts.emplace(key, 1);
+        }
+        // Beyond the cap, new (necessarily cold) tuples are dropped.
+    }
+    source.reset();
+
+    // Keep the capacity highest-count tuples; ignore singletons — a
+    // computation seen once is not redundant.
+    std::vector<std::pair<ComputationKey, std::uint64_t>> ranked;
+    ranked.reserve(counts.size());
+    for (const auto &entry : counts)
+        if (entry.second > 1)
+            ranked.push_back(entry);
+    const std::size_t keep =
+        std::min<std::size_t>(_capacity, ranked.size());
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<long>(keep),
+                      ranked.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.second > b.second;
+                      });
+
+    _table.clear();
+    for (std::size_t i = 0; i < keep; ++i)
+        _table.insert(ranked[i].first);
+    return _table.size();
+}
+
+void
+PrecomputationTable::load(const std::vector<ComputationKey> &tuples)
+{
+    _table.clear();
+    for (const ComputationKey &key : tuples) {
+        if (_table.size() >= _capacity)
+            break;
+        _table.insert(key);
+    }
+}
+
+bool
+PrecomputationTable::intercept(const trace::Instruction &inst)
+{
+    if (!isPrecomputable(inst.op))
+        return false;
+    ++_lookups;
+    const bool hit =
+        _table.count({inst.op, inst.valA, inst.valB}) > 0;
+    if (hit)
+        ++_hits;
+    return hit;
+}
+
+} // namespace rigor::enhance

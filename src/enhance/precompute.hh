@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Instruction precomputation [Yi02-1].
+ *
+ * A compiler profiling pass identifies the highest-frequency redundant
+ * computations — (opcode, input operands) tuples — and loads them into
+ * an on-chip precomputation table before the program starts. At run
+ * time, an instruction whose tuple matches a table entry uses the
+ * cached output instead of executing, removing it from the execution
+ * pipeline. The table is static: it is never updated during the run
+ * (the key difference from value reuse [Sodani97]).
+ *
+ * Here the "compiler pass" is a profiling sweep over the (identical,
+ * deterministic) instruction trace, which computes exactly what the
+ * paper's compiler computed: the most frequent redundant tuples.
+ */
+
+#ifndef RIGOR_ENHANCE_PRECOMPUTE_HH
+#define RIGOR_ENHANCE_PRECOMPUTE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/core.hh"
+#include "trace/generator.hh"
+#include "trace/instruction.hh"
+
+namespace rigor::enhance
+{
+
+/** A computation identity: opcode plus both input operand values. */
+struct ComputationKey
+{
+    trace::OpClass op;
+    std::uint32_t valA;
+    std::uint32_t valB;
+
+    bool operator==(const ComputationKey &other) const
+    {
+        return op == other.op && valA == other.valA &&
+               valB == other.valB;
+    }
+};
+
+/** Hash for ComputationKey. */
+struct ComputationKeyHash
+{
+    std::size_t operator()(const ComputationKey &k) const
+    {
+        std::uint64_t h = (static_cast<std::uint64_t>(k.valA) << 32) |
+                          k.valB;
+        h ^= static_cast<std::uint64_t>(k.op) * 0x9e3779b97f4a7c15ULL;
+        h ^= h >> 29;
+        h *= 0xbf58476d1ce4e5b9ULL;
+        h ^= h >> 32;
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/** True for the operation classes precomputation can capture. */
+bool isPrecomputable(trace::OpClass op);
+
+/**
+ * The static on-chip precomputation table.
+ *
+ * Build it with profileTrace(), then install it as the core's
+ * ExecutionHook. intercept() hits when the instruction's
+ * (op, valA, valB) tuple is resident.
+ */
+class PrecomputationTable : public sim::ExecutionHook
+{
+  public:
+    /** An empty table with room for @p entries tuples. */
+    explicit PrecomputationTable(std::uint32_t entries = 128);
+
+    /**
+     * Profiling pass: scan @p source (resetting it first and after),
+     * count tuple frequencies, and load the top table-size tuples.
+     *
+     * @param source the workload trace; reset afterwards so the
+     *        timing run sees the stream from the start
+     * @param max_profile_instructions cap on the profiling window
+     *        (0 = whole trace)
+     * @return number of tuples loaded
+     */
+    std::size_t profileTrace(trace::TraceSource &source,
+                             std::uint64_t max_profile_instructions = 0);
+
+    /** Directly load explicit tuples (tests, hand-built tables). */
+    void load(const std::vector<ComputationKey> &tuples);
+
+    bool intercept(const trace::Instruction &inst) override;
+
+    std::uint32_t capacity() const { return _capacity; }
+    std::size_t size() const { return _table.size(); }
+
+    /** Dynamic hit statistics. */
+    std::uint64_t lookups() const { return _lookups; }
+    std::uint64_t hits() const { return _hits; }
+    double hitRate() const
+    {
+        return _lookups == 0 ? 0.0
+                             : static_cast<double>(_hits) /
+                                   static_cast<double>(_lookups);
+    }
+
+  private:
+    /** Cap on distinct tuples tracked during profiling; hot tuples
+     *  enter the counter map early, so dropping the cold tail does
+     *  not perturb the top-128 selection. */
+    static constexpr std::size_t profileMapCap = 1u << 22;
+
+    std::uint32_t _capacity;
+    std::unordered_set<ComputationKey, ComputationKeyHash> _table;
+    std::uint64_t _lookups = 0;
+    std::uint64_t _hits = 0;
+};
+
+} // namespace rigor::enhance
+
+#endif // RIGOR_ENHANCE_PRECOMPUTE_HH

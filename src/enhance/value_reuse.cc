@@ -1,0 +1,72 @@
+#include "enhance/value_reuse.hh"
+
+#include <stdexcept>
+
+namespace rigor::enhance
+{
+
+ValueReuseTable::ValueReuseTable(std::uint32_t entries,
+                                 std::uint32_t assoc)
+{
+    if (entries == 0 || (entries & (entries - 1)) != 0)
+        throw std::invalid_argument(
+            "ValueReuseTable: entries must be a non-zero power of two");
+    if (assoc == 0 || entries % assoc != 0)
+        throw std::invalid_argument(
+            "ValueReuseTable: associativity must divide the entries");
+    _numSets = entries / assoc;
+    _assoc = assoc;
+    _entries.resize(entries);
+}
+
+std::uint32_t
+ValueReuseTable::capacity() const
+{
+    return _numSets * _assoc;
+}
+
+bool
+ValueReuseTable::intercept(const trace::Instruction &inst)
+{
+    if (!isPrecomputable(inst.op))
+        return false;
+    ++_lookups;
+
+    const ComputationKey key{inst.op, inst.valA, inst.valB};
+    const std::size_t set =
+        ComputationKeyHash{}(key) & (_numSets - 1);
+    Entry *base = &_entries[set * _assoc];
+
+    for (std::uint32_t w = 0; w < _assoc; ++w) {
+        if (base[w].valid && base[w].key == key) {
+            base[w].stamp = ++_tick;
+            ++_hits;
+            return true;
+        }
+    }
+
+    // Miss: install, evicting LRU (invalid ways first).
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 0; w < _assoc; ++w) {
+        if (!base[w].valid) {
+            victim = w;
+            break;
+        }
+        if (base[w].stamp < base[victim].stamp)
+            victim = w;
+    }
+    base[victim] = {key, ++_tick, true};
+    return false;
+}
+
+void
+ValueReuseTable::reset()
+{
+    for (Entry &e : _entries)
+        e.valid = false;
+    _tick = 0;
+    _lookups = 0;
+    _hits = 0;
+}
+
+} // namespace rigor::enhance

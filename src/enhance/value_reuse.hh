@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Dynamic value reuse [Sodani97].
+ *
+ * The hardware alternative to instruction precomputation: a value
+ * reuse table is continuously updated at run time with the most
+ * recent computations. A later instruction with a matching
+ * (opcode, operand values) tuple reuses the cached result instead of
+ * executing. Organized as a set-associative LRU table.
+ *
+ * Used as a comparison baseline in the enhancement-analysis
+ * experiments and in the ablation reproducing the [Yi02-2]
+ * observation the paper quotes in section 4.1 (the ROB size changing
+ * a value-reuse speedup from ~20% to ~30%).
+ */
+
+#ifndef RIGOR_ENHANCE_VALUE_REUSE_HH
+#define RIGOR_ENHANCE_VALUE_REUSE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "enhance/precompute.hh"
+#include "sim/core.hh"
+
+namespace rigor::enhance
+{
+
+/** Dynamic value-reuse table: set-associative, LRU, write-on-miss. */
+class ValueReuseTable : public sim::ExecutionHook
+{
+  public:
+    /**
+     * @param entries total entries (power of two)
+     * @param assoc ways per set (must divide entries)
+     */
+    explicit ValueReuseTable(std::uint32_t entries = 128,
+                             std::uint32_t assoc = 4);
+
+    /**
+     * On a hit the instruction reuses the cached result (returns
+     * true); on a miss the tuple is installed, evicting the set's LRU
+     * entry.
+     */
+    bool intercept(const trace::Instruction &inst) override;
+
+    std::uint32_t capacity() const;
+    std::uint64_t lookups() const { return _lookups; }
+    std::uint64_t hits() const { return _hits; }
+    double hitRate() const
+    {
+        return _lookups == 0 ? 0.0
+                             : static_cast<double>(_hits) /
+                                   static_cast<double>(_lookups);
+    }
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        ComputationKey key{trace::OpClass::IntAlu, 0, 0};
+        std::uint64_t stamp = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t _numSets;
+    std::uint32_t _assoc;
+    std::uint64_t _tick = 0;
+    std::vector<Entry> _entries;
+    std::uint64_t _lookups = 0;
+    std::uint64_t _hits = 0;
+};
+
+} // namespace rigor::enhance
+
+#endif // RIGOR_ENHANCE_VALUE_REUSE_HH

@@ -1,0 +1,58 @@
+#include "methodology/classification.hh"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace rigor::methodology
+{
+
+double
+defaultSimilarityThreshold()
+{
+    return std::sqrt(4000.0);
+}
+
+std::string
+ClassificationResult::groupsToString() const
+{
+    std::ostringstream os;
+    for (const std::vector<std::string> &group : groups) {
+        for (std::size_t i = 0; i < group.size(); ++i) {
+            if (i > 0)
+                os << ", ";
+            os << group[i];
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+ClassificationResult
+classifyBenchmarks(std::span<const std::string> names,
+                   const std::vector<std::vector<double>> &rank_vectors,
+                   double threshold)
+{
+    if (names.size() != rank_vectors.size() || names.empty())
+        throw std::invalid_argument(
+            "classifyBenchmarks: need one rank vector per benchmark");
+
+    ClassificationResult result;
+    result.benchmarks.assign(names.begin(), names.end());
+    result.distances = cluster::DistanceMatrix::fromPoints(rank_vectors);
+    result.threshold = threshold;
+
+    const cluster::Groups index_groups =
+        cluster::groupByThresholdComponents(result.distances, threshold);
+    result.groups.reserve(index_groups.size());
+    for (const std::vector<std::size_t> &group : index_groups) {
+        std::vector<std::string> named;
+        named.reserve(group.size());
+        for (std::size_t idx : group)
+            named.push_back(result.benchmarks[idx]);
+        result.groups.push_back(std::move(named));
+    }
+    return result;
+}
+
+} // namespace rigor::methodology

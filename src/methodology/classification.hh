@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Benchmark classification by processor effect (section 4.2).
+ *
+ * Each benchmark's fingerprint is its vector of parameter ranks; two
+ * benchmarks are similar when the Euclidean distance between their
+ * fingerprints falls below a threshold (sqrt(4000) ~ 63.2 in the
+ * paper's worked example). Similar benchmarks group together —
+ * Tables 10 and 11.
+ */
+
+#ifndef RIGOR_METHODOLOGY_CLASSIFICATION_HH
+#define RIGOR_METHODOLOGY_CLASSIFICATION_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/distance_matrix.hh"
+#include "cluster/threshold_grouping.hh"
+
+namespace rigor::methodology
+{
+
+/** The paper's worked-example similarity threshold: sqrt(4000). */
+double defaultSimilarityThreshold();
+
+/** Result of the classification step. */
+struct ClassificationResult
+{
+    std::vector<std::string> benchmarks;
+    cluster::DistanceMatrix distances{1};
+    double threshold = 0.0;
+    /** Groups as benchmark-name lists, ordered by first member. */
+    std::vector<std::vector<std::string>> groups;
+
+    /** Render the groups as the paper's Table 11 (one group per line). */
+    std::string groupsToString() const;
+};
+
+/**
+ * Classify benchmarks from their rank vectors.
+ *
+ * @param names one name per benchmark
+ * @param rank_vectors one rank-vector per benchmark (equal lengths)
+ * @param threshold similarity cutoff; pairs closer than this are
+ *        similar
+ */
+ClassificationResult
+classifyBenchmarks(std::span<const std::string> names,
+                   const std::vector<std::vector<double>> &rank_vectors,
+                   double threshold);
+
+} // namespace rigor::methodology
+
+#endif // RIGOR_METHODOLOGY_CLASSIFICATION_HH

@@ -1,0 +1,121 @@
+#include "methodology/csv_export.hh"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "methodology/parameter_space.hh"
+
+namespace rigor::methodology
+{
+
+std::string
+csvEscape(const std::string &field)
+{
+    const bool needs_quoting =
+        field.find_first_of(",\"\r\n") != std::string::npos;
+    if (!needs_quoting)
+        return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+responsesToCsv(const PbExperimentResult &result)
+{
+    std::ostringstream os;
+    os << "run";
+    const std::vector<std::string> names = factorNames();
+    for (const std::string &name : names)
+        os << ',' << csvEscape(name);
+    for (const std::string &bench : result.benchmarks)
+        os << ',' << csvEscape(bench + " cycles");
+    os << '\n';
+
+    for (std::size_t r = 0; r < result.design.numRows(); ++r) {
+        os << r;
+        for (std::size_t c = 0; c < names.size(); ++c)
+            os << ',' << result.design.sign(r, c);
+        for (std::size_t b = 0; b < result.benchmarks.size(); ++b)
+            os << ',' << result.responses[b][r];
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+effectsToCsv(const PbExperimentResult &result)
+{
+    std::ostringstream os;
+    os << "factor";
+    for (const std::string &bench : result.benchmarks)
+        os << ',' << csvEscape(bench);
+    os << '\n';
+
+    const std::vector<std::string> names = factorNames();
+    for (std::size_t f = 0; f < names.size(); ++f) {
+        os << csvEscape(names[f]);
+        for (std::size_t b = 0; b < result.benchmarks.size(); ++b)
+            os << ',' << result.effects[b][f];
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+rankTableToCsv(const PbExperimentResult &result)
+{
+    std::ostringstream os;
+    os << "factor";
+    for (const std::string &bench : result.benchmarks)
+        os << ',' << csvEscape(bench);
+    os << ",sum\n";
+    for (const doe::FactorRankSummary &s : result.summaries) {
+        os << csvEscape(s.name);
+        for (unsigned rank : s.ranks)
+            os << ',' << rank;
+        os << ',' << s.sumOfRanks << '\n';
+    }
+    return os.str();
+}
+
+std::string
+distanceMatrixToCsv(const cluster::DistanceMatrix &distances,
+                    const std::vector<std::string> &labels)
+{
+    if (labels.size() != distances.size())
+        throw std::invalid_argument(
+            "distanceMatrixToCsv: need one label per item");
+    std::ostringstream os;
+    for (const std::string &label : labels)
+        os << ',' << csvEscape(label);
+    os << '\n';
+    for (std::size_t i = 0; i < distances.size(); ++i) {
+        os << csvEscape(labels[i]);
+        for (std::size_t j = 0; j < distances.size(); ++j)
+            os << ',' << distances.at(i, j);
+        os << '\n';
+    }
+    return os.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        throw std::runtime_error("writeFile: cannot open " + path);
+    const std::size_t written =
+        std::fwrite(contents.data(), 1, contents.size(), file);
+    std::fclose(file);
+    if (written != contents.size())
+        throw std::runtime_error("writeFile: short write to " + path);
+}
+
+} // namespace rigor::methodology

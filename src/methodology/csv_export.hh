@@ -1,0 +1,53 @@
+/**
+ * @file
+ * CSV serialization of experiment results.
+ *
+ * The paper's analyses continue in external tools (R, spreadsheets);
+ * these helpers emit the PB experiment's raw responses, the effect
+ * estimates, the rank table, and distance matrices in plain CSV with
+ * RFC-4180 quoting.
+ */
+
+#ifndef RIGOR_METHODOLOGY_CSV_EXPORT_HH
+#define RIGOR_METHODOLOGY_CSV_EXPORT_HH
+
+#include <string>
+
+#include "cluster/distance_matrix.hh"
+#include "methodology/pb_experiment.hh"
+
+namespace rigor::methodology
+{
+
+/** Quote a CSV field when it contains separators, quotes, or EOLs. */
+std::string csvEscape(const std::string &field);
+
+/**
+ * Raw responses: one row per design run, columns = run index, each
+ * factor's +1/-1 level, then one cycles column per benchmark.
+ */
+std::string responsesToCsv(const PbExperimentResult &result);
+
+/**
+ * Effects: one row per factor, columns = factor name then one signed
+ * effect per benchmark.
+ */
+std::string effectsToCsv(const PbExperimentResult &result);
+
+/**
+ * Rank table (Table 9 layout): one row per factor sorted by rank sum,
+ * columns = factor name, per-benchmark rank, sum.
+ */
+std::string rankTableToCsv(const PbExperimentResult &result);
+
+/** Distance matrix with a label header row/column. */
+std::string distanceMatrixToCsv(
+    const cluster::DistanceMatrix &distances,
+    const std::vector<std::string> &labels);
+
+/** Write a string to a file; throws std::runtime_error on failure. */
+void writeFile(const std::string &path, const std::string &contents);
+
+} // namespace rigor::methodology
+
+#endif // RIGOR_METHODOLOGY_CSV_EXPORT_HH

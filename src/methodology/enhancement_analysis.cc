@@ -1,0 +1,97 @@
+#include "methodology/enhancement_analysis.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace rigor::methodology
+{
+
+const RankShift &
+EnhancementComparison::shift(const std::string &name) const
+{
+    for (const RankShift &s : shifts)
+        if (s.name == name)
+            return s;
+    throw std::invalid_argument(
+        "EnhancementComparison::shift: no factor named " + name);
+}
+
+RankShift
+EnhancementComparison::biggestReliefAmongTop(
+    std::span<const doe::FactorRankSummary> base_summaries,
+    std::size_t top_k) const
+{
+    if (base_summaries.empty())
+        throw std::invalid_argument(
+            "biggestReliefAmongTop: empty base summaries");
+
+    const std::size_t k = std::min(top_k, base_summaries.size());
+    const RankShift *best = nullptr;
+    for (std::size_t i = 0; i < k; ++i) {
+        const RankShift &s = shift(base_summaries[i].name);
+        if (!best || s.delta() > best->delta())
+            best = &s;
+    }
+    return *best;
+}
+
+std::string
+EnhancementComparison::toString(std::size_t max_rows) const
+{
+    std::size_t name_width = 10;
+    for (const RankShift &s : shifts)
+        name_width = std::max(name_width, s.name.size() + 1);
+
+    std::ostringstream os;
+    os << std::left << std::setw(static_cast<int>(name_width))
+       << "Parameter" << std::right << std::setw(10) << "SumBefore"
+       << std::setw(10) << "SumAfter" << std::setw(8) << "Delta"
+       << '\n';
+    std::size_t rows = 0;
+    for (const RankShift &s : shifts) {
+        if (max_rows != 0 && rows++ >= max_rows)
+            break;
+        os << std::left << std::setw(static_cast<int>(name_width))
+           << s.name << std::right << std::setw(10) << s.sumBefore
+           << std::setw(10) << s.sumAfter << std::setw(8)
+           << std::showpos << s.delta() << std::noshowpos << '\n';
+    }
+    return os.str();
+}
+
+EnhancementComparison
+compareRankTables(std::span<const doe::FactorRankSummary> base,
+                  std::span<const doe::FactorRankSummary> enhanced)
+{
+    if (base.size() != enhanced.size())
+        throw std::invalid_argument(
+            "compareRankTables: factor count mismatch");
+
+    EnhancementComparison cmp;
+    cmp.shifts.reserve(base.size());
+    for (const doe::FactorRankSummary &b : base) {
+        const doe::FactorRankSummary *match = nullptr;
+        for (const doe::FactorRankSummary &e : enhanced) {
+            if (e.name == b.name) {
+                match = &e;
+                break;
+            }
+        }
+        if (!match)
+            throw std::invalid_argument(
+                "compareRankTables: enhanced table lacks factor " +
+                b.name);
+        cmp.shifts.push_back({b.name, b.sumOfRanks, match->sumOfRanks});
+    }
+
+    std::stable_sort(cmp.shifts.begin(), cmp.shifts.end(),
+                     [](const RankShift &a, const RankShift &b) {
+                         return std::abs(a.delta()) > std::abs(b.delta());
+                     });
+    return cmp;
+}
+
+} // namespace rigor::methodology

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Before/after enhancement analysis (section 4.3).
+ *
+ * Run the PB ranking on the base processor and again with an
+ * enhancement enabled, then compare each parameter's sum of ranks.
+ * A parameter whose sum rises lost significance under the enhancement
+ * (the enhancement relieved that bottleneck); a falling sum means
+ * increased pressure. The paper's case study finds that instruction
+ * precomputation most relieves the number of integer ALUs.
+ */
+
+#ifndef RIGOR_METHODOLOGY_ENHANCEMENT_ANALYSIS_HH
+#define RIGOR_METHODOLOGY_ENHANCEMENT_ANALYSIS_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "doe/ranking.hh"
+
+namespace rigor::methodology
+{
+
+/** One parameter's before/after movement. */
+struct RankShift
+{
+    std::string name;
+    unsigned long sumBefore = 0;
+    unsigned long sumAfter = 0;
+
+    /** Positive = lost significance (sum went up). */
+    long delta() const
+    {
+        return static_cast<long>(sumAfter) -
+               static_cast<long>(sumBefore);
+    }
+};
+
+/** Full comparison of two rank tables. */
+struct EnhancementComparison
+{
+    /** One entry per factor, sorted by descending |delta|. */
+    std::vector<RankShift> shifts;
+
+    /** Shift record for a named factor; throws if absent. */
+    const RankShift &shift(const std::string &name) const;
+
+    /**
+     * Among the @p top_k most significant base factors, the one whose
+     * sum of ranks increased the most (the paper's headline metric:
+     * which bottleneck the enhancement relieved).
+     */
+    RankShift biggestReliefAmongTop(
+        std::span<const doe::FactorRankSummary> base_summaries,
+        std::size_t top_k) const;
+
+    /** Fixed-width text rendering. */
+    std::string toString(std::size_t max_rows = 0) const;
+};
+
+/**
+ * Compare base and enhanced rank summaries (factor sets must match).
+ */
+EnhancementComparison
+compareRankTables(std::span<const doe::FactorRankSummary> base,
+                  std::span<const doe::FactorRankSummary> enhanced);
+
+} // namespace rigor::methodology
+
+#endif // RIGOR_METHODOLOGY_ENHANCEMENT_ANALYSIS_HH

@@ -1,0 +1,137 @@
+#include "methodology/pb_experiment.hh"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "doe/effects.hh"
+#include "doe/foldover.hh"
+#include "doe/pb_design.hh"
+#include "methodology/parameter_space.hh"
+#include "trace/generator.hh"
+
+namespace rigor::methodology
+{
+
+std::vector<std::vector<double>>
+PbExperimentResult::rankVectors() const
+{
+    std::vector<std::vector<double>> vectors;
+    vectors.reserve(ranks.size());
+    for (const std::vector<unsigned> &bench_ranks : ranks) {
+        std::vector<double> v(bench_ranks.begin(), bench_ranks.end());
+        vectors.push_back(std::move(v));
+    }
+    return vectors;
+}
+
+double
+simulateOnce(const trace::WorkloadProfile &profile,
+             const sim::ProcessorConfig &config,
+             std::uint64_t instructions, sim::ExecutionHook *hook,
+             std::uint64_t warmup_instructions)
+{
+    trace::SyntheticTraceGenerator gen(
+        profile, instructions + warmup_instructions);
+    sim::SuperscalarCore core(config, hook);
+    const sim::CoreStats stats = core.run(gen, warmup_instructions);
+    return static_cast<double>(stats.measuredCycles());
+}
+
+PbExperimentResult
+runPbExperiment(std::span<const trace::WorkloadProfile> workloads,
+                const PbExperimentOptions &options)
+{
+    if (workloads.empty())
+        throw std::invalid_argument("runPbExperiment: no workloads");
+    if (options.instructionsPerRun == 0)
+        throw std::invalid_argument(
+            "runPbExperiment: instructionsPerRun must be non-zero");
+
+    PbExperimentResult result;
+    doe::DesignMatrix base = doe::pbDesignForFactors(numFactors);
+    result.design = options.foldover ? doe::foldover(base) : base;
+
+    const std::size_t num_benches = workloads.size();
+    const std::size_t num_runs = result.design.numRows();
+    result.benchmarks.reserve(num_benches);
+    for (const trace::WorkloadProfile &w : workloads)
+        result.benchmarks.push_back(w.name);
+    result.responses.assign(num_benches,
+                            std::vector<double>(num_runs, 0.0));
+
+    // Flat task list: one (benchmark, design row) pair per task.
+    const std::size_t num_tasks = num_benches * num_runs;
+    std::atomic<std::size_t> next_task{0};
+    std::atomic<bool> failed{false};
+    std::string failure_message;
+    std::mutex failure_mutex;
+
+    const auto worker = [&]() {
+        for (;;) {
+            const std::size_t task =
+                next_task.fetch_add(1, std::memory_order_relaxed);
+            if (task >= num_tasks || failed.load())
+                return;
+            const std::size_t bench = task / num_runs;
+            const std::size_t run = task % num_runs;
+            try {
+                const std::vector<doe::Level> levels =
+                    result.design.row(run);
+                const sim::ProcessorConfig config =
+                    configForLevels(levels);
+                std::unique_ptr<sim::ExecutionHook> hook;
+                if (options.hookFactory)
+                    hook = options.hookFactory(workloads[bench]);
+                result.responses[bench][run] = simulateOnce(
+                    workloads[bench], config,
+                    options.instructionsPerRun, hook.get(),
+                    options.warmupInstructions);
+            } catch (const std::exception &e) {
+                const std::scoped_lock lock(failure_mutex);
+                failed.store(true);
+                if (failure_message.empty())
+                    failure_message = e.what();
+            }
+        }
+    };
+
+    unsigned num_threads = options.threads;
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0)
+            num_threads = 4;
+    }
+    num_threads = static_cast<unsigned>(
+        std::min<std::size_t>(num_threads, num_tasks));
+
+    std::vector<std::thread> pool;
+    pool.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    if (failed.load())
+        throw std::runtime_error("runPbExperiment: simulation failed: " +
+                                 failure_message);
+
+    // Effects and per-benchmark ranks over the 43 real+dummy factors
+    // (the design has exactly 43 columns for X = 44).
+    result.effects.reserve(num_benches);
+    result.ranks.reserve(num_benches);
+    for (std::size_t b = 0; b < num_benches; ++b) {
+        std::vector<double> all_effects =
+            doe::computeEffects(result.design, result.responses[b]);
+        all_effects.resize(numFactors);
+        result.ranks.push_back(doe::rankByMagnitude(all_effects));
+        result.effects.push_back(std::move(all_effects));
+    }
+
+    const std::vector<std::string> names = factorNames();
+    result.summaries = doe::aggregateRanks(names, result.effects);
+    return result;
+}
+
+} // namespace rigor::methodology

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The Plackett-Burman simulation experiment driver (Table 9 / 12).
+ *
+ * Runs every row of the (foldover) PB design — 88 configurations for
+ * the 43-factor space — against every workload, computes each
+ * factor's effect on total execution cycles per workload, ranks the
+ * factors per workload, and aggregates the ranks across workloads,
+ * exactly the procedure of the paper's section 4.1.
+ */
+
+#ifndef RIGOR_METHODOLOGY_PB_EXPERIMENT_HH
+#define RIGOR_METHODOLOGY_PB_EXPERIMENT_HH
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "doe/design_matrix.hh"
+#include "doe/ranking.hh"
+#include "sim/core.hh"
+#include "trace/workload_profile.hh"
+
+namespace rigor::methodology
+{
+
+/**
+ * Creates an enhancement hook for one simulation run (called per run;
+ * return nullptr for no enhancement). Must be thread-safe.
+ */
+using HookFactory = std::function<std::unique_ptr<sim::ExecutionHook>(
+    const trace::WorkloadProfile &profile)>;
+
+/** Knobs of one PB experiment. */
+struct PbExperimentOptions
+{
+    /** Measured dynamic instructions per simulation run. */
+    std::uint64_t instructionsPerRun = 200000;
+    /**
+     * Leading warm-up instructions per run (executed before the
+     * measured window; excluded from the response). Zero disables.
+     * At this repo's scaled-down run lengths, warm-up is what keeps
+     * cold-start cache misses from swamping the steady-state effects
+     * (the paper's billion-instruction runs amortized them away).
+     */
+    std::uint64_t warmupInstructions = 0;
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned threads = 0;
+    /** Use the foldover design (2X runs) as the paper does. */
+    bool foldover = true;
+    /** Optional enhancement (instruction precomputation etc.). */
+    HookFactory hookFactory;
+};
+
+/** Everything the experiment produced. */
+struct PbExperimentResult
+{
+    /** The design actually simulated (foldover included if enabled). */
+    doe::DesignMatrix design{1, 1};
+    /** Workload names, row order of all per-benchmark vectors. */
+    std::vector<std::string> benchmarks;
+    /** Execution cycles: responses[bench][design row]. */
+    std::vector<std::vector<double>> responses;
+    /** PB effects: effects[bench][factor], 43 factors. */
+    std::vector<std::vector<double>> effects;
+    /** Per-benchmark significance ranks: ranks[bench][factor]. */
+    std::vector<std::vector<unsigned>> ranks;
+    /** Cross-benchmark aggregation, sorted ascending by rank sum. */
+    std::vector<doe::FactorRankSummary> summaries;
+
+    /**
+     * Rank vectors in benchmark-major layout (one 43-element vector
+     * per benchmark) for the classification step.
+     */
+    std::vector<std::vector<double>> rankVectors() const;
+};
+
+/**
+ * Run the full experiment.
+ *
+ * @param workloads the workload profiles to simulate
+ * @param options experiment knobs
+ */
+PbExperimentResult
+runPbExperiment(std::span<const trace::WorkloadProfile> workloads,
+                const PbExperimentOptions &options);
+
+/**
+ * Simulate one workload under one processor configuration and return
+ * the execution cycles (the PB response variable).
+ */
+double simulateOnce(const trace::WorkloadProfile &profile,
+                    const sim::ProcessorConfig &config,
+                    std::uint64_t instructions,
+                    sim::ExecutionHook *hook = nullptr,
+                    std::uint64_t warmup_instructions = 0);
+
+} // namespace rigor::methodology
+
+#endif // RIGOR_METHODOLOGY_PB_EXPERIMENT_HH

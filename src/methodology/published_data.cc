@@ -1,0 +1,344 @@
+#include "methodology/published_data.hh"
+
+#include <stdexcept>
+
+namespace rigor::methodology
+{
+
+namespace
+{
+
+const std::vector<std::string> benchNames = {
+    "gzip", "vpr-Place", "vpr-Route", "gcc",    "mesa",
+    "art",  "mcf",       "equake",    "ammp",   "parser",
+    "vortex", "bzip2",   "twolf",
+};
+
+struct Row
+{
+    const char *name;
+    unsigned r[13];
+    unsigned long sum;
+};
+
+// Table 9 of the paper, verbatim.
+const Row table9Rows[] = {
+    {"Reorder Buffer Entries",
+     {1, 4, 1, 4, 3, 2, 2, 3, 6, 1, 4, 1, 4}, 36},
+    {"L2 Cache Latency",
+     {4, 2, 4, 2, 2, 4, 4, 2, 13, 3, 2, 8, 2}, 52},
+    {"BPred Type",
+     {2, 5, 3, 5, 5, 27, 11, 6, 4, 4, 16, 7, 5}, 100},
+    {"Int ALUs",
+     {3, 7, 5, 8, 4, 29, 8, 9, 19, 6, 9, 2, 9}, 118},
+    {"L1 D-Cache Latency",
+     {7, 6, 7, 7, 12, 8, 14, 5, 40, 7, 5, 6, 6}, 130},
+    {"L1 I-Cache Size",
+     {6, 1, 12, 1, 1, 12, 37, 1, 36, 8, 1, 16, 1}, 133},
+    {"L2 Cache Size",
+     {9, 35, 2, 6, 21, 1, 1, 7, 2, 2, 6, 3, 43}, 138},
+    {"L1 I-Cache Block Size",
+     {16, 3, 20, 3, 16, 10, 32, 4, 10, 11, 3, 22, 3}, 153},
+    {"Memory Latency First",
+     {36, 25, 6, 9, 23, 3, 3, 8, 1, 5, 8, 5, 28}, 160},
+    {"LSQ Entries",
+     {12, 14, 9, 10, 13, 39, 10, 10, 17, 9, 7, 4, 10}, 164},
+    {"Speculative Branch Update",
+     {8, 17, 23, 28, 7, 16, 39, 12, 8, 20, 22, 20, 17}, 237},
+    {"D-TLB Size",
+     {20, 28, 11, 23, 29, 13, 12, 11, 25, 14, 25, 11, 24}, 246},
+    {"L1 D-Cache Size",
+     {18, 8, 10, 12, 39, 18, 9, 36, 32, 21, 12, 31, 7}, 253},
+    {"L1 I-Cache Associativity",
+     {5, 40, 15, 29, 8, 34, 23, 28, 16, 17, 15, 9, 21}, 260},
+    {"FP Multiply Latency",
+     {31, 12, 22, 11, 19, 24, 15, 23, 24, 29, 14, 23, 19}, 266},
+    {"Memory Bandwidth",
+     {37, 36, 13, 14, 43, 6, 6, 29, 3, 12, 19, 12, 38}, 268},
+    {"Int ALU Latencies",
+     {15, 15, 18, 13, 41, 22, 33, 14, 30, 16, 41, 10, 16}, 284},
+    {"BTB Entries",
+     {10, 24, 19, 20, 9, 42, 31, 20, 22, 19, 20, 17, 34}, 287},
+    {"L1 D-Cache Block Size",
+     {17, 29, 34, 22, 15, 9, 24, 19, 28, 13, 32, 28, 26}, 296},
+    {"Int Divide Latency",
+     {29, 10, 26, 16, 24, 32, 41, 32, 20, 10, 10, 43, 8}, 301},
+    {"Int Mult/Div",
+     {14, 20, 29, 31, 10, 23, 27, 24, 33, 36, 18, 26, 15}, 306},
+    {"L2 Cache Associativity",
+     {23, 19, 14, 19, 32, 28, 5, 39, 37, 18, 42, 21, 12}, 309},
+    {"I-TLB Latency",
+     {33, 18, 24, 18, 37, 30, 30, 16, 21, 32, 11, 29, 18}, 317},
+    {"Instruction Fetch Queue Entries",
+     {43, 13, 27, 30, 26, 20, 18, 37, 9, 25, 23, 34, 14}, 319},
+    {"BPred Misprediction Penalty",
+     {11, 23, 42, 21, 6, 43, 20, 34, 11, 22, 39, 37, 23}, 332},
+    {"FP ALUs",
+     {34, 11, 31, 15, 34, 17, 40, 22, 26, 37, 13, 42, 13}, 335},
+    {"FP Divide Latency",
+     {22, 9, 35, 17, 30, 21, 38, 15, 43, 38, 17, 39, 11}, 335},
+    {"I-TLB Page Size",
+     {42, 39, 8, 37, 36, 40, 7, 17, 12, 26, 28, 14, 39}, 345},
+    {"L1 D-Cache Associativity",
+     {13, 38, 17, 34, 18, 41, 34, 33, 14, 15, 35, 15, 42}, 349},
+    {"I-TLB Associativity",
+     {24, 27, 37, 25, 17, 31, 42, 13, 29, 30, 21, 33, 22}, 351},
+    {"L2 Cache Block Size",
+     {25, 43, 16, 38, 31, 7, 35, 27, 7, 35, 38, 13, 40}, 355},
+    {"BTB Associativity",
+     {21, 21, 36, 32, 11, 33, 17, 31, 34, 43, 27, 35, 25}, 366},
+    {"D-TLB Associativity",
+     {40, 32, 25, 26, 22, 35, 26, 26, 18, 33, 26, 30, 35}, 374},
+    {"FP ALU Latencies",
+     {32, 16, 38, 41, 38, 11, 22, 30, 23, 27, 30, 40, 29}, 377},
+    {"Memory Ports",
+     {39, 31, 41, 24, 27, 15, 16, 41, 5, 42, 29, 41, 27}, 378},
+    {"I-TLB Size",
+     {35, 34, 28, 35, 20, 37, 19, 18, 31, 34, 34, 27, 31}, 383},
+    {"Dummy Factor #2",
+     {27, 42, 21, 39, 35, 14, 13, 35, 41, 28, 43, 18, 30}, 386},
+    {"FP Mult/Div",
+     {41, 22, 43, 40, 40, 19, 28, 38, 27, 31, 31, 19, 20}, 399},
+    {"Int Multiply Latency",
+     {30, 41, 39, 36, 14, 26, 29, 21, 15, 41, 37, 32, 41}, 402},
+    {"FP Square Root Latency",
+     {38, 30, 40, 33, 33, 5, 25, 42, 42, 24, 24, 38, 37}, 411},
+    {"L1 I-Cache Latency",
+     {26, 26, 32, 42, 28, 38, 21, 40, 38, 40, 36, 25, 33}, 425},
+    {"Return Address Stack Entries",
+     {28, 33, 33, 27, 42, 25, 36, 25, 39, 39, 33, 36, 32}, 428},
+    {"Dummy Factor #1",
+     {19, 37, 30, 43, 25, 36, 43, 43, 35, 23, 40, 24, 36}, 434},
+};
+
+// Table 12 of the paper, verbatim. ("RUU Entries" is the paper's name
+// for the reorder buffer in this table; normalized here so the two
+// tables can be joined on factor names.)
+const Row table12Rows[] = {
+    {"Reorder Buffer Entries",
+     {1, 4, 1, 4, 3, 2, 2, 3, 6, 1, 4, 1, 4}, 36},
+    {"L2 Cache Latency",
+     {4, 2, 4, 2, 2, 4, 4, 2, 13, 3, 2, 8, 2}, 52},
+    {"BPred Type",
+     {2, 5, 3, 5, 5, 28, 11, 8, 4, 4, 16, 7, 5}, 103},
+    {"L1 D-Cache Latency",
+     {7, 6, 5, 7, 11, 8, 14, 5, 40, 7, 5, 4, 6}, 125},
+    {"L1 I-Cache Size",
+     {5, 1, 12, 1, 1, 12, 38, 1, 36, 8, 1, 15, 1}, 132},
+    {"Int ALUs",
+     {6, 8, 8, 9, 8, 29, 9, 13, 20, 6, 9, 3, 9}, 137},
+    {"L2 Cache Size",
+     {9, 35, 2, 6, 22, 1, 1, 6, 2, 2, 6, 2, 43}, 137},
+    {"L1 I-Cache Block Size",
+     {15, 3, 20, 3, 14, 10, 32, 4, 10, 11, 3, 20, 3}, 148},
+    {"Memory Latency First",
+     {35, 25, 6, 8, 18, 3, 3, 7, 1, 5, 7, 6, 27}, 151},
+    {"LSQ Entries",
+     {13, 14, 9, 10, 15, 40, 10, 9, 17, 9, 8, 5, 10}, 169},
+    {"D-TLB Size",
+     {21, 28, 11, 24, 25, 13, 12, 10, 25, 14, 25, 10, 24}, 242},
+    {"Speculative Branch Update",
+     {8, 20, 25, 29, 7, 16, 39, 11, 8, 20, 21, 22, 19}, 245},
+    {"L1 I-Cache Associativity",
+     {3, 41, 15, 28, 6, 34, 23, 28, 16, 17, 11, 9, 21}, 252},
+    {"L1 D-Cache Size",
+     {18, 7, 10, 12, 42, 19, 8, 35, 32, 21, 13, 32, 7}, 256},
+    {"FP Multiply Latency",
+     {31, 12, 22, 11, 19, 24, 15, 22, 24, 28, 14, 24, 18}, 264},
+    {"Memory Bandwidth",
+     {33, 36, 13, 14, 43, 6, 6, 31, 3, 12, 20, 11, 38}, 266},
+    {"BTB Entries",
+     {10, 23, 19, 20, 9, 41, 31, 20, 22, 19, 19, 16, 34}, 283},
+    {"Int ALU Latencies",
+     {16, 15, 18, 13, 40, 22, 33, 14, 31, 16, 41, 12, 16}, 287},
+    {"L1 D-Cache Block Size",
+     {17, 30, 34, 22, 16, 9, 24, 19, 26, 13, 33, 25, 26}, 294},
+    {"Int Divide Latency",
+     {30, 10, 26, 17, 24, 33, 40, 33, 19, 10, 10, 41, 8}, 301},
+    {"L2 Cache Associativity",
+     {23, 19, 14, 19, 33, 27, 5, 39, 37, 18, 42, 21, 12}, 309},
+    {"Int Mult/Div",
+     {14, 21, 30, 31, 12, 23, 27, 23, 33, 37, 18, 27, 15}, 311},
+    {"I-TLB Latency",
+     {32, 17, 24, 18, 34, 30, 30, 16, 21, 33, 12, 29, 17}, 313},
+    {"Instruction Fetch Queue Entries",
+     {43, 13, 27, 30, 23, 20, 19, 37, 9, 25, 23, 34, 14}, 317},
+    {"BPred Misprediction Penalty",
+     {11, 24, 41, 21, 4, 43, 20, 32, 11, 22, 39, 35, 23}, 326},
+    {"FP Divide Latency",
+     {20, 9, 36, 16, 28, 21, 37, 15, 43, 38, 17, 38, 11}, 329},
+    {"FP ALUs",
+     {34, 11, 31, 15, 38, 17, 41, 24, 27, 36, 15, 43, 13}, 345},
+    {"I-TLB Page Size",
+     {42, 38, 7, 38, 39, 39, 7, 17, 12, 26, 28, 14, 39}, 346},
+    {"L1 D-Cache Associativity",
+     {12, 39, 17, 35, 17, 42, 34, 34, 14, 15, 36, 17, 42}, 354},
+    {"L2 Cache Block Size",
+     {25, 43, 16, 37, 31, 7, 35, 27, 7, 35, 38, 13, 40}, 354},
+    {"I-TLB Associativity",
+     {26, 27, 38, 25, 20, 31, 42, 12, 29, 30, 22, 33, 22}, 357},
+    {"BTB Associativity",
+     {22, 18, 35, 32, 10, 32, 17, 30, 34, 43, 27, 36, 25}, 361},
+    {"D-TLB Associativity",
+     {40, 32, 23, 26, 27, 35, 25, 26, 18, 32, 26, 28, 35}, 373},
+    {"Memory Ports",
+     {39, 31, 39, 23, 26, 15, 16, 40, 5, 42, 30, 40, 29}, 375},
+    {"FP ALU Latencies",
+     {37, 16, 37, 41, 37, 11, 21, 29, 23, 27, 29, 42, 28}, 378},
+    {"I-TLB Size",
+     {36, 34, 28, 34, 21, 37, 18, 18, 30, 34, 34, 30, 32}, 386},
+    {"Dummy Factor #2",
+     {28, 42, 21, 39, 32, 14, 13, 36, 42, 29, 43, 18, 30}, 387},
+    {"Int Multiply Latency",
+     {29, 40, 42, 36, 13, 26, 29, 21, 15, 41, 35, 31, 41}, 399},
+    {"FP Mult/Div",
+     {41, 22, 43, 40, 41, 18, 28, 38, 28, 31, 31, 19, 20}, 400},
+    {"FP Square Root Latency",
+     {38, 29, 40, 33, 35, 5, 26, 43, 41, 24, 24, 39, 37}, 414},
+    {"Return Address Stack Entries",
+     {27, 33, 33, 27, 36, 25, 36, 25, 39, 40, 32, 37, 31}, 421},
+    {"L1 I-Cache Latency",
+     {24, 26, 32, 42, 29, 38, 22, 41, 38, 39, 37, 26, 33}, 427},
+    {"Dummy Factor #1",
+     {19, 37, 29, 43, 30, 36, 43, 42, 35, 23, 40, 23, 36}, 436},
+};
+
+// Table 10 of the paper: strict lower triangle, row by row
+// (vpr-Place..twolf), each row listing distances to the earlier
+// benchmarks in column order.
+const double table10Lower[] = {
+    // vpr-Place
+    89.8,
+    // vpr-Route
+    81.1, 98.9,
+    // gcc
+    81.9, 63.7, 71.7,
+    // mesa
+    62.0, 94.0, 98.5, 90.9,
+    // art
+    113.5, 102.8, 100.4, 92.6, 120.9,
+    // mcf
+    109.6, 110.9, 75.5, 94.5, 109.9, 98.6,
+    // equake
+    79.5, 84.7, 73.3, 63.6, 81.8, 96.3, 104.9,
+    // ammp
+    111.7, 118.1, 91.7, 98.5, 100.2, 105.2, 94.8, 98.4,
+    // parser
+    73.6, 89.7, 56.4, 65.0, 88.9, 94.4, 87.6, 77.1, 91.1,
+    // vortex
+    92.0, 68.5, 79.2, 54.6, 87.8, 92.7, 101.3, 67.8, 98.8, 77.4,
+    // bzip2
+    78.1, 111.4, 45.7, 88.8, 94.1, 102.5, 80.0, 76.1, 92.7, 62.9, 94.8,
+    // twolf
+    85.5, 35.2, 96.6, 67.3, 91.7, 105.2, 111.1, 86.5, 120.0, 89.7,
+    73.1, 107.9,
+};
+
+PublishedRankTable
+buildTable(const Row *rows, std::size_t count)
+{
+    PublishedRankTable t;
+    t.benchmarks = benchNames;
+    t.factors.reserve(count);
+    t.ranks.reserve(count);
+    t.sums.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        t.factors.emplace_back(rows[i].name);
+        t.ranks.emplace_back(rows[i].r, rows[i].r + 13);
+        t.sums.push_back(rows[i].sum);
+    }
+    return t;
+}
+
+} // namespace
+
+std::vector<std::vector<double>>
+PublishedRankTable::rankVectorsByBenchmark() const
+{
+    std::vector<std::vector<double>> vectors(
+        benchmarks.size(), std::vector<double>(factors.size(), 0.0));
+    for (std::size_t f = 0; f < factors.size(); ++f)
+        for (std::size_t b = 0; b < benchmarks.size(); ++b)
+            vectors[b][f] = static_cast<double>(ranks[f][b]);
+    return vectors;
+}
+
+std::vector<doe::FactorRankSummary>
+PublishedRankTable::asSummaries() const
+{
+    std::vector<doe::FactorRankSummary> summaries;
+    summaries.reserve(factors.size());
+    for (std::size_t f = 0; f < factors.size(); ++f) {
+        doe::FactorRankSummary s;
+        s.name = factors[f];
+        s.ranks = ranks[f];
+        for (unsigned r : ranks[f])
+            s.sumOfRanks += r;
+        summaries.push_back(std::move(s));
+    }
+    return summaries;
+}
+
+std::size_t
+PublishedRankTable::factorIndex(const std::string &name) const
+{
+    for (std::size_t f = 0; f < factors.size(); ++f)
+        if (factors[f] == name)
+            return f;
+    throw std::invalid_argument(
+        "PublishedRankTable::factorIndex: no factor named " + name);
+}
+
+const PublishedRankTable &
+publishedTable9()
+{
+    static const PublishedRankTable t =
+        buildTable(table9Rows, std::size(table9Rows));
+    return t;
+}
+
+const PublishedRankTable &
+publishedTable12()
+{
+    static const PublishedRankTable t =
+        buildTable(table12Rows, std::size(table12Rows));
+    return t;
+}
+
+const cluster::DistanceMatrix &
+publishedTable10()
+{
+    static const cluster::DistanceMatrix m = [] {
+        cluster::DistanceMatrix d(benchNames.size());
+        std::size_t k = 0;
+        for (std::size_t i = 1; i < benchNames.size(); ++i)
+            for (std::size_t j = 0; j < i; ++j)
+                d.set(i, j, table10Lower[k++]);
+        return d;
+    }();
+    return m;
+}
+
+const std::vector<std::vector<std::string>> &
+publishedTable11Groups()
+{
+    static const std::vector<std::vector<std::string>> groups = {
+        {"gzip", "mesa"},
+        {"vpr-Place", "twolf"},
+        {"vpr-Route", "parser", "bzip2"},
+        {"gcc", "vortex"},
+        {"art"},
+        {"mcf"},
+        {"equake"},
+        {"ammp"},
+    };
+    return groups;
+}
+
+const std::vector<std::string> &
+publishedBenchmarkNames()
+{
+    return benchNames;
+}
+
+} // namespace rigor::methodology

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The paper's published result tables, transcribed as data.
+ *
+ * These serve two purposes: (1) unit tests validate the analysis
+ * pipeline (distances, grouping, sum-of-ranks, rank-shift analysis)
+ * exactly against the paper — e.g. the Table 10 distance matrix must
+ * be reproducible from the Table 9 rank vectors; and (2) the bench
+ * harnesses report measured-vs-published agreement (Spearman rank
+ * correlation of the parameter orderings).
+ */
+
+#ifndef RIGOR_METHODOLOGY_PUBLISHED_DATA_HH
+#define RIGOR_METHODOLOGY_PUBLISHED_DATA_HH
+
+#include <string>
+#include <vector>
+
+#include "cluster/distance_matrix.hh"
+#include "doe/ranking.hh"
+
+namespace rigor::methodology
+{
+
+/** A published rank table (Table 9 or Table 12). */
+struct PublishedRankTable
+{
+    /** Factor names, in the table's printed (sum-of-ranks) order. */
+    std::vector<std::string> factors;
+    /** Benchmark names, in column order. */
+    std::vector<std::string> benchmarks;
+    /** ranks[factor][benchmark]. */
+    std::vector<std::vector<unsigned>> ranks;
+    /** Printed sum-of-ranks column. */
+    std::vector<unsigned long> sums;
+
+    /** Rank vectors per benchmark: [benchmark][factor]. The factor
+     *  axis follows this table's printed order. */
+    std::vector<std::vector<double>> rankVectorsByBenchmark() const;
+
+    /** As FactorRankSummary records (already sorted by sum). */
+    std::vector<doe::FactorRankSummary> asSummaries() const;
+
+    /** Row index of a factor name; throws if absent. */
+    std::size_t factorIndex(const std::string &name) const;
+};
+
+/** Table 9: PB ranks for the base processor. */
+const PublishedRankTable &publishedTable9();
+
+/** Table 12: PB ranks with instruction precomputation. */
+const PublishedRankTable &publishedTable12();
+
+/** Table 10: distances between benchmark rank vectors. */
+const cluster::DistanceMatrix &publishedTable10();
+
+/** Table 11: the benchmark groups at threshold sqrt(4000). */
+const std::vector<std::vector<std::string>> &publishedTable11Groups();
+
+/** Benchmark names in the paper's column order. */
+const std::vector<std::string> &publishedBenchmarkNames();
+
+} // namespace rigor::methodology
+
+#endif // RIGOR_METHODOLOGY_PUBLISHED_DATA_HH

@@ -1,0 +1,76 @@
+#include "methodology/rank_table.hh"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace rigor::methodology
+{
+
+std::string
+formatRankTable(std::span<const doe::FactorRankSummary> summaries,
+                std::span<const std::string> benchmark_names)
+{
+    std::size_t name_width = 10;
+    for (const doe::FactorRankSummary &s : summaries)
+        name_width = std::max(name_width, s.name.size() + 1);
+
+    std::ostringstream os;
+    os << std::left << std::setw(static_cast<int>(name_width))
+       << "Parameter" << std::right;
+    for (const std::string &b : benchmark_names)
+        os << std::setw(
+            static_cast<int>(std::max<std::size_t>(b.size() + 1, 5)))
+           << b;
+    os << std::setw(7) << "Sum" << '\n';
+
+    for (const doe::FactorRankSummary &s : summaries) {
+        os << std::left << std::setw(static_cast<int>(name_width))
+           << s.name << std::right;
+        if (s.ranks.size() != benchmark_names.size())
+            throw std::invalid_argument(
+                "formatRankTable: rank/benchmark count mismatch");
+        for (std::size_t b = 0; b < s.ranks.size(); ++b)
+            os << std::setw(static_cast<int>(std::max<std::size_t>(
+                   benchmark_names[b].size() + 1, 5)))
+               << s.ranks[b];
+        os << std::setw(7) << s.sumOfRanks << '\n';
+    }
+    return os.str();
+}
+
+std::vector<double>
+sumOfRanksInOrder(std::span<const doe::FactorRankSummary> summaries,
+                  std::span<const std::string> factor_order)
+{
+    std::vector<double> out;
+    out.reserve(factor_order.size());
+    for (const std::string &name : factor_order) {
+        bool found = false;
+        for (const doe::FactorRankSummary &s : summaries) {
+            if (s.name == name) {
+                out.push_back(static_cast<double>(s.sumOfRanks));
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            throw std::invalid_argument(
+                "sumOfRanksInOrder: no factor named " + name);
+    }
+    return out;
+}
+
+std::vector<std::string>
+topFactorNames(std::span<const doe::FactorRankSummary> summaries,
+               std::size_t k)
+{
+    std::vector<std::string> names;
+    const std::size_t n = std::min(k, summaries.size());
+    names.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        names.push_back(summaries[i].name);
+    return names;
+}
+
+} // namespace rigor::methodology

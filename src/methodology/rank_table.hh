@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table-9-style rank table rendering and comparison.
+ */
+
+#ifndef RIGOR_METHODOLOGY_RANK_TABLE_HH
+#define RIGOR_METHODOLOGY_RANK_TABLE_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "doe/ranking.hh"
+
+namespace rigor::methodology
+{
+
+/**
+ * Render sorted factor summaries as the paper's Table 9 layout:
+ * one row per factor (most significant first), one rank column per
+ * benchmark, and the rank sum.
+ */
+std::string formatRankTable(
+    std::span<const doe::FactorRankSummary> summaries,
+    std::span<const std::string> benchmark_names);
+
+/**
+ * Sum-of-ranks of each factor in @p summaries, reordered to match
+ * @p factor_order (name-keyed). Throws when a name is missing.
+ * Used to compare a measured table against the published one.
+ */
+std::vector<double> sumOfRanksInOrder(
+    std::span<const doe::FactorRankSummary> summaries,
+    std::span<const std::string> factor_order);
+
+/**
+ * Names of the first @p k factors (most significant) of a sorted
+ * summary list.
+ */
+std::vector<std::string> topFactorNames(
+    std::span<const doe::FactorRankSummary> summaries, std::size_t k);
+
+} // namespace rigor::methodology
+
+#endif // RIGOR_METHODOLOGY_RANK_TABLE_HH

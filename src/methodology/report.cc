@@ -1,0 +1,71 @@
+#include "methodology/report.hh"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace rigor::methodology
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+    if (_headers.empty())
+        throw std::invalid_argument("TextTable: need at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != _headers.size())
+        throw std::invalid_argument(
+            "TextTable::addRow: cell count must match header count");
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::toString() const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const std::vector<std::string> &row : _rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    const auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                os << "  ";
+            // First column left-aligned (labels), the rest right.
+            if (c == 0)
+                os << std::left;
+            else
+                os << std::right;
+            os << std::setw(static_cast<int>(widths[c])) << cells[c];
+        }
+        os << '\n';
+    };
+    emit(_headers);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        if (c > 0)
+            rule += "  ";
+        rule += std::string(widths[c], '-');
+    }
+    os << rule << '\n';
+    for (const std::vector<std::string> &row : _rows)
+        emit(row);
+    return os.str();
+}
+
+std::string
+formatDouble(double value, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+} // namespace rigor::methodology

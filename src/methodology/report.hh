@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small fixed-width text-table builder shared by the bench harnesses.
+ */
+
+#ifndef RIGOR_METHODOLOGY_REPORT_HH
+#define RIGOR_METHODOLOGY_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace rigor::methodology
+{
+
+/**
+ * Accumulates rows of cells and renders them with per-column widths.
+ */
+class TextTable
+{
+  public:
+    /** Start a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows so far. */
+    std::size_t numRows() const { return _rows.size(); }
+
+    /** Render with columns padded to their widest cell. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Format a double with @p decimals places. */
+std::string formatDouble(double value, int decimals);
+
+} // namespace rigor::methodology
+
+#endif // RIGOR_METHODOLOGY_REPORT_HH

@@ -1,0 +1,152 @@
+#include "methodology/workflow.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "doe/ranking.hh"
+#include "stats/yates.hh"
+
+namespace rigor::methodology
+{
+
+Factor
+factorByName(const std::string &name)
+{
+    for (const ParameterDef &def : parameterDefinitions())
+        if (def.name == name)
+            return def.factor;
+    throw std::invalid_argument("factorByName: unknown factor " + name);
+}
+
+std::string
+WorkflowResult::toString() const
+{
+    std::ostringstream os;
+    os << "Step 1 - critical parameters (PB screen, "
+       << screening.design.numRows() << " runs x "
+       << screening.benchmarks.size() << " workloads):\n";
+    for (std::size_t i = 0; i < criticalFactors.size(); ++i)
+        os << "  " << i + 1 << ". "
+           << factorName(criticalFactors[i]) << "\n";
+    os << "Step 2 - non-critical parameters: typical commercial "
+          "values (ProcessorConfig defaults).\n";
+    os << "Step 3 - full factorial over the critical set ("
+       << (1u << criticalFactors.size()) << " configurations):\n";
+    os << stats::formatAnovaTable(sensitivity);
+    os << "Step 4 - directions:\n";
+    for (const ParameterRecommendation &rec : recommendations) {
+        os << "  " << rec.name << ": high value "
+           << (rec.cyclesSavedHighVsLow >= 0.0 ? "saves" : "costs")
+           << " " << std::abs(rec.cyclesSavedHighVsLow)
+           << " cycles on average ("
+           << 100.0 * rec.variationExplained << "% of variation)\n";
+    }
+    if (!largestInteraction.empty())
+        os << "Largest interaction: " << largestInteraction << " ("
+           << 100.0 * largestInteractionShare << "% of variation)\n";
+    return os.str();
+}
+
+WorkflowResult
+runRecommendedWorkflow(
+    std::span<const trace::WorkloadProfile> workloads,
+    const WorkflowOptions &options)
+{
+    if (options.maxCriticalParameters == 0 ||
+        options.maxCriticalParameters > 12)
+        throw std::invalid_argument(
+            "runRecommendedWorkflow: maxCriticalParameters must be in "
+            "[1, 12]");
+
+    WorkflowResult result;
+
+    // ----- Step 1: PB screening -----
+    PbExperimentOptions screen_opts;
+    screen_opts.instructionsPerRun = options.instructionsPerRun;
+    screen_opts.warmupInstructions = options.warmupInstructions;
+    screen_opts.threads = options.threads;
+    result.screening = runPbExperiment(workloads, screen_opts);
+
+    // Critical set: up to the largest sum-of-ranks gap, capped, and
+    // never including dummy factors (they are the noise floor).
+    const std::size_t cut = doe::significanceCutoff(
+        result.screening.summaries,
+        std::min<std::size_t>(options.maxCriticalParameters + 2, 15));
+    const std::size_t take =
+        std::min({cut, options.maxCriticalParameters,
+                  result.screening.summaries.size()});
+    for (std::size_t i = 0;
+         i < result.screening.summaries.size() &&
+         result.criticalFactors.size() < take;
+         ++i) {
+        const std::string &name =
+            result.screening.summaries[i].name;
+        const Factor f = factorByName(name);
+        if (f == Factor::DummyFactor1 || f == Factor::DummyFactor2)
+            continue;
+        result.criticalFactors.push_back(f);
+    }
+
+    // ----- Step 3: full factorial over the critical set -----
+    const std::size_t k = result.criticalFactors.size();
+    std::vector<std::string> names;
+    names.reserve(k);
+    for (Factor f : result.criticalFactors)
+        names.push_back(factorName(f));
+
+    std::vector<double> responses;
+    responses.reserve(std::size_t{1} << k);
+    for (std::uint32_t t = 0; t < (1u << k); ++t) {
+        std::vector<std::pair<Factor, doe::Level>> overrides;
+        overrides.reserve(k);
+        for (std::size_t i = 0; i < k; ++i)
+            overrides.emplace_back(result.criticalFactors[i],
+                                   (t >> i) & 1 ? doe::Level::High
+                                                : doe::Level::Low);
+        const sim::ProcessorConfig config =
+            configWithOverrides(overrides);
+
+        double total = 0.0;
+        for (const trace::WorkloadProfile &w : workloads)
+            total += simulateOnce(w, config,
+                                  options.instructionsPerRun, nullptr,
+                                  options.warmupInstructions);
+        responses.push_back(total /
+                            static_cast<double>(workloads.size()));
+    }
+    result.sensitivity = stats::analyzeFactorial(names, responses);
+
+    // ----- Step 4: directions from the main effects -----
+    for (std::size_t i = 0; i < k; ++i) {
+        const stats::AnovaRow &row =
+            result.sensitivity.rows[(std::size_t{1} << i) - 1];
+        ParameterRecommendation rec;
+        rec.factor = result.criticalFactors[i];
+        rec.name = names[i];
+        // Effect is (high - low) on cycles; saving = -effect.
+        rec.cyclesSavedHighVsLow = -row.effect;
+        rec.variationExplained = row.variationExplained;
+        result.recommendations.push_back(std::move(rec));
+    }
+    std::stable_sort(result.recommendations.begin(),
+                     result.recommendations.end(),
+                     [](const ParameterRecommendation &a,
+                        const ParameterRecommendation &b) {
+                         return a.variationExplained >
+                                b.variationExplained;
+                     });
+
+    // Largest interaction (order >= 2).
+    for (const stats::AnovaRow &row :
+         result.sensitivity.rowsBySignificance()) {
+        if (stats::contrastOrder(row.mask) >= 2) {
+            result.largestInteraction = row.label;
+            result.largestInteractionShare = row.variationExplained;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace rigor::methodology

@@ -1,0 +1,55 @@
+#include "sim/btb.hh"
+
+#include <stdexcept>
+
+namespace rigor::sim
+{
+
+namespace
+{
+
+std::uint32_t
+resolveSets(std::uint32_t entries, std::uint32_t assoc)
+{
+    if (entries == 0 || (entries & (entries - 1)) != 0)
+        throw std::invalid_argument(
+            "Btb: entries must be a non-zero power of two");
+    const std::uint32_t ways = assoc == 0 ? entries : assoc;
+    if (entries % ways != 0)
+        throw std::invalid_argument(
+            "Btb: associativity must divide the entry count");
+    return entries / ways;
+}
+
+} // namespace
+
+Btb::Btb(std::uint32_t entries, std::uint32_t assoc)
+    : _numSets(resolveSets(entries, assoc)),
+      _tags(_numSets, assoc == 0 ? entries : assoc,
+            ReplacementKind::LRU)
+{
+}
+
+bool
+Btb::lookup(std::uint64_t pc, std::uint64_t *target_out)
+{
+    ++_stats.lookups;
+    const std::uint64_t word = pc >> 2;
+    const auto set = static_cast<std::uint32_t>(word % _numSets);
+    const std::uint64_t tag = word / _numSets;
+    if (_tags.lookup(set, tag, target_out))
+        return true;
+    ++_stats.misses;
+    return false;
+}
+
+void
+Btb::update(std::uint64_t pc, std::uint64_t target)
+{
+    const std::uint64_t word = pc >> 2;
+    const auto set = static_cast<std::uint32_t>(word % _numSets);
+    const std::uint64_t tag = word / _numSets;
+    _tags.insert(set, tag, target);
+}
+
+} // namespace rigor::sim

@@ -1,0 +1,62 @@
+#include "sim/cache.hh"
+
+#include <bit>
+#include <stdexcept>
+
+namespace rigor::sim
+{
+
+Cache::Cache(std::string name, const CacheGeometry &geometry)
+    : _name(std::move(name)), _geometry(geometry),
+      _tags(geometry.numSets(), geometry.effectiveAssoc(),
+            geometry.replacement),
+      _blockShift(static_cast<std::uint32_t>(
+          std::countr_zero(geometry.blockBytes))),
+      _setMask(geometry.numSets() - 1)
+{
+    if ((geometry.numSets() & (geometry.numSets() - 1)) != 0)
+        throw std::invalid_argument(
+            "Cache: set count must be a power of two");
+}
+
+std::uint32_t
+Cache::setIndex(std::uint64_t addr) const
+{
+    return static_cast<std::uint32_t>((addr >> _blockShift) & _setMask);
+}
+
+std::uint64_t
+Cache::tagOf(std::uint64_t addr) const
+{
+    return (addr >> _blockShift) >> std::countr_zero(_setMask + 1);
+}
+
+bool
+Cache::access(std::uint64_t addr)
+{
+    ++_stats.accesses;
+    const std::uint32_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    if (_tags.lookup(set, tag))
+        return true;
+
+    ++_stats.misses;
+    if (_tags.insert(set, tag))
+        ++_stats.evictions;
+    return false;
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    return _tags.probe(setIndex(addr), tagOf(addr));
+}
+
+void
+Cache::reset()
+{
+    _tags.flush();
+    _stats = CacheStats{};
+}
+
+} // namespace rigor::sim

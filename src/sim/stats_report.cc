@@ -1,0 +1,74 @@
+#include "sim/stats_report.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace rigor::sim
+{
+
+namespace
+{
+
+void
+cacheLine(std::ostringstream &os, const Cache &cache)
+{
+    os << "  " << std::left << std::setw(6) << cache.name()
+       << std::right << std::setw(12) << cache.stats().accesses
+       << " accesses" << std::setw(12) << cache.stats().misses
+       << " misses  " << std::fixed << std::setprecision(2)
+       << 100.0 * cache.stats().missRate() << "% miss rate\n";
+}
+
+void
+tlbLine(std::ostringstream &os, const Tlb &tlb)
+{
+    os << "  " << std::left << std::setw(6) << tlb.name() << std::right
+       << std::setw(12) << tlb.stats().accesses << " accesses"
+       << std::setw(12) << tlb.stats().misses << " misses  "
+       << std::fixed << std::setprecision(2)
+       << 100.0 * tlb.stats().missRate() << "% miss rate\n";
+}
+
+void
+poolLine(std::ostringstream &os, const FuPool &pool)
+{
+    os << "  " << std::left << std::setw(12) << pool.name()
+       << std::right << std::setw(12) << pool.stats().operations
+       << " ops" << std::setw(12) << pool.stats().busyStallCycles
+       << " busy-stall cycles\n";
+}
+
+} // namespace
+
+std::string
+formatRunReport(const SuperscalarCore &core, const CoreStats &stats)
+{
+    std::ostringstream os;
+    os << "instructions: " << stats.instructions
+       << "  cycles: " << stats.cycles << "  IPC: " << std::fixed
+       << std::setprecision(3) << stats.ipc() << "\n";
+    os << "branches: " << stats.branches
+       << "  mispredicts: " << stats.branchMispredicts
+       << "  accuracy: " << std::setprecision(2)
+       << 100.0 * core.predictor().stats().accuracy() << "%"
+       << "  btb-misfetch: " << stats.btbMisfetches
+       << "  ras-mispredicts: " << stats.rasMispredicts << "\n";
+    os << "loads: " << stats.loads << "  stores: " << stats.stores;
+    if (stats.interceptedInstructions > 0)
+        os << "  intercepted: " << stats.interceptedInstructions;
+    os << "\ncaches:\n";
+    cacheLine(os, core.memory().l1i());
+    cacheLine(os, core.memory().l1d());
+    cacheLine(os, core.memory().l2());
+    os << "tlbs:\n";
+    tlbLine(os, core.memory().itlb());
+    tlbLine(os, core.memory().dtlb());
+    os << "functional units:\n";
+    poolLine(os, core.intAluPool());
+    poolLine(os, core.fpAluPool());
+    poolLine(os, core.intMultDivPool());
+    poolLine(os, core.fpMultDivPool());
+    return os.str();
+}
+
+} // namespace rigor::sim

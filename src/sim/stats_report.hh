@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Human-readable end-of-run report for a simulated core.
+ */
+
+#ifndef RIGOR_SIM_STATS_REPORT_HH
+#define RIGOR_SIM_STATS_REPORT_HH
+
+#include <string>
+
+#include "sim/core.hh"
+
+namespace rigor::sim
+{
+
+/**
+ * Render the end-of-run statistics of @p core (after run()) together
+ * with @p stats as a fixed-width text report: IPC, branch and memory
+ * behavior, functional-unit pressure.
+ */
+std::string formatRunReport(const SuperscalarCore &core,
+                            const CoreStats &stats);
+
+} // namespace rigor::sim
+
+#endif // RIGOR_SIM_STATS_REPORT_HH

@@ -1,0 +1,44 @@
+#include "sim/tlb.hh"
+
+#include <bit>
+#include <stdexcept>
+
+namespace rigor::sim
+{
+
+Tlb::Tlb(std::string name, const TlbGeometry &geometry)
+    : _name(std::move(name)), _geometry(geometry),
+      _tags(geometry.numSets(), geometry.effectiveAssoc(),
+            ReplacementKind::LRU),
+      _pageShift(static_cast<std::uint32_t>(
+          std::countr_zero(geometry.pageBytes))),
+      _setMask(geometry.numSets() - 1)
+{
+    if ((geometry.numSets() & (geometry.numSets() - 1)) != 0)
+        throw std::invalid_argument(
+            "Tlb: set count must be a power of two");
+}
+
+std::uint32_t
+Tlb::access(std::uint64_t addr)
+{
+    ++_stats.accesses;
+    const std::uint64_t vpn = addr >> _pageShift;
+    const auto set = static_cast<std::uint32_t>(vpn & _setMask);
+    const std::uint64_t tag = vpn >> std::countr_zero(_setMask + 1);
+    if (_tags.lookup(set, tag))
+        return 0;
+
+    ++_stats.misses;
+    _tags.insert(set, tag);
+    return _geometry.missLatency;
+}
+
+void
+Tlb::reset()
+{
+    _tags.flush();
+    _stats = TlbStats{};
+}
+
+} // namespace rigor::sim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Translation lookaside buffer timing model.
+ *
+ * Hits are assumed overlapped with the cache access (zero added
+ * latency); a miss pays the configured miss penalty, standing in for
+ * the hardware page-table walk of the machines in Table 8.
+ */
+
+#ifndef RIGOR_SIM_TLB_HH
+#define RIGOR_SIM_TLB_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.hh"
+#include "sim/replacement.hh"
+
+namespace rigor::sim
+{
+
+/** Access counters for one TLB. */
+struct TlbStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    double missRate() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(misses) /
+                         static_cast<double>(accesses);
+    }
+};
+
+/** A set-associative (or fully associative) TLB. */
+class Tlb
+{
+  public:
+    Tlb(std::string name, const TlbGeometry &geometry);
+
+    /**
+     * Translate the page containing @p addr, filling the entry on a
+     * miss.
+     *
+     * @return added latency in cycles: 0 on hit, the miss penalty on
+     *         a miss
+     */
+    std::uint32_t access(std::uint64_t addr);
+
+    const std::string &name() const { return _name; }
+    const TlbGeometry &geometry() const { return _geometry; }
+    const TlbStats &stats() const { return _stats; }
+
+    void reset();
+
+  private:
+    std::string _name;
+    TlbGeometry _geometry;
+    TagStore _tags;
+    TlbStats _stats;
+    std::uint32_t _pageShift;
+    std::uint32_t _setMask;
+};
+
+} // namespace rigor::sim
+
+#endif // RIGOR_SIM_TLB_HH

@@ -1,0 +1,216 @@
+#include "stats/descriptive.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rigor::stats
+{
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return sum(xs) / static_cast<double>(xs.size());
+}
+
+double
+variance(std::span<const double> xs)
+{
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double ss = 0.0;
+    for (double x : xs) {
+        const double d = x - m;
+        ss += d * d;
+    }
+    return ss / static_cast<double>(n - 1);
+}
+
+double
+populationVariance(std::span<const double> xs)
+{
+    const std::size_t n = xs.size();
+    if (n == 0)
+        return 0.0;
+    const double m = mean(xs);
+    double ss = 0.0;
+    for (double x : xs) {
+        const double d = x - m;
+        ss += d * d;
+    }
+    return ss / static_cast<double>(n);
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+geometricMean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            throw std::invalid_argument(
+                "geometricMean: inputs must be positive");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+harmonicMean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double recip_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            throw std::invalid_argument(
+                "harmonicMean: inputs must be positive");
+        recip_sum += 1.0 / x;
+    }
+    return static_cast<double>(xs.size()) / recip_sum;
+}
+
+double
+median(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    if (n % 2 == 1)
+        return sorted[n / 2];
+    return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double
+minimum(std::span<const double> xs)
+{
+    assert(!xs.empty());
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maximum(std::span<const double> xs)
+{
+    assert(!xs.empty());
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+sum(std::span<const double> xs)
+{
+    // Kahan summation: the PB experiment sums over thousands of
+    // simulation responses and we do not want the result to depend on
+    // accumulation order.
+    double s = 0.0;
+    double c = 0.0;
+    for (double x : xs) {
+        const double y = x - c;
+        const double t = s + y;
+        c = (t - s) - y;
+        s = t;
+    }
+    return s;
+}
+
+double
+sumOfSquares(std::span<const double> xs)
+{
+    double s = 0.0;
+    for (double x : xs)
+        s += x * x;
+    return s;
+}
+
+double
+coefficientOfVariation(std::span<const double> xs)
+{
+    const double m = mean(xs);
+    if (m == 0.0)
+        throw std::invalid_argument(
+            "coefficientOfVariation: mean must be non-zero");
+    return stddev(xs) / m;
+}
+
+Summary
+summarize(std::span<const double> xs)
+{
+    Summary s;
+    s.count = xs.size();
+    if (xs.empty())
+        return s;
+    s.mean = mean(xs);
+    s.stddev = stddev(xs);
+    s.min = minimum(xs);
+    s.median = median(xs);
+    s.max = maximum(xs);
+    return s;
+}
+
+namespace
+{
+
+/**
+ * Shared midrank implementation. @p ascending selects whether rank 1
+ * is the smallest (true) or the largest (false) element.
+ */
+std::vector<double>
+midranks(std::span<const double> xs, bool ascending)
+{
+    const std::size_t n = xs.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return ascending ? xs[a] < xs[b] : xs[a] > xs[b];
+              });
+
+    std::vector<double> result(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        // Find the extent of the tie group starting at sorted pos i.
+        std::size_t j = i;
+        while (j + 1 < n && xs[order[j + 1]] == xs[order[i]])
+            ++j;
+        // Average of 1-based ranks i+1 .. j+1.
+        const double avg_rank =
+            (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+        for (std::size_t k = i; k <= j; ++k)
+            result[order[k]] = avg_rank;
+        i = j + 1;
+    }
+    return result;
+}
+
+} // namespace
+
+std::vector<double>
+ranks(std::span<const double> xs)
+{
+    return midranks(xs, true);
+}
+
+std::vector<double>
+significanceRanks(std::span<const double> effects)
+{
+    std::vector<double> magnitudes(effects.size());
+    for (std::size_t i = 0; i < effects.size(); ++i)
+        magnitudes[i] = std::abs(effects[i]);
+    return midranks(magnitudes, false);
+}
+
+} // namespace rigor::stats

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Descriptive statistics over sequences of doubles.
+ *
+ * These are the basic building blocks used throughout the library:
+ * the ANOVA module needs means and sums of squares, the DoE module
+ * needs effect magnitudes, and the report builders need summary
+ * statistics of simulation responses.
+ */
+
+#ifndef RIGOR_STATS_DESCRIPTIVE_HH
+#define RIGOR_STATS_DESCRIPTIVE_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rigor::stats
+{
+
+/** Arithmetic mean. Returns 0 for an empty sequence. */
+double mean(std::span<const double> xs);
+
+/**
+ * Sample variance with Bessel's correction (divides by n - 1).
+ * Returns 0 when fewer than two observations are available.
+ */
+double variance(std::span<const double> xs);
+
+/** Population variance (divides by n). */
+double populationVariance(std::span<const double> xs);
+
+/** Sample standard deviation (square root of variance()). */
+double stddev(std::span<const double> xs);
+
+/** Geometric mean. All inputs must be strictly positive. */
+double geometricMean(std::span<const double> xs);
+
+/** Harmonic mean. All inputs must be strictly positive. */
+double harmonicMean(std::span<const double> xs);
+
+/** Median; averages the two middle elements for even-length inputs. */
+double median(std::span<const double> xs);
+
+/** Smallest element. The sequence must be non-empty. */
+double minimum(std::span<const double> xs);
+
+/** Largest element. The sequence must be non-empty. */
+double maximum(std::span<const double> xs);
+
+/** Sum of all elements. */
+double sum(std::span<const double> xs);
+
+/** Sum of squares of all elements. */
+double sumOfSquares(std::span<const double> xs);
+
+/** Coefficient of variation: stddev / mean. Mean must be non-zero. */
+double coefficientOfVariation(std::span<const double> xs);
+
+/**
+ * Full five-number-plus summary of a sample, convenient for reports.
+ */
+struct Summary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double median = 0.0;
+    double max = 0.0;
+};
+
+/** Compute a Summary of the given sample. */
+Summary summarize(std::span<const double> xs);
+
+/**
+ * Assign ranks (1 = smallest) to a sequence of values.
+ *
+ * Ties receive the average of the ranks they would occupy
+ * ("midranks"), the convention required by the Spearman rank
+ * correlation coefficient.
+ *
+ * @param xs values to rank
+ * @return rank of each element, parallel to @p xs
+ */
+std::vector<double> ranks(std::span<const double> xs);
+
+/**
+ * Assign descending-significance ranks (1 = largest magnitude).
+ *
+ * This is the ranking the paper applies to Plackett-Burman effects:
+ * the parameter with the largest |effect| gets rank 1. Ties receive
+ * midranks.
+ */
+std::vector<double> significanceRanks(std::span<const double> effects);
+
+} // namespace rigor::stats
+
+#endif // RIGOR_STATS_DESCRIPTIVE_HH

@@ -1,0 +1,115 @@
+#include "stats/linear_model.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hh"
+
+namespace rigor::stats
+{
+
+std::vector<double>
+solveLinearSystem(std::vector<std::vector<double>> a,
+                  std::vector<double> b)
+{
+    const std::size_t n = a.size();
+    if (n == 0 || b.size() != n)
+        throw std::invalid_argument(
+            "solveLinearSystem: shape mismatch");
+    for (const auto &row : a)
+        if (row.size() != n)
+            throw std::invalid_argument(
+                "solveLinearSystem: matrix must be square");
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::abs(a[r][col]) > std::abs(a[pivot][col]))
+                pivot = r;
+        if (std::abs(a[pivot][col]) < 1e-10)
+            throw std::invalid_argument(
+                "solveLinearSystem: singular system");
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = a[r][col] / a[col][col];
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a[r][c] -= factor * a[col][c];
+            b[r] -= factor * b[col];
+        }
+    }
+
+    std::vector<double> x(n, 0.0);
+    for (std::size_t r = n; r-- > 0;) {
+        double acc = b[r];
+        for (std::size_t c = r + 1; c < n; ++c)
+            acc -= a[r][c] * x[c];
+        x[r] = acc / a[r][r];
+    }
+    return x;
+}
+
+LinearFit
+fitLinearModel(const std::vector<std::vector<double>> &predictors,
+               std::span<const double> response)
+{
+    const std::size_t n = response.size();
+    if (predictors.size() != n || n == 0)
+        throw std::invalid_argument(
+            "fitLinearModel: need one predictor row per observation");
+    const std::size_t k = predictors.front().size();
+    for (const auto &row : predictors)
+        if (row.size() != k)
+            throw std::invalid_argument(
+                "fitLinearModel: ragged predictor matrix");
+    const std::size_t p = k + 1; // plus intercept
+    if (n < p)
+        throw std::invalid_argument(
+            "fitLinearModel: more parameters than observations");
+
+    // Normal equations: (X^T X) beta = X^T y, with X = [1 | preds].
+    const auto x_at = [&](std::size_t row, std::size_t col) {
+        return col == 0 ? 1.0 : predictors[row][col - 1];
+    };
+    std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0.0));
+    std::vector<double> xty(p, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t i = 0; i < p; ++i) {
+            xty[i] += x_at(r, i) * response[r];
+            for (std::size_t j = i; j < p; ++j)
+                xtx[i][j] += x_at(r, i) * x_at(r, j);
+        }
+    }
+    for (std::size_t i = 0; i < p; ++i)
+        for (std::size_t j = 0; j < i; ++j)
+            xtx[i][j] = xtx[j][i];
+
+    LinearFit fit;
+    fit.coefficients = solveLinearSystem(std::move(xtx), std::move(xty));
+
+    fit.fitted.resize(n);
+    fit.residuals.resize(n);
+    double rss = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        double yhat = 0.0;
+        for (std::size_t i = 0; i < p; ++i)
+            yhat += fit.coefficients[i] * x_at(r, i);
+        fit.fitted[r] = yhat;
+        fit.residuals[r] = response[r] - yhat;
+        rss += fit.residuals[r] * fit.residuals[r];
+    }
+    fit.residualSumSquares = rss;
+
+    const double ybar = mean(response);
+    double tss = 0.0;
+    for (double y : response)
+        tss += (y - ybar) * (y - ybar);
+    fit.rSquared = tss == 0.0 ? 1.0 : 1.0 - rss / tss;
+    return fit;
+}
+
+} // namespace rigor::stats

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ordinary-least-squares linear models.
+ *
+ * Fitting y = b0 + sum_i b_i * x_i over a two-level design matrix is
+ * the regression view of effect estimation: for an orthogonal design
+ * the fitted coefficient of a factor equals half its normalized PB
+ * effect, which makes this module an independent cross-check of the
+ * DoE pipeline — and, unlike the contrast formulas, it also handles
+ * non-orthogonal (e.g. one-at-a-time) designs and lets the
+ * experimenter add interaction columns selectively.
+ */
+
+#ifndef RIGOR_STATS_LINEAR_MODEL_HH
+#define RIGOR_STATS_LINEAR_MODEL_HH
+
+#include <span>
+#include <vector>
+
+namespace rigor::stats
+{
+
+/** Result of an OLS fit. */
+struct LinearFit
+{
+    /** Intercept followed by one coefficient per predictor column. */
+    std::vector<double> coefficients;
+    /** Fitted values, one per observation. */
+    std::vector<double> fitted;
+    /** Residuals y - fitted. */
+    std::vector<double> residuals;
+    /** Coefficient of determination. */
+    double rSquared = 0.0;
+    /** Residual sum of squares. */
+    double residualSumSquares = 0.0;
+
+    /** Intercept. */
+    double intercept() const { return coefficients.at(0); }
+    /** Coefficient of predictor @p j (0-based, excluding intercept). */
+    double slope(std::size_t j) const { return coefficients.at(j + 1); }
+};
+
+/**
+ * Fit y = b0 + X b by ordinary least squares.
+ *
+ * @param predictors row-major predictor matrix (n rows, k columns);
+ *        an intercept column is added internally
+ * @param response n observations
+ * @throws std::invalid_argument on shape mismatch or a singular
+ *         normal-equations system (collinear predictors)
+ */
+LinearFit fitLinearModel(
+    const std::vector<std::vector<double>> &predictors,
+    std::span<const double> response);
+
+/**
+ * Solve the square linear system A x = b by Gaussian elimination with
+ * partial pivoting. Throws std::invalid_argument when A is singular
+ * (pivot below 1e-10 of the largest row scale).
+ */
+std::vector<double> solveLinearSystem(
+    std::vector<std::vector<double>> a, std::vector<double> b);
+
+} // namespace rigor::stats
+
+#endif // RIGOR_STATS_LINEAR_MODEL_HH

@@ -1,0 +1,58 @@
+#include "stats/yates.hh"
+
+#include <bit>
+#include <stdexcept>
+
+namespace rigor::stats
+{
+
+std::vector<double>
+yatesContrasts(std::span<const double> responses)
+{
+    const std::size_t n = responses.size();
+    if (n == 0 || (n & (n - 1)) != 0)
+        throw std::invalid_argument(
+            "yatesContrasts: response count must be a power of two");
+
+    std::vector<double> work(responses.begin(), responses.end());
+    std::vector<double> next(n);
+
+    // Each pass pairs adjacent entries: the first half of the output
+    // holds pairwise sums, the second half pairwise differences
+    // (high - low). After log2(n) passes, entry i holds the contrast
+    // for the factor subset encoded by the bits of i (index 0 is the
+    // grand total): the classical Yates standard-order property.
+    const unsigned k = static_cast<unsigned>(std::countr_zero(n));
+    for (unsigned pass = 0; pass < k; ++pass) {
+        for (std::size_t i = 0; i < n / 2; ++i) {
+            next[i] = work[2 * i] + work[2 * i + 1];
+            next[n / 2 + i] = work[2 * i + 1] - work[2 * i];
+        }
+        work.swap(next);
+    }
+    return work;
+}
+
+std::string
+contrastLabel(std::uint32_t mask, std::span<const std::string> names)
+{
+    if (mask == 0)
+        return "mean";
+    std::string label;
+    for (std::size_t j = 0; j < names.size(); ++j) {
+        if (mask & (std::uint32_t{1} << j)) {
+            if (!label.empty())
+                label += "*";
+            label += names[j];
+        }
+    }
+    return label;
+}
+
+unsigned
+contrastOrder(std::uint32_t mask)
+{
+    return static_cast<unsigned>(std::popcount(mask));
+}
+
+} // namespace rigor::stats

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Yates' algorithm for 2^k full factorial designs.
+ *
+ * Given the 2^k treatment responses in standard (Yates) order, the
+ * algorithm computes all main-effect and interaction contrasts in
+ * k * 2^k additions — the classical workhorse behind the full
+ * multifactorial ANOVA the paper lists as the "maximum level of
+ * detail" design in Table 1.
+ */
+
+#ifndef RIGOR_STATS_YATES_HH
+#define RIGOR_STATS_YATES_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rigor::stats
+{
+
+/**
+ * Responses must be in standard order: treatment index i has factor j
+ * at its high level iff bit j of i is set. So for k = 3 the order is
+ * (1), a, b, ab, c, ac, bc, abc.
+ *
+ * @param responses 2^k mean responses in standard order
+ * @return contrast totals, index i being the contrast for the factor
+ *         combination encoded by the bits of i (index 0 = grand total)
+ */
+std::vector<double> yatesContrasts(std::span<const double> responses);
+
+/**
+ * Human-readable label for a Yates contrast index: bit j of @p mask set
+ * means factor @p names[j] participates. Mask 0 yields "mean".
+ */
+std::string contrastLabel(std::uint32_t mask,
+                          std::span<const std::string> names);
+
+/** Number of factors participating in a contrast (popcount). */
+unsigned contrastOrder(std::uint32_t mask);
+
+} // namespace rigor::stats
+
+#endif // RIGOR_STATS_YATES_HH

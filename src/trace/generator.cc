@@ -1,0 +1,358 @@
+#include "trace/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rigor::trace
+{
+
+namespace
+{
+
+/** SplitMix64 — used to derive independent per-block seeds. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+SyntheticTraceGenerator::SyntheticTraceGenerator(
+    const WorkloadProfile &profile, std::uint64_t num_instructions)
+    : _profile(profile), _length(num_instructions),
+      _seed(hashName(profile.name.c_str())), _rng(_seed)
+{
+    _profile.validate();
+
+    // Fixed-size block slots: the template length varies per block
+    // with mean avgBlockInstrs; the slot reserves the maximum plus
+    // the terminator so block PCs never overlap.
+    const auto max_body = static_cast<std::uint32_t>(
+        std::lround(2.0 * _profile.avgBlockInstrs));
+    _slotInstrs = std::max(2u, max_body + 1);
+
+    const std::uint64_t slot_bytes = std::uint64_t{4} * _slotInstrs;
+    std::uint64_t blocks = _profile.codeFootprintBytes / slot_bytes;
+    blocks = std::max<std::uint64_t>(blocks, 2 * regionBlocks);
+    // Whole regions only.
+    blocks -= blocks % regionBlocks;
+    _numBlocks = static_cast<std::uint32_t>(blocks);
+    _numRegions = _numBlocks / regionBlocks;
+
+    // The hot instruction working set, in regions. Control flow never
+    // leaves it, so after warm-up there is no artificial cold-miss
+    // trickle from an ever-growing touched-code set.
+    const std::uint64_t region_bytes =
+        std::uint64_t{regionBlocks} * 4 * _slotInstrs;
+    std::uint64_t hot = _profile.hotCodeBytes / region_bytes;
+    hot = std::max<std::uint64_t>(hot, 1);
+    _hotRegions = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(hot, _numRegions));
+
+    _valuePool.resize(valuePoolSize);
+    Rng pool_rng(mix(_seed ^ 0x706f6f6cULL));
+    for (std::uint32_t &v : _valuePool)
+        v = static_cast<std::uint32_t>(pool_rng.next());
+
+    _templates.resize(_numBlocks);
+    reset();
+}
+
+void
+SyntheticTraceGenerator::reset()
+{
+    _rng = Rng(mix(_seed ^ 0x64796eULL));
+    _emitted = 0;
+    _pending.clear();
+    _frames.clear();
+    _currentRegion = 0;
+    _blockInRegion = 0;
+    _tripsRemaining = 1 + _rng.nextGeometric(regionTripMean);
+    _seqCursor = 0;
+    _strideCursors.assign(numStrideStreams, 0);
+    for (std::uint32_t s = 0; s < numStrideStreams; ++s)
+        _strideCursors[s] =
+            (_profile.dataFootprintBytes / numStrideStreams) * s;
+    _nextDst = 1;
+    _recentDst.assign(16, 1);
+    _recentHead = 0;
+}
+
+std::uint64_t
+SyntheticTraceGenerator::blockStartPc(std::uint32_t block_id) const
+{
+    return codeBasePc +
+           static_cast<std::uint64_t>(block_id) * 4 * _slotInstrs;
+}
+
+std::uint32_t
+SyntheticTraceGenerator::blockLength(std::uint32_t block_id) const
+{
+    // Body length in [1, slotInstrs - 1], mean ~ avgBlockInstrs.
+    const std::uint32_t span = _slotInstrs - 1;
+    return 1 + static_cast<std::uint32_t>(
+                   mix(_seed ^ (0xb10cULL << 32) ^ block_id) % span);
+}
+
+const SyntheticTraceGenerator::BlockTemplate &
+SyntheticTraceGenerator::templateFor(std::uint32_t block_id)
+{
+    std::unique_ptr<BlockTemplate> &slot = _templates[block_id];
+    if (slot)
+        return *slot;
+
+    auto tmpl = std::make_unique<BlockTemplate>();
+    Rng rng(mix(_seed ^ (std::uint64_t{block_id} << 20) ^ 0x7e3fULL));
+
+    const std::uint32_t body = blockLength(block_id);
+    tmpl->slots.reserve(body);
+    for (std::uint32_t i = 0; i < body; ++i) {
+        SlotTemplate s{};
+        const double u = rng.nextDouble();
+        double acc = _profile.fracLoad;
+        if (u < acc) {
+            s.op = OpClass::Load;
+        } else if (u < (acc += _profile.fracStore)) {
+            s.op = OpClass::Store;
+        } else if (u < (acc += _profile.fracIntMult)) {
+            s.op = OpClass::IntMult;
+        } else if (u < (acc += _profile.fracIntDiv)) {
+            s.op = OpClass::IntDiv;
+        } else if (u < (acc += _profile.fracFpAlu)) {
+            s.op = OpClass::FpAlu;
+        } else if (u < (acc += _profile.fracFpMult)) {
+            s.op = OpClass::FpMult;
+        } else if (u < (acc += _profile.fracFpDiv)) {
+            s.op = OpClass::FpDiv;
+        } else if (u < (acc += _profile.fracFpSqrt)) {
+            s.op = OpClass::FpSqrt;
+        } else {
+            s.op = OpClass::IntAlu;
+        }
+
+        if (isMemOp(s.op)) {
+            const double m = rng.nextDouble();
+            if (m < _profile.fracPointerChase)
+                s.memPattern = 2;
+            else if (m < _profile.fracPointerChase + _profile.fracStrided)
+                s.memPattern = 1;
+            else
+                s.memPattern = 0;
+            s.streamId = static_cast<std::uint8_t>(
+                rng.nextBelow(numStrideStreams));
+        }
+        s.dst = 0; // assigned dynamically
+        tmpl->slots.push_back(s);
+    }
+
+    tmpl->biasedBranch =
+        rng.nextDouble() < _profile.branchPredictability;
+    tmpl->biasedTaken = rng.nextDouble() < _profile.takenBias;
+
+    slot = std::move(tmpl);
+    return *slot;
+}
+
+std::uint32_t
+SyntheticTraceGenerator::pickRegion()
+{
+    // Zipf over the hot region set: execution concentrates in hot
+    // code with graded reuse, and stays within the profile's
+    // steady-state instruction working set.
+    return static_cast<std::uint32_t>(_rng.nextZipf(_hotRegions));
+}
+
+std::uint64_t
+SyntheticTraceGenerator::dataAddress(const SlotTemplate &slot)
+{
+    const std::uint64_t footprint = _profile.dataFootprintBytes;
+    std::uint64_t offset = 0;
+    switch (slot.memPattern) {
+      case 0: // sequential sweep
+        _seqCursor = (_seqCursor + 8) % footprint;
+        offset = _seqCursor;
+        break;
+      case 1: { // strided stream
+        std::uint64_t &cursor = _strideCursors[slot.streamId];
+        cursor = (cursor + _profile.strideBytes) % footprint;
+        offset = cursor;
+        break;
+      }
+      case 2: // pointer chase: hot subset or uniform
+      default:
+        if (_rng.nextBool(_profile.hotDataFraction)) {
+            const std::uint64_t hot = std::max<std::uint64_t>(
+                footprint / 16, 64);
+            offset = _rng.nextZipf(hot / 8) * 8;
+        } else {
+            offset = _rng.nextBelow(footprint / 8) * 8;
+        }
+        break;
+    }
+    return dataBase + offset;
+}
+
+std::uint8_t
+SyntheticTraceGenerator::pickSource()
+{
+    const std::uint64_t d =
+        _rng.nextGeometric(_profile.avgDependencyDistance);
+    const std::uint32_t back =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(d, 15));
+    return _recentDst[(_recentHead + 16 - back) % 16];
+}
+
+void
+SyntheticTraceGenerator::fillOperands(Instruction &inst)
+{
+    if (isControlOp(inst.op)) {
+        // Loop conditions and pointer-chase exits test the value
+        // just produced (while (node) { ... node = node->next; }),
+        // so control resolves only after the newest dependence —
+        // often an outstanding load. This is what makes branch
+        // mispredictions expensive in memory-bound code.
+        inst.srcA = _recentDst[_recentHead];
+        inst.srcB = trace::noReg;
+        inst.dst = trace::noReg;
+        inst.valA = static_cast<std::uint32_t>(_rng.next());
+        inst.valB = static_cast<std::uint32_t>(_rng.next());
+        return;
+    }
+
+    inst.srcA = pickSource();
+    inst.srcB = pickSource();
+
+    if (inst.op != OpClass::Store && !isControlOp(inst.op)) {
+        inst.dst = _nextDst;
+        _nextDst = static_cast<std::uint8_t>(
+            _nextDst % (numArchRegs - 2) + 1); // cycle r1..r30
+        _recentHead = (_recentHead + 1) % 16;
+        _recentDst[_recentHead] = inst.dst;
+    } else {
+        inst.dst = noReg;
+    }
+
+    // Operand values: hot pool draws create redundant computations
+    // across the integer arithmetic classes — including the
+    // long-latency multiplies and divides that instruction
+    // precomputation [Yi02-1] profits from most.
+    const bool arithmetic = inst.op == OpClass::IntAlu ||
+                            inst.op == OpClass::IntMult ||
+                            inst.op == OpClass::IntDiv;
+    if (arithmetic && _rng.nextBool(_profile.valueLocality)) {
+        inst.valA = _valuePool[_rng.nextZipf(valuePoolSize)];
+        inst.valB = _valuePool[_rng.nextZipf(valuePoolSize)];
+    } else {
+        inst.valA = static_cast<std::uint32_t>(_rng.next());
+        inst.valB = static_cast<std::uint32_t>(_rng.next());
+    }
+}
+
+void
+SyntheticTraceGenerator::emitBlock()
+{
+    const std::uint32_t block_id =
+        _currentRegion * regionBlocks + _blockInRegion;
+    const BlockTemplate &tmpl = templateFor(block_id);
+    std::uint64_t pc = blockStartPc(block_id);
+
+    for (const SlotTemplate &slot : tmpl.slots) {
+        Instruction inst;
+        inst.pc = pc;
+        inst.op = slot.op;
+        if (isMemOp(slot.op))
+            inst.memAddr = dataAddress(slot);
+        fillOperands(inst);
+        _pending.push_back(inst);
+        pc += 4;
+    }
+
+    // Terminator: always a control op (the exact kind — branch,
+    // call, or return — is decided below; operand assignment only
+    // needs to know it is control).
+    Instruction term;
+    term.pc = pc;
+    term.op = OpClass::Branch;
+    fillOperands(term);
+
+    if (_blockInRegion + 1 < regionBlocks) {
+        // Mid-region conditional branch; taken skips to the next
+        // block (same successor either way — the direction only
+        // redirects fetch).
+        term.op = OpClass::Branch;
+        const double p_taken = tmpl.biasedBranch
+                                   ? (tmpl.biasedTaken ? 0.95 : 0.05)
+                                   : _profile.takenBias;
+        term.taken = _rng.nextBool(p_taken);
+        term.target = blockStartPc(block_id + 1);
+        ++_blockInRegion;
+        _pending.push_back(term);
+        return;
+    }
+
+    // Last block of the region: loop back edge or region exit.
+    if (_tripsRemaining > 1) {
+        --_tripsRemaining;
+        term.op = OpClass::Branch;
+        term.taken = true;
+        term.target = blockStartPc(_currentRegion * regionBlocks);
+        _blockInRegion = 0;
+        _pending.push_back(term);
+        return;
+    }
+
+    // Region loop finished: return, call deeper, or jump onward.
+    const bool in_callee = !_frames.empty();
+    const double p_deeper = 1.0 - 1.0 / _profile.avgCallDepth;
+    const bool call_next =
+        in_callee ? (_frames.size() < maxCallDepth &&
+                     _rng.nextBool(p_deeper))
+                  : _rng.nextBool(_profile.callFraction);
+
+    if (call_next) {
+        const std::uint32_t callee = pickRegion();
+        // The caller resumes in a fresh region when the callee
+        // returns; pre-pick it so the return target is known.
+        const std::uint32_t resume = pickRegion();
+        term.op = OpClass::Call;
+        term.taken = true;
+        term.target = blockStartPc(callee * regionBlocks);
+        term.retAddr = blockStartPc(resume * regionBlocks);
+        _frames.push_back({resume});
+        _currentRegion = callee;
+    } else if (in_callee) {
+        const Frame frame = _frames.back();
+        _frames.pop_back();
+        term.op = OpClass::Return;
+        term.taken = true;
+        term.target = blockStartPc(frame.resumeRegion * regionBlocks);
+        _currentRegion = frame.resumeRegion;
+    } else {
+        term.op = OpClass::Branch;
+        term.taken = true;
+        _currentRegion = pickRegion();
+        term.target = blockStartPc(_currentRegion * regionBlocks);
+    }
+    _blockInRegion = 0;
+    _tripsRemaining = 1 + _rng.nextGeometric(regionTripMean);
+    _pending.push_back(term);
+}
+
+bool
+SyntheticTraceGenerator::next(Instruction &out)
+{
+    if (_emitted >= _length)
+        return false;
+    while (_pending.empty())
+        emitBlock();
+    out = _pending.front();
+    _pending.pop_front();
+    ++_emitted;
+    return true;
+}
+
+} // namespace rigor::trace

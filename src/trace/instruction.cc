@@ -1,0 +1,57 @@
+#include "trace/instruction.hh"
+
+namespace rigor::trace
+{
+
+bool
+isMemOp(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Store;
+}
+
+bool
+isControlOp(OpClass op)
+{
+    return op == OpClass::Branch || op == OpClass::Call ||
+           op == OpClass::Return;
+}
+
+bool
+isIntAluOp(OpClass op)
+{
+    return op == OpClass::IntAlu;
+}
+
+std::string
+toString(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+        return "int-alu";
+      case OpClass::IntMult:
+        return "int-mult";
+      case OpClass::IntDiv:
+        return "int-div";
+      case OpClass::FpAlu:
+        return "fp-alu";
+      case OpClass::FpMult:
+        return "fp-mult";
+      case OpClass::FpDiv:
+        return "fp-div";
+      case OpClass::FpSqrt:
+        return "fp-sqrt";
+      case OpClass::Load:
+        return "load";
+      case OpClass::Store:
+        return "store";
+      case OpClass::Branch:
+        return "branch";
+      case OpClass::Call:
+        return "call";
+      case OpClass::Return:
+        return "return";
+    }
+    return "?";
+}
+
+} // namespace rigor::trace

@@ -1,0 +1,85 @@
+#include "trace/rng.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rigor::trace
+{
+
+Rng::Rng(std::uint64_t seed) : _state(seed ? seed : 0x2545F4914F6CDD1DULL)
+{
+}
+
+std::uint64_t
+Rng::next()
+{
+    // xorshift64*.
+    std::uint64_t x = _state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    _state = x;
+    return x * 0x2545F4914F6CDD1DULL;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    if (bound == 0)
+        throw std::invalid_argument("Rng::nextBelow: bound must be > 0");
+    return next() % bound;
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextZipf(std::uint64_t n)
+{
+    if (n == 0)
+        throw std::invalid_argument("Rng::nextZipf: n must be > 0");
+    // Inverse-CDF approximation of Zipf(s=1) via the continuous
+    // analogue: i ~ n^u - 1 concentrates low indices.
+    const double u = nextDouble();
+    const double idx = std::pow(static_cast<double>(n) + 1.0, u) - 1.0;
+    auto i = static_cast<std::uint64_t>(idx);
+    return i >= n ? n - 1 : i;
+}
+
+std::uint64_t
+Rng::nextGeometric(double mean)
+{
+    if (mean < 1.0)
+        throw std::invalid_argument(
+            "Rng::nextGeometric: mean must be >= 1");
+    if (mean == 1.0)
+        return 1;
+    const double p = 1.0 / mean;
+    const double u = nextDouble();
+    const auto k = static_cast<std::uint64_t>(
+        std::ceil(std::log1p(-u) / std::log1p(-p)));
+    return k == 0 ? 1 : k;
+}
+
+std::uint64_t
+hashName(const char *name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char *p = name; *p; ++p) {
+        h ^= static_cast<std::uint64_t>(
+            static_cast<unsigned char>(*p));
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace rigor::trace

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic PRNG for the synthetic workload generators.
+ *
+ * A small, fast xorshift-star generator with convenience draws. The
+ * same seed always produces the same trace — a hard requirement for
+ * the PB methodology, where 88 configurations must observe the *same*
+ * workload so that response differences are attributable to the
+ * configuration alone.
+ */
+
+#ifndef RIGOR_TRACE_RNG_HH
+#define RIGOR_TRACE_RNG_HH
+
+#include <cstdint>
+
+namespace rigor::trace
+{
+
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform in [0, bound). @p bound must be non-zero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p. */
+    bool nextBool(double p);
+
+    /**
+     * Zipf-like draw over [0, n): index i is roughly proportional to
+     * 1 / (i + 1)^s with s ~ 1. Used for hot/cold value and address
+     * distributions.
+     */
+    std::uint64_t nextZipf(std::uint64_t n);
+
+    /** Geometric draw >= 1 with mean ~ @p mean. */
+    std::uint64_t nextGeometric(double mean);
+
+  private:
+    std::uint64_t _state;
+};
+
+/** Stable 64-bit FNV-1a hash of a string (workload name -> seed). */
+std::uint64_t hashName(const char *name);
+
+} // namespace rigor::trace
+
+#endif // RIGOR_TRACE_RNG_HH

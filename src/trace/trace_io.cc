@@ -1,0 +1,165 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace rigor::trace
+{
+
+namespace
+{
+
+/** Fixed-width on-disk record (little-endian as written). */
+struct PackedRecord
+{
+    std::uint64_t pc;
+    std::uint64_t memAddr;
+    std::uint64_t target;
+    std::uint64_t retAddr;
+    std::uint32_t valA;
+    std::uint32_t valB;
+    std::uint8_t op;
+    std::uint8_t srcA;
+    std::uint8_t srcB;
+    std::uint8_t dst;
+    std::uint8_t taken;
+    std::uint8_t pad[3];
+};
+
+static_assert(sizeof(PackedRecord) == 48,
+              "trace record layout must be stable");
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+PackedRecord
+pack(const Instruction &inst)
+{
+    PackedRecord r{};
+    r.pc = inst.pc;
+    r.memAddr = inst.memAddr;
+    r.target = inst.target;
+    r.retAddr = inst.retAddr;
+    r.valA = inst.valA;
+    r.valB = inst.valB;
+    r.op = static_cast<std::uint8_t>(inst.op);
+    r.srcA = inst.srcA;
+    r.srcB = inst.srcB;
+    r.dst = inst.dst;
+    r.taken = inst.taken ? 1 : 0;
+    return r;
+}
+
+Instruction
+unpack(const PackedRecord &r)
+{
+    if (r.op >= numOpClasses)
+        throw std::runtime_error(
+            "readTrace: corrupt record (bad op class)");
+    Instruction inst;
+    inst.pc = r.pc;
+    inst.memAddr = r.memAddr;
+    inst.target = r.target;
+    inst.retAddr = r.retAddr;
+    inst.valA = r.valA;
+    inst.valB = r.valB;
+    inst.op = static_cast<OpClass>(r.op);
+    inst.srcA = r.srcA;
+    inst.srcB = r.srcB;
+    inst.dst = r.dst;
+    inst.taken = r.taken != 0;
+    return inst;
+}
+
+} // namespace
+
+std::uint64_t
+writeTrace(TraceSource &source, const std::string &path)
+{
+    FilePtr file(std::fopen(path.c_str(), "wb"));
+    if (!file)
+        throw std::runtime_error("writeTrace: cannot open " + path);
+
+    // Header: magic, version, count (count patched at the end).
+    std::uint64_t count = 0;
+    const std::uint32_t version = traceFormatVersion;
+    if (std::fwrite(traceMagic, 1, 4, file.get()) != 4 ||
+        std::fwrite(&version, sizeof(version), 1, file.get()) != 1 ||
+        std::fwrite(&count, sizeof(count), 1, file.get()) != 1)
+        throw std::runtime_error("writeTrace: header write failed");
+
+    Instruction inst;
+    std::vector<PackedRecord> buffer;
+    buffer.reserve(4096);
+    while (source.next(inst)) {
+        buffer.push_back(pack(inst));
+        ++count;
+        if (buffer.size() == buffer.capacity()) {
+            if (std::fwrite(buffer.data(), sizeof(PackedRecord),
+                            buffer.size(),
+                            file.get()) != buffer.size())
+                throw std::runtime_error(
+                    "writeTrace: record write failed");
+            buffer.clear();
+        }
+    }
+    if (!buffer.empty() &&
+        std::fwrite(buffer.data(), sizeof(PackedRecord), buffer.size(),
+                    file.get()) != buffer.size())
+        throw std::runtime_error("writeTrace: record write failed");
+
+    // Patch the count.
+    if (std::fseek(file.get(), 8, SEEK_SET) != 0 ||
+        std::fwrite(&count, sizeof(count), 1, file.get()) != 1)
+        throw std::runtime_error("writeTrace: count patch failed");
+    return count;
+}
+
+VectorTraceSource
+readTrace(const std::string &path)
+{
+    FilePtr file(std::fopen(path.c_str(), "rb"));
+    if (!file)
+        throw std::runtime_error("readTrace: cannot open " + path);
+
+    char magic[4];
+    std::uint32_t version = 0;
+    std::uint64_t count = 0;
+    if (std::fread(magic, 1, 4, file.get()) != 4 ||
+        std::fread(&version, sizeof(version), 1, file.get()) != 1 ||
+        std::fread(&count, sizeof(count), 1, file.get()) != 1)
+        throw std::runtime_error("readTrace: truncated header");
+    if (std::memcmp(magic, traceMagic, 4) != 0)
+        throw std::runtime_error("readTrace: bad magic");
+    if (version != traceFormatVersion)
+        throw std::runtime_error("readTrace: unsupported version");
+
+    std::vector<Instruction> instructions;
+    instructions.reserve(count);
+    std::vector<PackedRecord> buffer(4096);
+    std::uint64_t remaining = count;
+    while (remaining > 0) {
+        const std::size_t chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining, buffer.size()));
+        if (std::fread(buffer.data(), sizeof(PackedRecord), chunk,
+                       file.get()) != chunk)
+            throw std::runtime_error("readTrace: truncated records");
+        for (std::size_t i = 0; i < chunk; ++i)
+            instructions.push_back(unpack(buffer[i]));
+        remaining -= chunk;
+    }
+    return VectorTraceSource(std::move(instructions));
+}
+
+} // namespace rigor::trace

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Binary trace serialization.
+ *
+ * Lets a synthetic (or externally captured) instruction stream be
+ * saved once and replayed across many simulations, and provides an
+ * interchange point for users who want to drive the timing core with
+ * traces from other tools.
+ *
+ * Format: a 16-byte header ("RGTR", version, count) followed by
+ * packed little-endian records. The format is versioned; readers
+ * reject unknown versions.
+ */
+
+#ifndef RIGOR_TRACE_TRACE_IO_HH
+#define RIGOR_TRACE_TRACE_IO_HH
+
+#include <cstdio>
+#include <string>
+
+#include "trace/generator.hh"
+#include "trace/vector_source.hh"
+
+namespace rigor::trace
+{
+
+/** Magic bytes of the trace format. */
+constexpr char traceMagic[4] = {'R', 'G', 'T', 'R'};
+/** Current format version. */
+constexpr std::uint32_t traceFormatVersion = 1;
+
+/**
+ * Drain @p source (from its current position) into a trace file.
+ *
+ * @param source stream to serialize; left exhausted
+ * @param path output file path
+ * @return number of instructions written
+ * @throws std::runtime_error on I/O failure
+ */
+std::uint64_t writeTrace(TraceSource &source, const std::string &path);
+
+/**
+ * Load a trace file fully into memory.
+ *
+ * @param path input file path
+ * @return a resettable in-memory source over the loaded instructions
+ * @throws std::runtime_error on I/O failure, bad magic, or version
+ *         mismatch
+ */
+VectorTraceSource readTrace(const std::string &path);
+
+} // namespace rigor::trace
+
+#endif // RIGOR_TRACE_TRACE_IO_HH

@@ -1,0 +1,83 @@
+#include "trace/workload_profile.hh"
+
+#include <stdexcept>
+
+namespace rigor::trace
+{
+
+namespace
+{
+
+void
+checkFraction(const char *what, double v)
+{
+    if (v < 0.0 || v > 1.0)
+        throw std::invalid_argument(std::string("WorkloadProfile: ") +
+                                    what + " must be in [0, 1]");
+}
+
+} // namespace
+
+double
+WorkloadProfile::fracIntAlu() const
+{
+    return 1.0 - (fracLoad + fracStore + fracIntMult + fracIntDiv +
+                  fracFpAlu + fracFpMult + fracFpDiv + fracFpSqrt);
+}
+
+void
+WorkloadProfile::validate() const
+{
+    if (name.empty())
+        throw std::invalid_argument("WorkloadProfile: empty name");
+
+    checkFraction("fracLoad", fracLoad);
+    checkFraction("fracStore", fracStore);
+    checkFraction("fracIntMult", fracIntMult);
+    checkFraction("fracIntDiv", fracIntDiv);
+    checkFraction("fracFpAlu", fracFpAlu);
+    checkFraction("fracFpMult", fracFpMult);
+    checkFraction("fracFpDiv", fracFpDiv);
+    checkFraction("fracFpSqrt", fracFpSqrt);
+    if (fracIntAlu() < 0.0)
+        throw std::invalid_argument(
+            "WorkloadProfile: instruction mix exceeds 1");
+
+    if (avgBlockInstrs < 1.0 || avgBlockInstrs > 64.0)
+        throw std::invalid_argument(
+            "WorkloadProfile: avgBlockInstrs must be in [1, 64]");
+    checkFraction("takenBias", takenBias);
+    checkFraction("branchPredictability", branchPredictability);
+    checkFraction("callFraction", callFraction);
+    if (avgCallDepth < 1.0)
+        throw std::invalid_argument(
+            "WorkloadProfile: avgCallDepth must be >= 1");
+
+    if (codeFootprintBytes < 1024)
+        throw std::invalid_argument(
+            "WorkloadProfile: codeFootprintBytes must be >= 1KB");
+    if (hotCodeBytes < 512 || hotCodeBytes > codeFootprintBytes)
+        throw std::invalid_argument(
+            "WorkloadProfile: hotCodeBytes must be in "
+            "[512, codeFootprintBytes]");
+    if (dataFootprintBytes < 1024)
+        throw std::invalid_argument(
+            "WorkloadProfile: dataFootprintBytes must be >= 1KB");
+
+    checkFraction("hotDataFraction", hotDataFraction);
+    checkFraction("fracPointerChase", fracPointerChase);
+    checkFraction("fracStrided", fracStrided);
+    if (fracPointerChase + fracStrided > 1.0)
+        throw std::invalid_argument(
+            "WorkloadProfile: memory pattern fractions exceed 1");
+    if (strideBytes == 0)
+        throw std::invalid_argument(
+            "WorkloadProfile: strideBytes must be non-zero");
+
+    checkFraction("valueLocality", valueLocality);
+    if (avgDependencyDistance < 1.0)
+        throw std::invalid_argument(
+            "WorkloadProfile: avgDependencyDistance must be >= 1");
+}
+
+} // namespace rigor::trace

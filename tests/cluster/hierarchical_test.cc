@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "cluster/hierarchical.hh"
+
+namespace cluster = rigor::cluster;
+
+namespace
+{
+
+cluster::DistanceMatrix
+fourPointLine()
+{
+    // Points on a line at 0, 1, 10, 12.
+    const std::vector<std::vector<double>> pts = {
+        {0.0}, {1.0}, {10.0}, {12.0}};
+    return cluster::DistanceMatrix::fromPoints(pts);
+}
+
+} // namespace
+
+TEST(Hierarchical, ProducesNMinusOneMerges)
+{
+    const cluster::Dendrogram d =
+        cluster::agglomerate(fourPointLine(), cluster::Linkage::Single);
+    EXPECT_EQ(d.numLeaves(), 4u);
+    EXPECT_EQ(d.steps().size(), 3u);
+}
+
+TEST(Hierarchical, SingleLinkageMergeOrder)
+{
+    const cluster::Dendrogram d =
+        cluster::agglomerate(fourPointLine(), cluster::Linkage::Single);
+    // First merge: {0,1} at distance 1; then {2,3} at 2; then all at 9.
+    EXPECT_DOUBLE_EQ(d.steps()[0].distance, 1.0);
+    EXPECT_DOUBLE_EQ(d.steps()[1].distance, 2.0);
+    EXPECT_DOUBLE_EQ(d.steps()[2].distance, 9.0);
+    EXPECT_EQ(d.steps()[2].size, 4u);
+}
+
+TEST(Hierarchical, CompleteLinkageUsesMaxDistance)
+{
+    const cluster::Dendrogram d = cluster::agglomerate(
+        fourPointLine(), cluster::Linkage::Complete);
+    // Final merge distance = max pairwise across clusters = 12.
+    EXPECT_DOUBLE_EQ(d.steps()[2].distance, 12.0);
+}
+
+TEST(Hierarchical, AverageLinkageBetweenSingleAndComplete)
+{
+    const cluster::Dendrogram ds =
+        cluster::agglomerate(fourPointLine(), cluster::Linkage::Single);
+    const cluster::Dendrogram da = cluster::agglomerate(
+        fourPointLine(), cluster::Linkage::Average);
+    const cluster::Dendrogram dc = cluster::agglomerate(
+        fourPointLine(), cluster::Linkage::Complete);
+    EXPECT_LE(ds.steps()[2].distance, da.steps()[2].distance);
+    EXPECT_LE(da.steps()[2].distance, dc.steps()[2].distance);
+}
+
+TEST(Hierarchical, CutAtHeight)
+{
+    const cluster::Dendrogram d =
+        cluster::agglomerate(fourPointLine(), cluster::Linkage::Single);
+    const cluster::Groups g = d.cut(5.0);
+    ASSERT_EQ(g.size(), 2u);
+    EXPECT_EQ(g[0], (std::vector<std::size_t>{0, 1}));
+    EXPECT_EQ(g[1], (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(Hierarchical, CutExtremes)
+{
+    const cluster::Dendrogram d =
+        cluster::agglomerate(fourPointLine(), cluster::Linkage::Single);
+    EXPECT_EQ(d.cut(0.5).size(), 4u);
+    EXPECT_EQ(d.cut(100.0).size(), 1u);
+}
+
+TEST(Hierarchical, CutToClusters)
+{
+    const cluster::Dendrogram d =
+        cluster::agglomerate(fourPointLine(), cluster::Linkage::Single);
+    EXPECT_EQ(d.cutToClusters(1).size(), 1u);
+    EXPECT_EQ(d.cutToClusters(2).size(), 2u);
+    EXPECT_EQ(d.cutToClusters(4).size(), 4u);
+    EXPECT_THROW(d.cutToClusters(0), std::invalid_argument);
+    EXPECT_THROW(d.cutToClusters(5), std::invalid_argument);
+}
+
+TEST(Hierarchical, ToStringShowsMerges)
+{
+    const cluster::Dendrogram d =
+        cluster::agglomerate(fourPointLine(), cluster::Linkage::Single);
+    const std::string s = d.toString({"a", "b", "c", "d"});
+    EXPECT_NE(s.find("{a, b}"), std::string::npos);
+    EXPECT_NE(s.find("{c, d}"), std::string::npos);
+}
+
+TEST(Hierarchical, SingleLeafDendrogram)
+{
+    const cluster::DistanceMatrix m(1);
+    const cluster::Dendrogram d =
+        cluster::agglomerate(m, cluster::Linkage::Single);
+    EXPECT_EQ(d.steps().size(), 0u);
+    EXPECT_EQ(d.cut(1.0).size(), 1u);
+}

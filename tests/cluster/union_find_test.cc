@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "cluster/union_find.hh"
+
+namespace cluster = rigor::cluster;
+
+TEST(UnionFind, StartsAsSingletons)
+{
+    cluster::UnionFind uf(4);
+    EXPECT_EQ(uf.numSets(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(uf.find(i), i);
+}
+
+TEST(UnionFind, UniteMergesAndCounts)
+{
+    cluster::UnionFind uf(5);
+    EXPECT_TRUE(uf.unite(0, 1));
+    EXPECT_EQ(uf.numSets(), 4u);
+    EXPECT_TRUE(uf.connected(0, 1));
+    EXPECT_FALSE(uf.connected(0, 2));
+}
+
+TEST(UnionFind, UniteIsIdempotent)
+{
+    cluster::UnionFind uf(3);
+    EXPECT_TRUE(uf.unite(0, 2));
+    EXPECT_FALSE(uf.unite(0, 2));
+    EXPECT_FALSE(uf.unite(2, 0));
+    EXPECT_EQ(uf.numSets(), 2u);
+}
+
+TEST(UnionFind, Transitivity)
+{
+    cluster::UnionFind uf(6);
+    uf.unite(0, 1);
+    uf.unite(1, 2);
+    uf.unite(4, 5);
+    EXPECT_TRUE(uf.connected(0, 2));
+    EXPECT_TRUE(uf.connected(4, 5));
+    EXPECT_FALSE(uf.connected(2, 4));
+    EXPECT_EQ(uf.numSets(), 3u);
+}
+
+TEST(UnionFind, SetsAreSortedAndOrdered)
+{
+    cluster::UnionFind uf(6);
+    uf.unite(5, 3);
+    uf.unite(0, 4);
+    const auto sets = uf.sets();
+    ASSERT_EQ(sets.size(), 4u);
+    EXPECT_EQ(sets[0], (std::vector<std::size_t>{0, 4}));
+    EXPECT_EQ(sets[1], (std::vector<std::size_t>{1}));
+    EXPECT_EQ(sets[2], (std::vector<std::size_t>{2}));
+    EXPECT_EQ(sets[3], (std::vector<std::size_t>{3, 5}));
+}
+
+TEST(UnionFind, OutOfRangeThrows)
+{
+    cluster::UnionFind uf(2);
+    EXPECT_THROW(uf.find(2), std::out_of_range);
+}
+
+TEST(UnionFind, LargeChainStaysCorrect)
+{
+    // Exercises path compression on a long chain.
+    const std::size_t n = 1000;
+    cluster::UnionFind uf(n);
+    for (std::size_t i = 1; i < n; ++i)
+        uf.unite(i - 1, i);
+    EXPECT_EQ(uf.numSets(), 1u);
+    EXPECT_TRUE(uf.connected(0, n - 1));
+}

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "doe/design_cost.hh"
+
+namespace doe = rigor::doe;
+
+TEST(DesignCost, Table1RowCountsForFortyFactors)
+{
+    // The paper's section 2.1 example: 40 two-valued parameters.
+    EXPECT_EQ(doe::simulationsRequired(doe::DesignKind::OneAtATime, 40),
+              41u);
+    EXPECT_EQ(
+        doe::simulationsRequired(doe::DesignKind::PlackettBurman, 40),
+        44u);
+    EXPECT_EQ(doe::simulationsRequired(
+                  doe::DesignKind::PlackettBurmanFoldover, 40),
+              88u);
+    // 2^40 > 1 trillion, as the paper says.
+    EXPECT_EQ(
+        doe::simulationsRequired(doe::DesignKind::FullFactorial, 40),
+        1ULL << 40);
+    EXPECT_GT(
+        doe::simulationsRequired(doe::DesignKind::FullFactorial, 40),
+        1000000000000ULL);
+}
+
+TEST(DesignCost, PaperCaseFortyThreeFactors)
+{
+    EXPECT_EQ(doe::simulationsRequired(
+                  doe::DesignKind::PlackettBurmanFoldover, 43),
+              88u);
+}
+
+TEST(DesignCost, FullFactorialSaturatesAt64Factors)
+{
+    EXPECT_EQ(
+        doe::simulationsRequired(doe::DesignKind::FullFactorial, 64),
+        std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(DesignCost, NamesAndDetails)
+{
+    EXPECT_EQ(doe::designKindName(doe::DesignKind::OneAtATime),
+              "One Parameter at-a-time");
+    EXPECT_EQ(doe::designKindDetail(doe::DesignKind::FullFactorial),
+              "All Parameters, All Interactions");
+    EXPECT_EQ(
+        doe::designKindDetail(doe::DesignKind::PlackettBurmanFoldover),
+        "All Parameters, Selected Interactions");
+}
+
+TEST(DesignCost, RejectsZeroFactors)
+{
+    EXPECT_THROW(
+        doe::simulationsRequired(doe::DesignKind::OneAtATime, 0),
+        std::invalid_argument);
+}
+
+TEST(DesignCost, PbAlwaysCheaperThanFullBeyondFourFactors)
+{
+    for (unsigned n = 5; n <= 43; ++n)
+        EXPECT_LT(doe::simulationsRequired(
+                      doe::DesignKind::PlackettBurmanFoldover, n),
+                  doe::simulationsRequired(
+                      doe::DesignKind::FullFactorial, n))
+            << n;
+}

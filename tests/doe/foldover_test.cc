@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "doe/foldover.hh"
+#include "doe/pb_design.hh"
+
+namespace doe = rigor::doe;
+
+TEST(Foldover, DoublesRunCount)
+{
+    const doe::DesignMatrix base = doe::pbDesign(8);
+    const doe::DesignMatrix folded = doe::foldover(base);
+    EXPECT_EQ(folded.numRows(), 16u);
+    EXPECT_EQ(folded.numColumns(), 7u);
+}
+
+TEST(Foldover, MirrorRowsAreSignFlipped)
+{
+    const doe::DesignMatrix base = doe::pbDesign(12);
+    const doe::DesignMatrix folded = doe::foldover(base);
+    for (std::size_t r = 0; r < base.numRows(); ++r)
+        for (std::size_t c = 0; c < base.numColumns(); ++c) {
+            EXPECT_EQ(folded.at(r, c), base.at(r, c));
+            EXPECT_EQ(folded.sign(base.numRows() + r, c),
+                      -base.sign(r, c));
+        }
+}
+
+TEST(Foldover, Table3MatrixExact)
+{
+    // The paper's Table 3: the X = 8 design (Table 2, gray) followed
+    // by its sign-flipped mirror.
+    const doe::DesignMatrix folded = doe::foldover(doe::pbDesign(8));
+    const doe::DesignMatrix expected = doe::DesignMatrix::fromSigns({
+        {+1, +1, +1, -1, +1, -1, -1},
+        {-1, +1, +1, +1, -1, +1, -1},
+        {-1, -1, +1, +1, +1, -1, +1},
+        {+1, -1, -1, +1, +1, +1, -1},
+        {-1, +1, -1, -1, +1, +1, +1},
+        {+1, -1, +1, -1, -1, +1, +1},
+        {+1, +1, -1, +1, -1, -1, +1},
+        {-1, -1, -1, -1, -1, -1, -1},
+        {-1, -1, -1, +1, -1, +1, +1},
+        {+1, -1, -1, -1, +1, -1, +1},
+        {+1, +1, -1, -1, -1, +1, -1},
+        {-1, +1, +1, -1, -1, -1, +1},
+        {+1, -1, +1, +1, -1, -1, -1},
+        {-1, +1, -1, +1, +1, -1, -1},
+        {-1, -1, +1, -1, +1, +1, -1},
+        {+1, +1, +1, +1, +1, +1, +1},
+    });
+    EXPECT_TRUE(folded == expected);
+}
+
+TEST(Foldover, PreservesBalanceAndOrthogonality)
+{
+    for (unsigned x : {8u, 12u, 44u}) {
+        const doe::DesignMatrix folded =
+            doe::foldover(doe::pbDesign(x));
+        EXPECT_TRUE(folded.isBalanced());
+        EXPECT_TRUE(folded.isOrthogonal());
+    }
+}
+
+TEST(Foldover, ClearsMainEffectsOfTwoFactorInteractions)
+{
+    // This is the property foldover buys [Montgomery91]: main-effect
+    // columns become orthogonal to all two-factor interactions.
+    const doe::DesignMatrix base = doe::pbDesign(12);
+    EXPECT_FALSE(doe::mainEffectsClearOfTwoFactorInteractions(base));
+    EXPECT_TRUE(doe::mainEffectsClearOfTwoFactorInteractions(
+        doe::foldover(base)));
+}
+
+TEST(Foldover, FoldedX44HasPaperDimensions)
+{
+    // "an X = 44 foldover PB design ... 88 (2X) configurations".
+    const doe::DesignMatrix folded = doe::foldover(doe::pbDesign(44));
+    EXPECT_EQ(folded.numRows(), 88u);
+    EXPECT_EQ(folded.numColumns(), 43u);
+    EXPECT_TRUE(folded.isOrthogonal());
+}

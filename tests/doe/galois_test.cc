@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "doe/galois.hh"
+#include "doe/hadamard.hh"
+#include "doe/pb_design.hh"
+
+namespace doe = rigor::doe;
+
+TEST(GaloisField, PrimeFieldArithmetic)
+{
+    const doe::GaloisField f(7, 1);
+    EXPECT_EQ(f.size(), 7u);
+    EXPECT_EQ(f.add(5, 4), 2u);
+    EXPECT_EQ(f.subtract(2, 5), 4u);
+    EXPECT_EQ(f.multiply(3, 5), 1u);
+    EXPECT_EQ(f.power(3, 6), 1u); // Fermat
+}
+
+TEST(GaloisField, ChiMatchesLegendreOnPrimeField)
+{
+    const doe::GaloisField f(23, 1);
+    for (std::uint32_t a = 0; a < 23; ++a)
+        EXPECT_EQ(f.chi(a), doe::legendreSymbol(a, 23)) << a;
+}
+
+TEST(GaloisField, Gf25Basics)
+{
+    const doe::GaloisField f(5, 2);
+    EXPECT_EQ(f.size(), 25u);
+    // Additive identity and inverse.
+    for (std::uint32_t a = 0; a < 25; ++a) {
+        EXPECT_EQ(f.add(a, 0), a);
+        EXPECT_EQ(f.subtract(a, a), 0u);
+    }
+    // Multiplicative identity is the constant polynomial 1.
+    for (std::uint32_t a = 0; a < 25; ++a)
+        EXPECT_EQ(f.multiply(a, 1), a);
+}
+
+TEST(GaloisField, Gf25MultiplicativeGroup)
+{
+    const doe::GaloisField f(5, 2);
+    // Every non-zero element satisfies a^(q-1) = 1, and no zero
+    // divisors exist.
+    for (std::uint32_t a = 1; a < 25; ++a) {
+        EXPECT_EQ(f.power(a, 24), 1u) << a;
+        for (std::uint32_t b = 1; b < 25; ++b)
+            EXPECT_NE(f.multiply(a, b), 0u);
+    }
+}
+
+TEST(GaloisField, Gf27MultiplicativeGroup)
+{
+    const doe::GaloisField f(3, 3);
+    EXPECT_EQ(f.size(), 27u);
+    for (std::uint32_t a = 1; a < 27; ++a)
+        EXPECT_EQ(f.power(a, 26), 1u) << a;
+}
+
+TEST(GaloisField, SquaresAreHalfTheUnits)
+{
+    for (const auto &[p, m] : {std::pair<unsigned, unsigned>{5, 2},
+                               {3, 3},
+                               {7, 2},
+                               {11, 1}}) {
+        const doe::GaloisField f(p, m);
+        const auto squares = f.squares();
+        EXPECT_EQ(squares.size(), (f.size() - 1) / 2)
+            << p << "^" << m;
+        // chi is multiplicative: square * square = square.
+        const std::set<std::uint32_t> sq(squares.begin(),
+                                         squares.end());
+        for (std::uint32_t a : squares)
+            for (std::uint32_t b : squares)
+                EXPECT_TRUE(sq.count(f.multiply(a, b)) == 1);
+    }
+}
+
+TEST(GaloisField, ChiIsMultiplicative)
+{
+    const doe::GaloisField f(5, 2);
+    for (std::uint32_t a = 1; a < 25; ++a)
+        for (std::uint32_t b = 1; b < 25; ++b)
+            EXPECT_EQ(f.chi(f.multiply(a, b)), f.chi(a) * f.chi(b));
+}
+
+TEST(GaloisField, RejectsBadParameters)
+{
+    EXPECT_THROW(doe::GaloisField(4, 1), std::invalid_argument);
+    EXPECT_THROW(doe::GaloisField(2, 3), std::invalid_argument);
+    EXPECT_THROW(doe::GaloisField(7, 0), std::invalid_argument);
+}
+
+TEST(PrimePower, FactorHelper)
+{
+    EXPECT_EQ(doe::oddPrimePowerFactor(25),
+              (std::pair<unsigned, unsigned>{5, 2}));
+    EXPECT_EQ(doe::oddPrimePowerFactor(27),
+              (std::pair<unsigned, unsigned>{3, 3}));
+    EXPECT_EQ(doe::oddPrimePowerFactor(43),
+              (std::pair<unsigned, unsigned>{43, 1}));
+    EXPECT_EQ(doe::oddPrimePowerFactor(15),
+              (std::pair<unsigned, unsigned>{0, 0}));
+    EXPECT_EQ(doe::oddPrimePowerFactor(16),
+              (std::pair<unsigned, unsigned>{0, 0}));
+}
+
+TEST(PrimePower, PaleyOneOverGf27)
+{
+    // 27 == 3 (mod 4): Hadamard of order 28 via GF(27).
+    const auto h = doe::paleyTypeOnePrimePower(3, 3);
+    EXPECT_EQ(h.size(), 28u);
+    EXPECT_TRUE(doe::isHadamard(h));
+}
+
+TEST(PrimePower, PaleyTwoOverGf25)
+{
+    // 25 == 1 (mod 4): Hadamard of order 52 via GF(25) — the order
+    // the prime-only constructions cannot reach.
+    const auto h = doe::paleyTypeTwoPrimePower(5, 2);
+    EXPECT_EQ(h.size(), 52u);
+    EXPECT_TRUE(doe::isHadamard(h));
+}
+
+TEST(PrimePower, Order52NowSupported)
+{
+    EXPECT_TRUE(doe::hadamardOrderSupported(52));
+    EXPECT_TRUE(doe::isHadamard(doe::hadamardMatrix(52)));
+    // And the PB design of size 52 works end to end.
+    ASSERT_TRUE(doe::pbSizeSupported(52));
+    const doe::DesignMatrix m = doe::pbDesign(52);
+    EXPECT_TRUE(m.isBalanced());
+    EXPECT_TRUE(m.isOrthogonal());
+}
+
+TEST(PrimePower, Order92StillUnsupported)
+{
+    // 91 = 7 * 13 is not a prime power; 45 = 3^2 * 5 is not either.
+    EXPECT_FALSE(doe::hadamardOrderSupported(92));
+}
+
+TEST(PrimePower, LargerPrimePowerOrders)
+{
+    // q = 49 == 1 (mod 4) -> order 100 via Paley II over GF(49).
+    const auto h = doe::paleyTypeTwoPrimePower(7, 2);
+    EXPECT_EQ(h.size(), 100u);
+    EXPECT_TRUE(doe::isHadamard(h));
+}

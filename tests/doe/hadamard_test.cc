@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "doe/hadamard.hh"
+
+namespace doe = rigor::doe;
+
+TEST(Hadamard, PrimalityHelper)
+{
+    EXPECT_FALSE(doe::isPrime(0));
+    EXPECT_FALSE(doe::isPrime(1));
+    EXPECT_TRUE(doe::isPrime(2));
+    EXPECT_TRUE(doe::isPrime(3));
+    EXPECT_FALSE(doe::isPrime(4));
+    EXPECT_TRUE(doe::isPrime(43));
+    EXPECT_FALSE(doe::isPrime(91)); // 7 * 13
+    EXPECT_TRUE(doe::isPrime(97));
+}
+
+TEST(Hadamard, LegendreSymbolMod7)
+{
+    // QRs mod 7: {1, 2, 4}.
+    EXPECT_EQ(doe::legendreSymbol(0, 7), 0);
+    EXPECT_EQ(doe::legendreSymbol(1, 7), 1);
+    EXPECT_EQ(doe::legendreSymbol(2, 7), 1);
+    EXPECT_EQ(doe::legendreSymbol(3, 7), -1);
+    EXPECT_EQ(doe::legendreSymbol(4, 7), 1);
+    EXPECT_EQ(doe::legendreSymbol(5, 7), -1);
+    EXPECT_EQ(doe::legendreSymbol(6, 7), -1);
+    // Negative arguments wrap correctly: -1 = 6 (mod 7).
+    EXPECT_EQ(doe::legendreSymbol(-1, 7), -1);
+}
+
+TEST(Hadamard, LegendreMultiplicativity)
+{
+    const unsigned p = 43;
+    for (long a = 1; a < 43; ++a)
+        for (long b = 1; b < 43; b += 7)
+            EXPECT_EQ(doe::legendreSymbol(a * b, p),
+                      doe::legendreSymbol(a, p) *
+                          doe::legendreSymbol(b, p));
+}
+
+TEST(Hadamard, IsHadamardAcceptsOrder2)
+{
+    EXPECT_TRUE(doe::isHadamard({{1, 1}, {1, -1}}));
+}
+
+TEST(Hadamard, IsHadamardRejectsNonHadamard)
+{
+    EXPECT_FALSE(doe::isHadamard({{1, 1}, {1, 1}}));
+    EXPECT_FALSE(doe::isHadamard({{1, 0}, {1, -1}}));
+    EXPECT_FALSE(doe::isHadamard({{1, 1, 1}, {1, -1}}));
+    EXPECT_FALSE(doe::isHadamard({}));
+}
+
+TEST(Hadamard, SylvesterDoubling)
+{
+    const doe::SignMatrix h2 = {{1, 1}, {1, -1}};
+    const doe::SignMatrix h4 = doe::sylvesterDouble(h2);
+    EXPECT_EQ(h4.size(), 4u);
+    EXPECT_TRUE(doe::isHadamard(h4));
+    const doe::SignMatrix h8 = doe::sylvesterDouble(h4);
+    EXPECT_TRUE(doe::isHadamard(h8));
+}
+
+TEST(Hadamard, PaleyTypeOneOrders)
+{
+    for (unsigned q : {3u, 7u, 11u, 19u, 23u, 31u, 43u, 47u}) {
+        const doe::SignMatrix h = doe::paleyTypeOne(q);
+        EXPECT_EQ(h.size(), q + 1);
+        EXPECT_TRUE(doe::isHadamard(h)) << "q = " << q;
+    }
+}
+
+TEST(Hadamard, PaleyTypeOneRejectsWrongResidue)
+{
+    EXPECT_THROW(doe::paleyTypeOne(13), std::invalid_argument);
+    EXPECT_THROW(doe::paleyTypeOne(9), std::invalid_argument);
+}
+
+TEST(Hadamard, PaleyTypeTwoOrders)
+{
+    for (unsigned q : {5u, 13u, 17u, 29u, 37u}) {
+        const doe::SignMatrix h = doe::paleyTypeTwo(q);
+        EXPECT_EQ(h.size(), 2 * (q + 1));
+        EXPECT_TRUE(doe::isHadamard(h)) << "q = " << q;
+    }
+}
+
+TEST(Hadamard, PaleyTypeTwoRejectsWrongResidue)
+{
+    EXPECT_THROW(doe::paleyTypeTwo(7), std::invalid_argument);
+}
+
+TEST(Hadamard, NormalizePreservesHadamard)
+{
+    doe::SignMatrix h = doe::paleyTypeOne(11);
+    const doe::SignMatrix n = doe::normalizeHadamard(h);
+    EXPECT_TRUE(doe::isHadamard(n));
+    for (std::size_t i = 0; i < n.size(); ++i) {
+        EXPECT_EQ(n[i][0], 1);
+        EXPECT_EQ(n[0][i], 1);
+    }
+}
+
+TEST(Hadamard, FactoryProducesValidOrders)
+{
+    // All multiples of 4 up to 88 are reachable: Paley I/II over
+    // primes and prime powers (52 comes from GF(25)) plus Sylvester
+    // doubling.
+    for (unsigned n = 4; n <= 88; n += 4) {
+        ASSERT_TRUE(doe::hadamardOrderSupported(n)) << n;
+        const doe::SignMatrix h = doe::hadamardMatrix(n);
+        EXPECT_EQ(h.size(), n);
+        EXPECT_TRUE(doe::isHadamard(h)) << "order " << n;
+    }
+}
+
+TEST(Hadamard, UnsupportedOrders)
+{
+    // 92 needs search-based constructions (Baumert-Golomb-Hall):
+    // 91 = 7 x 13 and 45 = 3^2 x 5 are not prime powers.
+    EXPECT_FALSE(doe::hadamardOrderSupported(92));
+    EXPECT_THROW(doe::hadamardMatrix(92), std::invalid_argument);
+}
+
+TEST(Hadamard, RejectsNonMultipleOfFour)
+{
+    EXPECT_FALSE(doe::hadamardOrderSupported(6));
+    EXPECT_THROW(doe::hadamardMatrix(6), std::invalid_argument);
+}
+
+TEST(Hadamard, SmallOrders)
+{
+    EXPECT_TRUE(doe::isHadamard(doe::hadamardMatrix(1)));
+    EXPECT_TRUE(doe::isHadamard(doe::hadamardMatrix(2)));
+}

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "doe/one_at_a_time.hh"
+
+namespace doe = rigor::doe;
+
+TEST(OneAtATime, DesignShape)
+{
+    const doe::DesignMatrix m =
+        doe::oneAtATimeDesign(5, doe::Level::Low);
+    EXPECT_EQ(m.numRows(), 6u);
+    EXPECT_EQ(m.numColumns(), 5u);
+}
+
+TEST(OneAtATime, RowZeroIsBase)
+{
+    const doe::DesignMatrix m =
+        doe::oneAtATimeDesign(4, doe::Level::High);
+    for (std::size_t c = 0; c < 4; ++c)
+        EXPECT_EQ(m.at(0, c), doe::Level::High);
+}
+
+TEST(OneAtATime, EachRowFlipsExactlyOneFactor)
+{
+    const doe::DesignMatrix m =
+        doe::oneAtATimeDesign(6, doe::Level::Low);
+    for (std::size_t r = 1; r < m.numRows(); ++r) {
+        unsigned flipped = 0;
+        for (std::size_t c = 0; c < m.numColumns(); ++c)
+            if (m.at(r, c) != doe::Level::Low)
+                ++flipped;
+        EXPECT_EQ(flipped, 1u);
+        EXPECT_EQ(m.at(r, r - 1), doe::Level::High);
+    }
+}
+
+TEST(OneAtATime, IsNotBalanced)
+{
+    // The design's statistical weakness: factors spend almost all
+    // runs at the base level.
+    const doe::DesignMatrix m =
+        doe::oneAtATimeDesign(4, doe::Level::Low);
+    EXPECT_FALSE(m.isBalanced());
+}
+
+TEST(OneAtATime, EffectsFromLowBase)
+{
+    // Base = all low, response 10; flipping factor 1 gives 16.
+    const std::vector<double> responses = {10.0, 16.0, 8.0, 10.0};
+    const std::vector<double> effects =
+        doe::oneAtATimeEffects(doe::Level::Low, responses);
+    EXPECT_EQ(effects, (std::vector<double>{6.0, -2.0, 0.0}));
+}
+
+TEST(OneAtATime, EffectsFromHighBaseAreReoriented)
+{
+    // Base = all high, response 20; flipping factor 0 low gives 14,
+    // so high - low = +6.
+    const std::vector<double> responses = {20.0, 14.0};
+    const std::vector<double> effects =
+        doe::oneAtATimeEffects(doe::Level::High, responses);
+    EXPECT_EQ(effects, (std::vector<double>{6.0}));
+}
+
+TEST(OneAtATime, MissesInteractions)
+{
+    // Response = A * B (pure interaction, no main effects). From an
+    // all-low base, one-at-a-time misattributes the interaction to
+    // *both* main effects — the masking/aliasing failure the paper
+    // warns about (section 2.1) — and its answer depends entirely on
+    // where the base point sits.
+    const auto interaction = [](int a, int b) {
+        return 50.0 + 10.0 * a * b;
+    };
+    const doe::DesignMatrix m =
+        doe::oneAtATimeDesign(2, doe::Level::Low);
+    std::vector<double> responses;
+    for (std::size_t r = 0; r < m.numRows(); ++r)
+        responses.push_back(interaction(m.sign(r, 0), m.sign(r, 1)));
+
+    const std::vector<double> effects =
+        doe::oneAtATimeEffects(doe::Level::Low, responses);
+    EXPECT_DOUBLE_EQ(effects[0], -20.0);
+    EXPECT_DOUBLE_EQ(effects[1], -20.0);
+    // Both factors report a spurious -20 "main effect" even though
+    // neither has one. See bench/ablation_design_choice for the
+    // quantitative comparison against the PB design.
+}
+
+TEST(OneAtATime, Validation)
+{
+    EXPECT_THROW(doe::oneAtATimeDesign(0, doe::Level::Low),
+                 std::invalid_argument);
+    const std::vector<double> one = {1.0};
+    EXPECT_THROW(doe::oneAtATimeEffects(doe::Level::Low, one),
+                 std::invalid_argument);
+}

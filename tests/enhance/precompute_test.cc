@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "enhance/precompute.hh"
+#include "trace/vector_source.hh"
+#include "trace/workloads.hh"
+
+namespace enhance = rigor::enhance;
+namespace trace = rigor::trace;
+
+namespace
+{
+
+trace::Instruction
+aluOp(std::uint32_t a, std::uint32_t b,
+      trace::OpClass op = trace::OpClass::IntAlu)
+{
+    trace::Instruction inst;
+    inst.pc = 0x1000;
+    inst.op = op;
+    inst.valA = a;
+    inst.valB = b;
+    inst.dst = 1;
+    return inst;
+}
+
+} // namespace
+
+TEST(Precompute, EligibilityByOpClass)
+{
+    EXPECT_TRUE(enhance::isPrecomputable(trace::OpClass::IntAlu));
+    EXPECT_TRUE(enhance::isPrecomputable(trace::OpClass::IntMult));
+    EXPECT_TRUE(enhance::isPrecomputable(trace::OpClass::IntDiv));
+    EXPECT_FALSE(enhance::isPrecomputable(trace::OpClass::Load));
+    EXPECT_FALSE(enhance::isPrecomputable(trace::OpClass::Branch));
+    EXPECT_FALSE(enhance::isPrecomputable(trace::OpClass::FpAlu));
+}
+
+TEST(Precompute, LoadedTupleIntercepts)
+{
+    enhance::PrecomputationTable table(128);
+    table.load({{trace::OpClass::IntAlu, 10, 20}});
+    EXPECT_TRUE(table.intercept(aluOp(10, 20)));
+    EXPECT_FALSE(table.intercept(aluOp(10, 21)));
+    EXPECT_FALSE(table.intercept(aluOp(11, 20)));
+    // Same values but a different opcode is a different computation.
+    EXPECT_FALSE(
+        table.intercept(aluOp(10, 20, trace::OpClass::IntMult)));
+}
+
+TEST(Precompute, IneligibleOpsNeverIntercept)
+{
+    enhance::PrecomputationTable table(128);
+    table.load({{trace::OpClass::IntAlu, 1, 2}});
+    trace::Instruction load = aluOp(1, 2, trace::OpClass::Load);
+    EXPECT_FALSE(table.intercept(load));
+    // Ineligible ops do not even count as lookups.
+    EXPECT_EQ(table.lookups(), 0u);
+}
+
+TEST(Precompute, CapacityBoundsLoad)
+{
+    enhance::PrecomputationTable table(2);
+    table.load({{trace::OpClass::IntAlu, 1, 1},
+                {trace::OpClass::IntAlu, 2, 2},
+                {trace::OpClass::IntAlu, 3, 3}});
+    EXPECT_EQ(table.size(), 2u);
+    EXPECT_EQ(table.capacity(), 2u);
+}
+
+TEST(Precompute, ProfilePicksMostFrequentTuples)
+{
+    // Tuple (7, 7) appears 10 times, (1, 2) twice, everything else
+    // once; a 1-entry table must pick (7, 7).
+    std::vector<trace::Instruction> v;
+    for (int i = 0; i < 10; ++i)
+        v.push_back(aluOp(7, 7));
+    v.push_back(aluOp(1, 2));
+    v.push_back(aluOp(1, 2));
+    for (std::uint32_t i = 0; i < 20; ++i)
+        v.push_back(aluOp(100 + i, 200 + i));
+
+    trace::VectorTraceSource src(v);
+    enhance::PrecomputationTable table(1);
+    EXPECT_EQ(table.profileTrace(src), 1u);
+    EXPECT_TRUE(table.intercept(aluOp(7, 7)));
+    EXPECT_FALSE(table.intercept(aluOp(1, 2)));
+}
+
+TEST(Precompute, SingletonsAreNotRedundant)
+{
+    std::vector<trace::Instruction> v;
+    for (std::uint32_t i = 0; i < 50; ++i)
+        v.push_back(aluOp(i, i + 1)); // all unique
+    trace::VectorTraceSource src(v);
+    enhance::PrecomputationTable table(128);
+    EXPECT_EQ(table.profileTrace(src), 0u);
+}
+
+TEST(Precompute, ProfileResetsSourceForTimingRun)
+{
+    std::vector<trace::Instruction> v = {aluOp(1, 1), aluOp(1, 1)};
+    trace::VectorTraceSource src(v);
+    enhance::PrecomputationTable table(8);
+    table.profileTrace(src);
+    // The source must be rewound so the timing run sees everything.
+    trace::Instruction inst;
+    std::size_t count = 0;
+    while (src.next(inst))
+        ++count;
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(Precompute, HitRateStatistics)
+{
+    enhance::PrecomputationTable table(8);
+    table.load({{trace::OpClass::IntAlu, 5, 5}});
+    table.intercept(aluOp(5, 5));
+    table.intercept(aluOp(6, 6));
+    EXPECT_EQ(table.lookups(), 2u);
+    EXPECT_EQ(table.hits(), 1u);
+    EXPECT_DOUBLE_EQ(table.hitRate(), 0.5);
+}
+
+TEST(Precompute, ProfileWindowCap)
+{
+    // Only the first two instructions are profiled; the hot tuple
+    // appearing later is invisible.
+    std::vector<trace::Instruction> v = {aluOp(1, 1), aluOp(1, 1)};
+    for (int i = 0; i < 10; ++i)
+        v.push_back(aluOp(9, 9));
+    trace::VectorTraceSource src(v);
+    enhance::PrecomputationTable table(8);
+    table.profileTrace(src, 2);
+    EXPECT_TRUE(table.intercept(aluOp(1, 1)));
+    EXPECT_FALSE(table.intercept(aluOp(9, 9)));
+}
+
+TEST(Precompute, FindsRedundancyInSyntheticWorkload)
+{
+    // gzip's profile has high value locality: a 128-entry table built
+    // from a profiling pass must intercept a noticeable fraction of
+    // eligible work.
+    trace::SyntheticTraceGenerator gen(trace::workloadByName("gzip"),
+                                       50000);
+    enhance::PrecomputationTable table(128);
+    EXPECT_GT(table.profileTrace(gen), 64u);
+
+    trace::Instruction inst;
+    while (gen.next(inst))
+        table.intercept(inst);
+    EXPECT_GT(table.hitRate(), 0.05);
+}

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "enhance/value_reuse.hh"
+#include "trace/workloads.hh"
+
+namespace enhance = rigor::enhance;
+namespace trace = rigor::trace;
+
+namespace
+{
+
+trace::Instruction
+aluOp(std::uint32_t a, std::uint32_t b,
+      trace::OpClass op = trace::OpClass::IntAlu)
+{
+    trace::Instruction inst;
+    inst.op = op;
+    inst.valA = a;
+    inst.valB = b;
+    return inst;
+}
+
+} // namespace
+
+TEST(ValueReuse, FirstSeenMissesThenHits)
+{
+    enhance::ValueReuseTable table(128, 4);
+    EXPECT_FALSE(table.intercept(aluOp(1, 2)));
+    EXPECT_TRUE(table.intercept(aluOp(1, 2)));
+    EXPECT_TRUE(table.intercept(aluOp(1, 2)));
+    EXPECT_EQ(table.lookups(), 3u);
+    EXPECT_EQ(table.hits(), 2u);
+}
+
+TEST(ValueReuse, DynamicUpdateUnlikePrecomputation)
+{
+    // The key contrast with instruction precomputation: value reuse
+    // learns tuples it never saw in any profile.
+    enhance::ValueReuseTable table(128, 4);
+    EXPECT_FALSE(table.intercept(aluOp(0xdead, 0xbeef)));
+    EXPECT_TRUE(table.intercept(aluOp(0xdead, 0xbeef)));
+}
+
+TEST(ValueReuse, IneligibleOpsIgnored)
+{
+    enhance::ValueReuseTable table(128, 4);
+    EXPECT_FALSE(table.intercept(aluOp(1, 2, trace::OpClass::Load)));
+    EXPECT_FALSE(table.intercept(aluOp(1, 2, trace::OpClass::Load)));
+    EXPECT_EQ(table.lookups(), 0u);
+}
+
+TEST(ValueReuse, DistinguishesOpcodes)
+{
+    enhance::ValueReuseTable table(128, 4);
+    table.intercept(aluOp(3, 4, trace::OpClass::IntAlu));
+    EXPECT_FALSE(table.intercept(aluOp(3, 4, trace::OpClass::IntMult)));
+}
+
+TEST(ValueReuse, CapacityEvictionLru)
+{
+    // A 4-entry fully-associative table (1 set x 4 ways).
+    enhance::ValueReuseTable table(4, 4);
+    for (std::uint32_t i = 0; i < 4; ++i)
+        table.intercept(aluOp(i, i));
+    // Refresh tuple 0 so tuple 1 is LRU.
+    EXPECT_TRUE(table.intercept(aluOp(0, 0)));
+    // Insert a fifth tuple; tuple 1 must be the victim.
+    EXPECT_FALSE(table.intercept(aluOp(99, 99)));
+    EXPECT_TRUE(table.intercept(aluOp(0, 0)));
+    EXPECT_FALSE(table.intercept(aluOp(1, 1)));
+}
+
+TEST(ValueReuse, ResetClears)
+{
+    enhance::ValueReuseTable table(16, 4);
+    table.intercept(aluOp(1, 1));
+    table.reset();
+    EXPECT_EQ(table.lookups(), 0u);
+    EXPECT_FALSE(table.intercept(aluOp(1, 1)));
+}
+
+TEST(ValueReuse, Validation)
+{
+    EXPECT_THROW(enhance::ValueReuseTable(0, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(enhance::ValueReuseTable(100, 4),
+                 std::invalid_argument);
+    EXPECT_THROW(enhance::ValueReuseTable(128, 3),
+                 std::invalid_argument);
+}
+
+TEST(ValueReuse, CapacityAccessor)
+{
+    enhance::ValueReuseTable table(128, 4);
+    EXPECT_EQ(table.capacity(), 128u);
+}
+
+TEST(ValueReuse, HitsOnValueLocalWorkload)
+{
+    enhance::ValueReuseTable table(128, 4);
+    trace::SyntheticTraceGenerator gen(trace::workloadByName("bzip2"),
+                                       50000);
+    trace::Instruction inst;
+    while (gen.next(inst))
+        table.intercept(inst);
+    EXPECT_GT(table.hitRate(), 0.03);
+}

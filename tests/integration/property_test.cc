@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Cross-module property tests.
+ *
+ * The heavyweight one is the per-factor monotonicity sweep: for every
+ * real parameter of Tables 6-8, moving it from its low to its high
+ * value (all else at the typical machine) must not slow execution
+ * down. This exercises the full wiring of all 41 parameter
+ * mechanisms through the timing core in one sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "doe/effects.hh"
+#include "doe/foldover.hh"
+#include "doe/pb_design.hh"
+#include "methodology/pb_experiment.hh"
+#include "methodology/workflow.hh"
+#include "trace/rng.hh"
+#include "trace/workloads.hh"
+
+namespace doe = rigor::doe;
+namespace methodology = rigor::methodology;
+namespace trace = rigor::trace;
+
+namespace
+{
+
+class FactorMonotonicity
+    : public ::testing::TestWithParam<unsigned>
+{
+};
+
+} // namespace
+
+TEST_P(FactorMonotonicity, HighValueDoesNotHurt)
+{
+    const auto factor = static_cast<methodology::Factor>(GetParam());
+    const trace::WorkloadProfile &workload =
+        trace::workloadByName("gzip");
+    constexpr std::uint64_t instructions = 20000;
+    constexpr std::uint64_t warmup = 20000;
+
+    const double low_cycles = methodology::simulateOnce(
+        workload,
+        methodology::configWithOverrides({{factor, doe::Level::Low}}),
+        instructions, nullptr, warmup);
+    const double high_cycles = methodology::simulateOnce(
+        workload,
+        methodology::configWithOverrides({{factor, doe::Level::High}}),
+        instructions, nullptr, warmup);
+
+    // Every Table 6-8 high value is the "better" extreme by
+    // construction. Block-size and associativity parameters may
+    // interact with access patterns either way in a finite cache, so
+    // allow a small tolerance; everything else must be monotone.
+    const methodology::Factor lenient[] = {
+        methodology::Factor::L1iBlockSize,
+        methodology::Factor::L1dBlockSize,
+        methodology::Factor::L2BlockSize,
+        methodology::Factor::L1iAssoc,
+        methodology::Factor::L1dAssoc,
+        methodology::Factor::L2Assoc,
+        methodology::Factor::BtbAssoc,
+        methodology::Factor::ItlbAssoc,
+        methodology::Factor::DtlbAssoc,
+        methodology::Factor::SpecBranchUpdate,
+    };
+    double slack = 1.0;
+    for (methodology::Factor l : lenient)
+        if (factor == l)
+            slack = 1.05;
+
+    EXPECT_LE(high_cycles, low_cycles * slack)
+        << methodology::factorName(factor);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRealFactors, FactorMonotonicity,
+    ::testing::Range(0u, methodology::numRealParameters),
+    [](const ::testing::TestParamInfo<unsigned> &info) {
+        std::string name = methodology::factorName(
+            static_cast<methodology::Factor>(info.param));
+        for (char &ch : name)
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return name;
+    });
+
+TEST(DoeProperties, EffectsAreLinearInResponses)
+{
+    // effects(a*y1 + b*y2) == a*effects(y1) + b*effects(y2).
+    const doe::DesignMatrix design = doe::foldover(doe::pbDesign(12));
+    trace::Rng rng(123);
+    std::vector<double> y1;
+    std::vector<double> y2;
+    for (std::size_t r = 0; r < design.numRows(); ++r) {
+        y1.push_back(rng.nextDouble() * 100.0);
+        y2.push_back(rng.nextDouble() * 100.0);
+    }
+    std::vector<double> combo;
+    for (std::size_t r = 0; r < design.numRows(); ++r)
+        combo.push_back(3.0 * y1[r] - 0.5 * y2[r]);
+
+    const auto e1 = doe::computeEffects(design, y1);
+    const auto e2 = doe::computeEffects(design, y2);
+    const auto ec = doe::computeEffects(design, combo);
+    for (std::size_t c = 0; c < ec.size(); ++c)
+        EXPECT_NEAR(ec[c], 3.0 * e1[c] - 0.5 * e2[c], 1e-9);
+}
+
+TEST(DoeProperties, EffectsInvariantToResponseShift)
+{
+    // Adding a constant to all responses changes no effect (balanced
+    // columns). This is why the PB analysis needs no baseline run.
+    const doe::DesignMatrix design = doe::pbDesign(20);
+    trace::Rng rng(77);
+    std::vector<double> y;
+    for (std::size_t r = 0; r < design.numRows(); ++r)
+        y.push_back(rng.nextDouble() * 50.0);
+    std::vector<double> shifted;
+    for (double v : y)
+        shifted.push_back(v + 1e6);
+
+    const auto e1 = doe::computeEffects(design, y);
+    const auto e2 = doe::computeEffects(design, shifted);
+    for (std::size_t c = 0; c < e1.size(); ++c)
+        EXPECT_NEAR(e1[c], e2[c], 1e-5);
+}
+
+TEST(DoeProperties, RanksInvariantToPositiveScaling)
+{
+    const doe::DesignMatrix design = doe::pbDesign(24);
+    trace::Rng rng(99);
+    std::vector<double> y;
+    for (std::size_t r = 0; r < design.numRows(); ++r)
+        y.push_back(rng.nextDouble() * 10.0);
+
+    const auto e = doe::computeEffects(design, y);
+    std::vector<double> scaled;
+    for (double v : e)
+        scaled.push_back(42.0 * v);
+    EXPECT_EQ(doe::rankByMagnitude(e), doe::rankByMagnitude(scaled));
+}
+
+TEST(DoeProperties, FoldoverEffectsDoubleForLinearTruth)
+{
+    // For a purely linear response the folded design's raw contrast
+    // is exactly twice the base design's (twice the runs).
+    const doe::DesignMatrix base = doe::pbDesign(12);
+    const doe::DesignMatrix folded = doe::foldover(base);
+    const auto response = [](const doe::DesignMatrix &m,
+                             std::size_t r) {
+        double y = 10.0;
+        for (std::size_t c = 0; c < m.numColumns(); ++c)
+            y += static_cast<double>(c + 1) * m.sign(r, c);
+        return y;
+    };
+    std::vector<double> yb;
+    std::vector<double> yf;
+    for (std::size_t r = 0; r < base.numRows(); ++r)
+        yb.push_back(response(base, r));
+    for (std::size_t r = 0; r < folded.numRows(); ++r)
+        yf.push_back(response(folded, r));
+
+    const auto eb = doe::computeEffects(base, yb);
+    const auto ef = doe::computeEffects(folded, yf);
+    for (std::size_t c = 0; c < eb.size(); ++c)
+        EXPECT_NEAR(ef[c], 2.0 * eb[c], 1e-9);
+}

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "methodology/classification.hh"
+
+namespace methodology = rigor::methodology;
+
+TEST(Classification, DefaultThresholdIsRootOf4000)
+{
+    EXPECT_NEAR(methodology::defaultSimilarityThreshold(),
+                std::sqrt(4000.0), 1e-12);
+    EXPECT_NEAR(methodology::defaultSimilarityThreshold(), 63.2, 0.05);
+}
+
+TEST(Classification, GroupsSimilarVectors)
+{
+    const std::vector<std::string> names = {"a", "b", "c"};
+    const std::vector<std::vector<double>> vectors = {
+        {1.0, 2.0, 3.0},
+        {1.5, 2.5, 3.5}, // close to a
+        {50.0, 60.0, 70.0},
+    };
+    const methodology::ClassificationResult r =
+        methodology::classifyBenchmarks(names, vectors, 5.0);
+    ASSERT_EQ(r.groups.size(), 2u);
+    EXPECT_EQ(r.groups[0], (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(r.groups[1], (std::vector<std::string>{"c"}));
+}
+
+TEST(Classification, DistanceMatrixIsExposed)
+{
+    const std::vector<std::string> names = {"x", "y"};
+    const std::vector<std::vector<double>> vectors = {{0.0, 0.0},
+                                                      {3.0, 4.0}};
+    const methodology::ClassificationResult r =
+        methodology::classifyBenchmarks(names, vectors, 1.0);
+    EXPECT_DOUBLE_EQ(r.distances.at(0, 1), 5.0);
+    EXPECT_EQ(r.groups.size(), 2u);
+}
+
+TEST(Classification, ThresholdBoundaryIsExclusive)
+{
+    const std::vector<std::string> names = {"x", "y"};
+    const std::vector<std::vector<double>> vectors = {{0.0}, {5.0}};
+    // Distance exactly 5: "below the threshold" is strict, as in the
+    // paper (62.0 < 63.2 similar; 63.6 not).
+    EXPECT_EQ(methodology::classifyBenchmarks(names, vectors, 5.0)
+                  .groups.size(),
+              2u);
+    EXPECT_EQ(methodology::classifyBenchmarks(names, vectors, 5.01)
+                  .groups.size(),
+              1u);
+}
+
+TEST(Classification, GroupsToStringOneGroupPerLine)
+{
+    const std::vector<std::string> names = {"gzip", "mesa", "art"};
+    const std::vector<std::vector<double>> vectors = {
+        {0.0}, {1.0}, {100.0}};
+    const methodology::ClassificationResult r =
+        methodology::classifyBenchmarks(names, vectors, 10.0);
+    EXPECT_EQ(r.groupsToString(), "gzip, mesa\nart\n");
+}
+
+TEST(Classification, ValidatesInput)
+{
+    const std::vector<std::string> names = {"a"};
+    EXPECT_THROW(methodology::classifyBenchmarks(names, {}, 1.0),
+                 std::invalid_argument);
+    const std::vector<std::vector<double>> ragged = {{1.0},
+                                                     {1.0, 2.0}};
+    const std::vector<std::string> two = {"a", "b"};
+    EXPECT_THROW(methodology::classifyBenchmarks(two, ragged, 1.0),
+                 std::invalid_argument);
+}

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "methodology/csv_export.hh"
+#include "methodology/pb_experiment.hh"
+#include "methodology/published_data.hh"
+#include "trace/workloads.hh"
+
+namespace cluster = rigor::cluster;
+namespace methodology = rigor::methodology;
+namespace trace = rigor::trace;
+
+namespace
+{
+
+const methodology::PbExperimentResult &
+smallResult()
+{
+    static const methodology::PbExperimentResult result = [] {
+        methodology::PbExperimentOptions opts;
+        opts.instructionsPerRun = 4000;
+        const std::vector<trace::WorkloadProfile> workloads = {
+            trace::workloadByName("gzip")};
+        return methodology::runPbExperiment(workloads, opts);
+    }();
+    return result;
+}
+
+std::size_t
+countLines(const std::string &s)
+{
+    std::size_t n = 0;
+    for (char ch : s)
+        if (ch == '\n')
+            ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(CsvExport, EscapeRules)
+{
+    EXPECT_EQ(methodology::csvEscape("plain"), "plain");
+    EXPECT_EQ(methodology::csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(methodology::csvEscape("say \"hi\""),
+              "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(methodology::csvEscape("two\nlines"),
+              "\"two\nlines\"");
+}
+
+TEST(CsvExport, ResponsesShape)
+{
+    const std::string csv =
+        methodology::responsesToCsv(smallResult());
+    // Header + 88 runs.
+    EXPECT_EQ(countLines(csv), 89u);
+    EXPECT_NE(csv.find("run,"), std::string::npos);
+    EXPECT_NE(csv.find("gzip cycles"), std::string::npos);
+}
+
+TEST(CsvExport, EffectsShape)
+{
+    const std::string csv = methodology::effectsToCsv(smallResult());
+    // Header + 43 factors.
+    EXPECT_EQ(countLines(csv), 44u);
+    EXPECT_NE(csv.find("Reorder Buffer Entries"), std::string::npos);
+}
+
+TEST(CsvExport, RankTableShape)
+{
+    const std::string csv =
+        methodology::rankTableToCsv(smallResult());
+    EXPECT_EQ(countLines(csv), 44u);
+    EXPECT_NE(csv.find(",sum"), std::string::npos);
+}
+
+TEST(CsvExport, DistanceMatrixRoundTripValues)
+{
+    const std::string csv = methodology::distanceMatrixToCsv(
+        methodology::publishedTable10(),
+        methodology::publishedBenchmarkNames());
+    EXPECT_EQ(countLines(csv), 14u); // header + 13 rows
+    EXPECT_NE(csv.find("89.8"), std::string::npos);
+    EXPECT_NE(csv.find("vpr-Place"), std::string::npos);
+}
+
+TEST(CsvExport, DistanceMatrixValidatesLabels)
+{
+    EXPECT_THROW(methodology::distanceMatrixToCsv(
+                     methodology::publishedTable10(), {"one"}),
+                 std::invalid_argument);
+}
+
+TEST(CsvExport, WriteFileRoundTrip)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "rigor_csv_test.csv";
+    methodology::writeFile(path, "a,b\n1,2\n");
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buffer[32] = {};
+    const std::size_t n = std::fread(buffer, 1, sizeof(buffer), f);
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_EQ(std::string(buffer, n), "a,b\n1,2\n");
+}
+
+TEST(CsvExport, WriteFileBadPathThrows)
+{
+    EXPECT_THROW(
+        methodology::writeFile("/nonexistent/dir/x.csv", "data"),
+        std::runtime_error);
+}

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "enhance/precompute.hh"
+#include "methodology/parameter_space.hh"
+#include "methodology/pb_experiment.hh"
+#include "trace/workloads.hh"
+
+namespace doe = rigor::doe;
+namespace enhance = rigor::enhance;
+namespace methodology = rigor::methodology;
+namespace trace = rigor::trace;
+
+namespace
+{
+
+/** Two cheap workloads keep this suite fast (2 x 88 runs). */
+std::vector<trace::WorkloadProfile>
+twoWorkloads()
+{
+    return {trace::workloadByName("gzip"),
+            trace::workloadByName("mcf")};
+}
+
+methodology::PbExperimentOptions
+fastOptions()
+{
+    methodology::PbExperimentOptions opts;
+    opts.instructionsPerRun = 8000;
+    return opts;
+}
+
+} // namespace
+
+TEST(PbExperiment, StructureOfResult)
+{
+    const auto workloads = twoWorkloads();
+    const methodology::PbExperimentResult r =
+        methodology::runPbExperiment(workloads, fastOptions());
+
+    EXPECT_EQ(r.design.numRows(), 88u);
+    EXPECT_EQ(r.design.numColumns(), 43u);
+    ASSERT_EQ(r.benchmarks.size(), 2u);
+    ASSERT_EQ(r.responses.size(), 2u);
+    for (const auto &resp : r.responses) {
+        EXPECT_EQ(resp.size(), 88u);
+        for (double cycles : resp)
+            EXPECT_GT(cycles, 0.0);
+    }
+    ASSERT_EQ(r.effects.size(), 2u);
+    EXPECT_EQ(r.effects[0].size(), methodology::numFactors);
+    ASSERT_EQ(r.summaries.size(), methodology::numFactors);
+}
+
+TEST(PbExperiment, RanksArePermutations)
+{
+    const auto workloads = twoWorkloads();
+    const methodology::PbExperimentResult r =
+        methodology::runPbExperiment(workloads, fastOptions());
+    for (const std::vector<unsigned> &ranks : r.ranks) {
+        std::set<unsigned> seen(ranks.begin(), ranks.end());
+        EXPECT_EQ(seen.size(), 43u);
+        EXPECT_EQ(*seen.begin(), 1u);
+        EXPECT_EQ(*seen.rbegin(), 43u);
+    }
+}
+
+TEST(PbExperiment, SummariesSortedAscending)
+{
+    const auto workloads = twoWorkloads();
+    const methodology::PbExperimentResult r =
+        methodology::runPbExperiment(workloads, fastOptions());
+    for (std::size_t i = 1; i < r.summaries.size(); ++i)
+        EXPECT_LE(r.summaries[i - 1].sumOfRanks,
+                  r.summaries[i].sumOfRanks);
+}
+
+TEST(PbExperiment, DeterministicAcrossThreadCounts)
+{
+    const auto workloads = twoWorkloads();
+    methodology::PbExperimentOptions serial = fastOptions();
+    serial.threads = 1;
+    methodology::PbExperimentOptions parallel = fastOptions();
+    parallel.threads = 8;
+    const auto a = methodology::runPbExperiment(workloads, serial);
+    const auto b = methodology::runPbExperiment(workloads, parallel);
+    EXPECT_EQ(a.responses, b.responses);
+}
+
+TEST(PbExperiment, RankVectorsMatchRanks)
+{
+    const auto workloads = twoWorkloads();
+    const methodology::PbExperimentResult r =
+        methodology::runPbExperiment(workloads, fastOptions());
+    const auto vectors = r.rankVectors();
+    ASSERT_EQ(vectors.size(), r.ranks.size());
+    for (std::size_t b = 0; b < vectors.size(); ++b)
+        for (std::size_t f = 0; f < vectors[b].size(); ++f)
+            EXPECT_DOUBLE_EQ(vectors[b][f],
+                             static_cast<double>(r.ranks[b][f]));
+}
+
+TEST(PbExperiment, HookFactoryIsApplied)
+{
+    // An intercept-everything hook must change the responses.
+    struct AllHook : rigor::sim::ExecutionHook
+    {
+        bool
+        intercept(const trace::Instruction &inst) override
+        {
+            return enhance::isPrecomputable(inst.op);
+        }
+    };
+
+    const std::vector<trace::WorkloadProfile> workloads = {
+        trace::workloadByName("gzip")};
+    methodology::PbExperimentOptions plain = fastOptions();
+    methodology::PbExperimentOptions hooked = fastOptions();
+    hooked.hookFactory = [](const trace::WorkloadProfile &) {
+        return std::make_unique<AllHook>();
+    };
+    const auto base = methodology::runPbExperiment(workloads, plain);
+    const auto enhanced =
+        methodology::runPbExperiment(workloads, hooked);
+    // Removing every integer op from execution must help somewhere.
+    double base_total = 0.0;
+    double enh_total = 0.0;
+    for (std::size_t i = 0; i < 88; ++i) {
+        base_total += base.responses[0][i];
+        enh_total += enhanced.responses[0][i];
+    }
+    EXPECT_LT(enh_total, base_total);
+}
+
+TEST(PbExperiment, SimulateOnceMatchesDirectRun)
+{
+    const trace::WorkloadProfile &p = trace::workloadByName("gzip");
+    const rigor::sim::ProcessorConfig config =
+        methodology::uniformConfig(doe::Level::High);
+    const double a = methodology::simulateOnce(p, config, 5000);
+    const double b = methodology::simulateOnce(p, config, 5000);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a, 0.0);
+}
+
+TEST(PbExperiment, ValidatesInput)
+{
+    EXPECT_THROW(
+        methodology::runPbExperiment({}, fastOptions()),
+        std::invalid_argument);
+    methodology::PbExperimentOptions zero = fastOptions();
+    zero.instructionsPerRun = 0;
+    const auto workloads = twoWorkloads();
+    EXPECT_THROW(methodology::runPbExperiment(workloads, zero),
+                 std::invalid_argument);
+}

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/distance.hh"
+#include "methodology/classification.hh"
+#include "methodology/parameter_space.hh"
+#include "methodology/published_data.hh"
+
+namespace cluster = rigor::cluster;
+namespace methodology = rigor::methodology;
+
+TEST(PublishedData, Table9Shape)
+{
+    const methodology::PublishedRankTable &t =
+        methodology::publishedTable9();
+    EXPECT_EQ(t.factors.size(), 43u);
+    EXPECT_EQ(t.benchmarks.size(), 13u);
+    EXPECT_EQ(t.ranks.size(), 43u);
+    for (const auto &row : t.ranks)
+        EXPECT_EQ(row.size(), 13u);
+}
+
+TEST(PublishedData, Table9SumsConsistent)
+{
+    // Every printed sum must equal the sum of its printed ranks —
+    // a transcription check on the whole table.
+    const methodology::PublishedRankTable &t =
+        methodology::publishedTable9();
+    for (std::size_t f = 0; f < t.factors.size(); ++f) {
+        unsigned long sum = 0;
+        for (unsigned r : t.ranks[f])
+            sum += r;
+        EXPECT_EQ(sum, t.sums[f]) << t.factors[f];
+    }
+}
+
+TEST(PublishedData, Table12SumsConsistent)
+{
+    const methodology::PublishedRankTable &t =
+        methodology::publishedTable12();
+    for (std::size_t f = 0; f < t.factors.size(); ++f) {
+        unsigned long sum = 0;
+        for (unsigned r : t.ranks[f])
+            sum += r;
+        EXPECT_EQ(sum, t.sums[f]) << t.factors[f];
+    }
+}
+
+TEST(PublishedData, EachBenchmarkColumnIsAPermutation)
+{
+    // Every benchmark assigns ranks 1..43 exactly once.
+    for (const methodology::PublishedRankTable *t :
+         {&methodology::publishedTable9(),
+          &methodology::publishedTable12()}) {
+        for (std::size_t b = 0; b < t->benchmarks.size(); ++b) {
+            std::vector<bool> seen(44, false);
+            for (std::size_t f = 0; f < t->factors.size(); ++f) {
+                const unsigned r = t->ranks[f][b];
+                ASSERT_GE(r, 1u);
+                ASSERT_LE(r, 43u);
+                EXPECT_FALSE(seen[r])
+                    << t->benchmarks[b] << " duplicate rank " << r;
+                seen[r] = true;
+            }
+        }
+    }
+}
+
+TEST(PublishedData, Table9SortedBySum)
+{
+    const methodology::PublishedRankTable &t =
+        methodology::publishedTable9();
+    for (std::size_t f = 1; f < t.sums.size(); ++f)
+        EXPECT_LE(t.sums[f - 1], t.sums[f]);
+    EXPECT_EQ(t.factors.front(), "Reorder Buffer Entries");
+    EXPECT_EQ(t.sums.front(), 36ul);
+    EXPECT_EQ(t.factors.back(), "Dummy Factor #1");
+    EXPECT_EQ(t.sums.back(), 434ul);
+}
+
+TEST(PublishedData, FactorNamesMatchParameterSpace)
+{
+    // Every published factor must exist in our parameter space so the
+    // measured and published tables can be joined.
+    const std::vector<std::string> ours = methodology::factorNames();
+    for (const std::string &name :
+         methodology::publishedTable9().factors) {
+        bool found = false;
+        for (const std::string &mine : ours)
+            if (mine == name)
+                found = true;
+        EXPECT_TRUE(found) << "missing factor: " << name;
+    }
+}
+
+TEST(PublishedData, PaperWorkedExampleGzipVsVprPlace)
+{
+    // Section 4.2: distance(gzip, vpr-Place) = sqrt(8058) = 89.8.
+    const auto vectors =
+        methodology::publishedTable9().rankVectorsByBenchmark();
+    const double d = cluster::euclideanDistance(vectors[0], vectors[1]);
+    EXPECT_NEAR(d * d, 8058.0, 1e-9);
+    EXPECT_NEAR(d, 89.8, 0.05);
+}
+
+TEST(PublishedData, Table10ReproducibleFromTable9Ranks)
+{
+    // The full Table 10 must be recomputable from the Table 9 rank
+    // vectors to within the paper's printed precision.
+    const auto vectors =
+        methodology::publishedTable9().rankVectorsByBenchmark();
+    const cluster::DistanceMatrix computed =
+        cluster::DistanceMatrix::fromPoints(vectors);
+    const cluster::DistanceMatrix &published =
+        methodology::publishedTable10();
+    ASSERT_EQ(computed.size(), published.size());
+    for (std::size_t i = 0; i < computed.size(); ++i)
+        for (std::size_t j = i + 1; j < computed.size(); ++j)
+            EXPECT_NEAR(computed.at(i, j), published.at(i, j), 0.35)
+                << methodology::publishedBenchmarkNames()[i] << " vs "
+                << methodology::publishedBenchmarkNames()[j];
+}
+
+TEST(PublishedData, Table11GroupsReproducedFromTable9)
+{
+    // Threshold sqrt(4000) on the Table 9 rank vectors must yield
+    // exactly the paper's eight groups.
+    const auto vectors =
+        methodology::publishedTable9().rankVectorsByBenchmark();
+    const methodology::ClassificationResult result =
+        methodology::classifyBenchmarks(
+            methodology::publishedBenchmarkNames(), vectors,
+            methodology::defaultSimilarityThreshold());
+    EXPECT_EQ(result.groups, methodology::publishedTable11Groups());
+}
+
+TEST(PublishedData, Table12HeadlineIntAluReliefHolds)
+{
+    // Section 4.3: "of the significant parameters, the parameter that
+    // has the biggest change ... is the number of integer ALUs"
+    // (sum 118 -> 137).
+    const methodology::PublishedRankTable &before =
+        methodology::publishedTable9();
+    const methodology::PublishedRankTable &after =
+        methodology::publishedTable12();
+    const std::size_t before_idx = before.factorIndex("Int ALUs");
+    const std::size_t after_idx = after.factorIndex("Int ALUs");
+    EXPECT_EQ(before.sums[before_idx], 118ul);
+    EXPECT_EQ(after.sums[after_idx], 137ul);
+}
+
+TEST(PublishedData, TopTenFactorSetsAgreeAcrossTables)
+{
+    // Section 4.3: precomputation reorders but does not change which
+    // parameters are significant.
+    const auto top = [](const methodology::PublishedRankTable &t) {
+        std::vector<std::string> names(t.factors.begin(),
+                                       t.factors.begin() + 10);
+        std::sort(names.begin(), names.end());
+        return names;
+    };
+    EXPECT_EQ(top(methodology::publishedTable9()),
+              top(methodology::publishedTable12()));
+}
+
+TEST(PublishedData, FactorIndexThrowsOnUnknown)
+{
+    EXPECT_THROW(methodology::publishedTable9().factorIndex("Bogus"),
+                 std::invalid_argument);
+}

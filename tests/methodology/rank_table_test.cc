@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "methodology/published_data.hh"
+#include "methodology/rank_table.hh"
+#include "methodology/report.hh"
+
+namespace doe = rigor::doe;
+namespace methodology = rigor::methodology;
+
+namespace
+{
+
+std::vector<doe::FactorRankSummary>
+sample()
+{
+    doe::FactorRankSummary a;
+    a.name = "ROB";
+    a.ranks = {1, 2};
+    a.sumOfRanks = 3;
+    doe::FactorRankSummary b;
+    b.name = "L2";
+    b.ranks = {2, 1};
+    b.sumOfRanks = 3;
+    return {a, b};
+}
+
+} // namespace
+
+TEST(RankTable, FormatContainsRanksAndSums)
+{
+    const std::vector<std::string> benches = {"gzip", "mcf"};
+    const std::string s =
+        methodology::formatRankTable(sample(), benches);
+    EXPECT_NE(s.find("ROB"), std::string::npos);
+    EXPECT_NE(s.find("gzip"), std::string::npos);
+    EXPECT_NE(s.find("Sum"), std::string::npos);
+}
+
+TEST(RankTable, FormatRejectsMismatchedBenchmarks)
+{
+    const std::vector<std::string> benches = {"gzip"};
+    EXPECT_THROW(methodology::formatRankTable(sample(), benches),
+                 std::invalid_argument);
+}
+
+TEST(RankTable, FormatsWholePublishedTable9)
+{
+    const auto summaries =
+        methodology::publishedTable9().asSummaries();
+    const std::string s = methodology::formatRankTable(
+        summaries, methodology::publishedBenchmarkNames());
+    EXPECT_NE(s.find("Reorder Buffer Entries"), std::string::npos);
+    EXPECT_NE(s.find("Dummy Factor #1"), std::string::npos);
+    // 43 factor rows + header.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 44);
+}
+
+TEST(RankTable, SumOfRanksInOrder)
+{
+    const auto sums = methodology::sumOfRanksInOrder(
+        sample(), std::vector<std::string>{"L2", "ROB"});
+    EXPECT_EQ(sums, (std::vector<double>{3.0, 3.0}));
+    EXPECT_THROW(methodology::sumOfRanksInOrder(
+                     sample(), std::vector<std::string>{"nope"}),
+                 std::invalid_argument);
+}
+
+TEST(RankTable, TopFactorNames)
+{
+    const auto top = methodology::topFactorNames(sample(), 1);
+    EXPECT_EQ(top, (std::vector<std::string>{"ROB"}));
+    EXPECT_EQ(methodology::topFactorNames(sample(), 10).size(), 2u);
+}
+
+TEST(TextTable, AlignsAndRules)
+{
+    methodology::TextTable t({"Name", "Value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("Name"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TextTable, RejectsBadRows)
+{
+    methodology::TextTable t({"A", "B"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+    EXPECT_THROW(methodology::TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, FormatDoubleHelper)
+{
+    EXPECT_EQ(methodology::formatDouble(89.7997, 1), "89.8");
+    EXPECT_EQ(methodology::formatDouble(1.0, 3), "1.000");
+}

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "methodology/workflow.hh"
+#include "trace/workloads.hh"
+
+namespace methodology = rigor::methodology;
+namespace trace = rigor::trace;
+
+namespace
+{
+
+/** One shared (expensive) workflow run. */
+const methodology::WorkflowResult &
+sharedRun()
+{
+    static const methodology::WorkflowResult result = [] {
+        methodology::WorkflowOptions opts;
+        opts.instructionsPerRun = 15000;
+        opts.warmupInstructions = 15000;
+        opts.maxCriticalParameters = 3;
+        const std::vector<trace::WorkloadProfile> workloads = {
+            trace::workloadByName("gzip"),
+            trace::workloadByName("mcf"),
+        };
+        return methodology::runRecommendedWorkflow(workloads, opts);
+    }();
+    return result;
+}
+
+} // namespace
+
+TEST(Workflow, FactorByName)
+{
+    EXPECT_EQ(methodology::factorByName("Reorder Buffer Entries"),
+              methodology::Factor::RobEntries);
+    EXPECT_EQ(methodology::factorByName("Dummy Factor #2"),
+              methodology::Factor::DummyFactor2);
+    EXPECT_THROW(methodology::factorByName("nope"),
+                 std::invalid_argument);
+}
+
+TEST(Workflow, ProducesCriticalSetWithinCap)
+{
+    const methodology::WorkflowResult &r = sharedRun();
+    EXPECT_GE(r.criticalFactors.size(), 1u);
+    EXPECT_LE(r.criticalFactors.size(), 3u);
+    // Dummies are never "critical".
+    for (methodology::Factor f : r.criticalFactors) {
+        EXPECT_NE(f, methodology::Factor::DummyFactor1);
+        EXPECT_NE(f, methodology::Factor::DummyFactor2);
+    }
+}
+
+TEST(Workflow, SensitivityCoversCriticalFactors)
+{
+    const methodology::WorkflowResult &r = sharedRun();
+    EXPECT_EQ(r.sensitivity.numFactors, r.criticalFactors.size());
+    EXPECT_EQ(r.recommendations.size(), r.criticalFactors.size());
+}
+
+TEST(Workflow, RecommendationsPointTheRightWay)
+{
+    // Every Table 6-8 "high" value is the better one by design, so
+    // each critical parameter should save cycles at its high level.
+    const methodology::WorkflowResult &r = sharedRun();
+    for (const methodology::ParameterRecommendation &rec :
+         r.recommendations)
+        EXPECT_GT(rec.cyclesSavedHighVsLow, 0.0) << rec.name;
+}
+
+TEST(Workflow, RecommendationsSortedByVariation)
+{
+    const methodology::WorkflowResult &r = sharedRun();
+    for (std::size_t i = 1; i < r.recommendations.size(); ++i)
+        EXPECT_GE(r.recommendations[i - 1].variationExplained,
+                  r.recommendations[i].variationExplained);
+}
+
+TEST(Workflow, ReportMentionsAllSteps)
+{
+    const std::string report = sharedRun().toString();
+    EXPECT_NE(report.find("Step 1"), std::string::npos);
+    EXPECT_NE(report.find("Step 3"), std::string::npos);
+    EXPECT_NE(report.find("Step 4"), std::string::npos);
+    EXPECT_NE(report.find("interaction"), std::string::npos);
+}
+
+TEST(Workflow, ValidatesOptions)
+{
+    methodology::WorkflowOptions opts;
+    opts.maxCriticalParameters = 0;
+    const std::vector<trace::WorkloadProfile> workloads = {
+        trace::workloadByName("gzip")};
+    EXPECT_THROW(methodology::runRecommendedWorkflow(workloads, opts),
+                 std::invalid_argument);
+    opts.maxCriticalParameters = 13;
+    EXPECT_THROW(methodology::runRecommendedWorkflow(workloads, opts),
+                 std::invalid_argument);
+}
+
+TEST(Workflow, ConfigWithOverridesAppliesOnlyListed)
+{
+    const rigor::sim::ProcessorConfig base =
+        methodology::configWithOverrides({});
+    const rigor::sim::ProcessorConfig tweaked =
+        methodology::configWithOverrides(
+            {{methodology::Factor::RobEntries, rigor::doe::Level::High},
+             {methodology::Factor::L2Latency, rigor::doe::Level::Low}});
+    EXPECT_EQ(tweaked.robEntries, 64u);
+    EXPECT_EQ(tweaked.l2.latency, 20u);
+    // Untouched fields keep the typical defaults.
+    EXPECT_EQ(tweaked.l1d.sizeBytes, base.l1d.sizeBytes);
+    EXPECT_EQ(tweaked.memLatencyFirst, base.memLatencyFirst);
+}

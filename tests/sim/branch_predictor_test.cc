@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "sim/branch_predictor.hh"
+
+namespace sim = rigor::sim;
+
+TEST(BimodalPredictor, LearnsABiasedBranch)
+{
+    sim::BimodalPredictor p(1024);
+    const std::uint64_t pc = 0x4000;
+    // Train taken.
+    for (int i = 0; i < 4; ++i)
+        p.updateCounters(pc, true);
+    EXPECT_TRUE(p.predict(pc));
+    // Re-train not-taken.
+    for (int i = 0; i < 4; ++i)
+        p.updateCounters(pc, false);
+    EXPECT_FALSE(p.predict(pc));
+}
+
+TEST(BimodalPredictor, HysteresisSurvivesOneAnomaly)
+{
+    sim::BimodalPredictor p(1024);
+    const std::uint64_t pc = 0x4000;
+    for (int i = 0; i < 4; ++i)
+        p.updateCounters(pc, true);
+    p.updateCounters(pc, false); // single anomaly
+    EXPECT_TRUE(p.predict(pc)) << "2-bit counter must not flip on one";
+}
+
+TEST(BimodalPredictor, DistinctPcsIndependent)
+{
+    // PCs chosen to land in different table slots (0x1000 and 0x2000
+    // alias in a 1024-entry table: (pc >> 2) & 1023 is 0 for both).
+    sim::BimodalPredictor p(1024);
+    for (int i = 0; i < 4; ++i) {
+        p.updateCounters(0x1004, true);
+        p.updateCounters(0x2008, false);
+    }
+    EXPECT_TRUE(p.predict(0x1004));
+    EXPECT_FALSE(p.predict(0x2008));
+}
+
+TEST(BimodalPredictor, AliasedPcsShareACounter)
+{
+    // The flip side: a finite table aliases — train one PC, its alias
+    // inherits the prediction.
+    sim::BimodalPredictor p(1024);
+    for (int i = 0; i < 4; ++i)
+        p.updateCounters(0x1000, true);
+    EXPECT_TRUE(p.predict(0x2000));
+}
+
+TEST(TwoLevelPredictor, LearnsAlternatingPatternViaHistory)
+{
+    // A strictly alternating branch defeats a bimodal predictor but
+    // is perfectly predictable with global history.
+    sim::TwoLevelPredictor p(4096, 8);
+    const std::uint64_t pc = 0x4000;
+    bool outcome = false;
+    // Train.
+    for (int i = 0; i < 200; ++i) {
+        p.updateCounters(pc, outcome);
+        p.updateHistory(outcome);
+        outcome = !outcome;
+    }
+    // Measure.
+    int correct = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (p.predict(pc) == outcome)
+            ++correct;
+        p.updateCounters(pc, outcome);
+        p.updateHistory(outcome);
+        outcome = !outcome;
+    }
+    EXPECT_GE(correct, 95);
+}
+
+TEST(TwoLevelPredictor, ValidatesConstruction)
+{
+    EXPECT_THROW(sim::TwoLevelPredictor(1000, 8),
+                 std::invalid_argument);
+    EXPECT_THROW(sim::TwoLevelPredictor(1024, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(sim::TwoLevelPredictor(1024, 31),
+                 std::invalid_argument);
+}
+
+TEST(BimodalPredictor, ValidatesConstruction)
+{
+    EXPECT_THROW(sim::BimodalPredictor(100), std::invalid_argument);
+}
+
+TEST(PerfectPredictor, AlwaysMatchesOracle)
+{
+    sim::PerfectPredictor p;
+    p.setOracleOutcome(true);
+    EXPECT_TRUE(p.predict(0x1234));
+    p.setOracleOutcome(false);
+    EXPECT_FALSE(p.predict(0x1234));
+}
+
+TEST(BranchPredictorStats, AccuracyAccounting)
+{
+    sim::BimodalPredictor p(64);
+    p.recordOutcome(true);
+    p.recordOutcome(true);
+    p.recordOutcome(false);
+    p.recordOutcome(true);
+    EXPECT_EQ(p.stats().predictions, 4u);
+    EXPECT_EQ(p.stats().mispredictions, 1u);
+    EXPECT_DOUBLE_EQ(p.stats().accuracy(), 0.75);
+}
+
+TEST(BranchPredictorFactory, ProducesRequestedKinds)
+{
+    auto two = sim::makeBranchPredictor(
+        sim::BranchPredictorKind::TwoLevel);
+    EXPECT_NE(dynamic_cast<sim::TwoLevelPredictor *>(two.get()),
+              nullptr);
+    auto bi = sim::makeBranchPredictor(
+        sim::BranchPredictorKind::Bimodal);
+    EXPECT_NE(dynamic_cast<sim::BimodalPredictor *>(bi.get()), nullptr);
+    auto perfect = sim::makeBranchPredictor(
+        sim::BranchPredictorKind::Perfect);
+    EXPECT_NE(dynamic_cast<sim::PerfectPredictor *>(perfect.get()),
+              nullptr);
+}
+
+TEST(LocalTwoLevelPredictor, LearnsPerBranchPattern)
+{
+    // Two branches with opposite fixed behavior must not interfere
+    // through shared global history.
+    sim::LocalTwoLevelPredictor p;
+    for (int i = 0; i < 50; ++i) {
+        p.updateCounters(0x1004, true);
+        p.updateCounters(0x2008, false);
+    }
+    EXPECT_TRUE(p.predict(0x1004));
+    EXPECT_FALSE(p.predict(0x2008));
+}
+
+TEST(LocalTwoLevelPredictor, LearnsShortPeriodicPattern)
+{
+    // Period-3 pattern T T N is local-history predictable.
+    sim::LocalTwoLevelPredictor p;
+    const std::uint64_t pc = 0x4000;
+    const bool pattern[3] = {true, true, false};
+    for (int i = 0; i < 300; ++i)
+        p.updateCounters(pc, pattern[i % 3]);
+    int correct = 0;
+    for (int i = 0; i < 99; ++i) {
+        if (p.predict(pc) == pattern[i % 3])
+            ++correct;
+        p.updateCounters(pc, pattern[i % 3]);
+    }
+    EXPECT_GE(correct, 95);
+}
+
+TEST(LocalTwoLevelPredictor, ValidatesConstruction)
+{
+    EXPECT_THROW(sim::LocalTwoLevelPredictor(1000, 10, 1024),
+                 std::invalid_argument);
+    EXPECT_THROW(sim::LocalTwoLevelPredictor(1024, 0, 1024),
+                 std::invalid_argument);
+    EXPECT_THROW(sim::LocalTwoLevelPredictor(1024, 10, 1000),
+                 std::invalid_argument);
+}
+
+TEST(TournamentPredictor, BeatsOrMatchesBothComponentsOnMixedWork)
+{
+    // A branch with a local-periodic pattern plus a branch correlated
+    // with global history: the tournament should track both well.
+    sim::TournamentPredictor tour;
+    sim::TwoLevelPredictor global;
+    sim::LocalTwoLevelPredictor local;
+
+    const std::uint64_t pc_periodic = 0x1004;
+    const bool pattern[4] = {true, true, true, false};
+    int tour_ok = 0;
+    int total = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const bool outcome = pattern[i % 4];
+        if (i > 500) {
+            ++total;
+            if (tour.predict(pc_periodic) == outcome)
+                ++tour_ok;
+        }
+        tour.updateCounters(pc_periodic, outcome);
+        tour.updateHistory(outcome);
+    }
+    EXPECT_GT(static_cast<double>(tour_ok) / total, 0.9);
+}
+
+TEST(TournamentPredictor, FactoryKinds)
+{
+    auto local = sim::makeBranchPredictor(
+        sim::BranchPredictorKind::LocalTwoLevel);
+    EXPECT_NE(dynamic_cast<sim::LocalTwoLevelPredictor *>(local.get()),
+              nullptr);
+    auto tour = sim::makeBranchPredictor(
+        sim::BranchPredictorKind::Tournament);
+    EXPECT_NE(dynamic_cast<sim::TournamentPredictor *>(tour.get()),
+              nullptr);
+}

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "sim/btb.hh"
+
+namespace sim = rigor::sim;
+
+TEST(Btb, MissThenHitWithTarget)
+{
+    sim::Btb btb(16, 2);
+    std::uint64_t target = 0;
+    EXPECT_FALSE(btb.lookup(0x1000, &target));
+    btb.update(0x1000, 0x2000);
+    EXPECT_TRUE(btb.lookup(0x1000, &target));
+    EXPECT_EQ(target, 0x2000u);
+}
+
+TEST(Btb, UpdateOverwritesTarget)
+{
+    sim::Btb btb(16, 2);
+    btb.update(0x1000, 0x2000);
+    btb.update(0x1000, 0x3000);
+    std::uint64_t target = 0;
+    EXPECT_TRUE(btb.lookup(0x1000, &target));
+    EXPECT_EQ(target, 0x3000u);
+}
+
+TEST(Btb, ConflictEvictionInSmallBtb)
+{
+    // Direct-mapped 4-entry BTB: PCs 4 words apart collide.
+    sim::Btb btb(4, 1);
+    btb.update(0x0, 0xa);
+    btb.update(4 * 4, 0xb); // same set as 0x0
+    std::uint64_t target = 0;
+    EXPECT_FALSE(btb.lookup(0x0, &target));
+}
+
+TEST(Btb, AssociativityResolvesConflict)
+{
+    sim::Btb btb(4, 2);
+    btb.update(0x0, 0xa);
+    btb.update(2 * 4, 0xb); // 2 sets: word 2 -> set 0
+    std::uint64_t target = 0;
+    EXPECT_TRUE(btb.lookup(0x0, &target));
+    EXPECT_EQ(target, 0xau);
+    EXPECT_TRUE(btb.lookup(2 * 4, &target));
+    EXPECT_EQ(target, 0xbu);
+}
+
+TEST(Btb, FullyAssociativeHoldsEverything)
+{
+    sim::Btb btb(8, 0);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        btb.update(i * 4, i);
+    std::uint64_t target = 0;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        EXPECT_TRUE(btb.lookup(i * 4, &target));
+        EXPECT_EQ(target, i);
+    }
+}
+
+TEST(Btb, MoreEntriesFewerMisses)
+{
+    sim::Btb small_btb(16, 2);
+    sim::Btb big_btb(512, 2);
+    // 64 branch sites round-robin.
+    for (int pass = 0; pass < 3; ++pass)
+        for (std::uint64_t i = 0; i < 64; ++i) {
+            std::uint64_t t;
+            small_btb.lookup(i * 4, &t);
+            small_btb.update(i * 4, i);
+            big_btb.lookup(i * 4, &t);
+            big_btb.update(i * 4, i);
+        }
+    EXPECT_EQ(big_btb.stats().misses, 64u); // cold only
+    EXPECT_GT(small_btb.stats().misses, 100u);
+}
+
+TEST(Btb, StatsAndHitRate)
+{
+    sim::Btb btb(16, 2);
+    std::uint64_t t;
+    btb.lookup(0x10, &t);
+    btb.update(0x10, 0x20);
+    btb.lookup(0x10, &t);
+    EXPECT_EQ(btb.stats().lookups, 2u);
+    EXPECT_EQ(btb.stats().misses, 1u);
+    EXPECT_DOUBLE_EQ(btb.stats().hitRate(), 0.5);
+}
+
+TEST(Btb, Validation)
+{
+    EXPECT_THROW(sim::Btb(0, 1), std::invalid_argument);
+    EXPECT_THROW(sim::Btb(12, 1), std::invalid_argument);
+    EXPECT_THROW(sim::Btb(16, 3), std::invalid_argument);
+}

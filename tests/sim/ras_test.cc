@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "sim/ras.hh"
+
+namespace sim = rigor::sim;
+
+TEST(Ras, PushPopLifo)
+{
+    sim::ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.pop(), std::optional<std::uint64_t>(0x200));
+    EXPECT_EQ(ras.pop(), std::optional<std::uint64_t>(0x100));
+}
+
+TEST(Ras, UnderflowReturnsNothing)
+{
+    sim::ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.pop(), std::nullopt);
+    EXPECT_EQ(ras.stats().underflows, 1u);
+}
+
+TEST(Ras, OverflowDropsOldest)
+{
+    sim::ReturnAddressStack ras(2);
+    ras.push(0x1);
+    ras.push(0x2);
+    ras.push(0x3); // overwrites 0x1
+    EXPECT_EQ(ras.stats().overflows, 1u);
+    EXPECT_EQ(ras.pop(), std::optional<std::uint64_t>(0x3));
+    EXPECT_EQ(ras.pop(), std::optional<std::uint64_t>(0x2));
+    // The oldest entry is gone: deep call chains mispredict on the
+    // way out, which is exactly why RAS size matters (Table 6).
+    EXPECT_EQ(ras.pop(), std::nullopt);
+}
+
+TEST(Ras, DepthTracksLiveEntries)
+{
+    sim::ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.depth(), 0u);
+    ras.push(1);
+    ras.push(2);
+    EXPECT_EQ(ras.depth(), 2u);
+    ras.pop();
+    EXPECT_EQ(ras.depth(), 1u);
+}
+
+TEST(Ras, DepthSaturatesAtCapacity)
+{
+    sim::ReturnAddressStack ras(3);
+    for (int i = 0; i < 10; ++i)
+        ras.push(static_cast<std::uint64_t>(i));
+    EXPECT_EQ(ras.depth(), 3u);
+    EXPECT_EQ(ras.stats().overflows, 7u);
+}
+
+TEST(Ras, WrapAroundKeepsLifoOrder)
+{
+    sim::ReturnAddressStack ras(2);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        ras.push(i);
+    // Survivors: 3, 4 (LIFO).
+    EXPECT_EQ(ras.pop(), std::optional<std::uint64_t>(4));
+    EXPECT_EQ(ras.pop(), std::optional<std::uint64_t>(3));
+}
+
+TEST(Ras, StatsCountPushesAndPops)
+{
+    sim::ReturnAddressStack ras(4);
+    ras.push(1);
+    ras.pop();
+    ras.pop();
+    EXPECT_EQ(ras.stats().pushes, 1u);
+    EXPECT_EQ(ras.stats().pops, 2u);
+}
+
+TEST(Ras, RejectsZeroCapacity)
+{
+    EXPECT_THROW(sim::ReturnAddressStack(0), std::invalid_argument);
+}

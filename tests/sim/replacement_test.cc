@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "sim/replacement.hh"
+
+namespace sim = rigor::sim;
+
+TEST(TagStore, MissThenHit)
+{
+    sim::TagStore t(4, 2, sim::ReplacementKind::LRU);
+    EXPECT_FALSE(t.lookup(0, 100));
+    t.insert(0, 100);
+    EXPECT_TRUE(t.lookup(0, 100));
+}
+
+TEST(TagStore, SetsAreIndependent)
+{
+    sim::TagStore t(2, 1, sim::ReplacementKind::LRU);
+    t.insert(0, 7);
+    EXPECT_TRUE(t.probe(0, 7));
+    EXPECT_FALSE(t.probe(1, 7));
+}
+
+TEST(TagStore, LruEvictsLeastRecentlyUsed)
+{
+    sim::TagStore t(1, 2, sim::ReplacementKind::LRU);
+    t.insert(0, 1);
+    t.insert(0, 2);
+    // Touch 1 so 2 becomes the LRU victim.
+    EXPECT_TRUE(t.lookup(0, 1));
+    EXPECT_TRUE(t.insert(0, 3)); // evicts 2
+    EXPECT_TRUE(t.probe(0, 1));
+    EXPECT_FALSE(t.probe(0, 2));
+    EXPECT_TRUE(t.probe(0, 3));
+}
+
+TEST(TagStore, FifoIgnoresHits)
+{
+    sim::TagStore t(1, 2, sim::ReplacementKind::FIFO);
+    t.insert(0, 1);
+    t.insert(0, 2);
+    // Touching 1 must NOT save it under FIFO.
+    EXPECT_TRUE(t.lookup(0, 1));
+    t.insert(0, 3); // evicts 1 (oldest insert)
+    EXPECT_FALSE(t.probe(0, 1));
+    EXPECT_TRUE(t.probe(0, 2));
+    EXPECT_TRUE(t.probe(0, 3));
+}
+
+TEST(TagStore, RandomEvictsSomeValidWay)
+{
+    sim::TagStore t(1, 4, sim::ReplacementKind::Random);
+    for (std::uint64_t tag = 0; tag < 4; ++tag)
+        t.insert(0, tag);
+    EXPECT_TRUE(t.insert(0, 99));
+    // Exactly one of the original four is gone.
+    unsigned survivors = 0;
+    for (std::uint64_t tag = 0; tag < 4; ++tag)
+        if (t.probe(0, tag))
+            ++survivors;
+    EXPECT_EQ(survivors, 3u);
+    EXPECT_TRUE(t.probe(0, 99));
+}
+
+TEST(TagStore, InvalidWaysFillBeforeEviction)
+{
+    sim::TagStore t(1, 3, sim::ReplacementKind::LRU);
+    EXPECT_FALSE(t.insert(0, 1));
+    EXPECT_FALSE(t.insert(0, 2));
+    EXPECT_FALSE(t.insert(0, 3));
+    EXPECT_TRUE(t.insert(0, 4));
+}
+
+TEST(TagStore, ReinsertRefreshesPayloadWithoutEviction)
+{
+    sim::TagStore t(1, 2, sim::ReplacementKind::LRU);
+    t.insert(0, 1, 111);
+    EXPECT_FALSE(t.insert(0, 1, 222));
+    std::uint64_t payload = 0;
+    EXPECT_TRUE(t.lookup(0, 1, &payload));
+    EXPECT_EQ(payload, 222u);
+}
+
+TEST(TagStore, ProbeDoesNotPerturbLru)
+{
+    sim::TagStore t(1, 2, sim::ReplacementKind::LRU);
+    t.insert(0, 1);
+    t.insert(0, 2);
+    // Probe (unlike lookup) must not refresh tag 1.
+    EXPECT_TRUE(t.probe(0, 1));
+    t.insert(0, 3); // victim should still be 1
+    EXPECT_FALSE(t.probe(0, 1));
+}
+
+TEST(TagStore, FlushInvalidatesAll)
+{
+    sim::TagStore t(2, 2, sim::ReplacementKind::LRU);
+    t.insert(0, 1);
+    t.insert(1, 2);
+    t.flush();
+    EXPECT_FALSE(t.probe(0, 1));
+    EXPECT_FALSE(t.probe(1, 2));
+}
+
+TEST(TagStore, Validation)
+{
+    EXPECT_THROW(sim::TagStore(0, 1, sim::ReplacementKind::LRU),
+                 std::invalid_argument);
+    EXPECT_THROW(sim::TagStore(1, 0, sim::ReplacementKind::LRU),
+                 std::invalid_argument);
+    sim::TagStore t(2, 1, sim::ReplacementKind::LRU);
+    EXPECT_THROW(t.lookup(2, 0), std::out_of_range);
+}

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "sim/tlb.hh"
+
+namespace sim = rigor::sim;
+
+namespace
+{
+
+sim::TlbGeometry
+geom(std::uint32_t entries, std::uint64_t page, std::uint32_t assoc,
+     std::uint32_t miss_latency)
+{
+    return sim::TlbGeometry{entries, page, assoc, miss_latency};
+}
+
+} // namespace
+
+TEST(Tlb, MissPaysPenaltyHitIsFree)
+{
+    sim::Tlb tlb("itlb", geom(16, 4096, 4, 30));
+    EXPECT_EQ(tlb.access(0x1000), 30u);
+    EXPECT_EQ(tlb.access(0x1ffc), 0u); // same page
+    EXPECT_EQ(tlb.stats().accesses, 2u);
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(Tlb, DistinctPagesMissSeparately)
+{
+    sim::Tlb tlb("t", geom(16, 4096, 4, 50));
+    EXPECT_EQ(tlb.access(0x0000), 50u);
+    EXPECT_EQ(tlb.access(0x1000), 50u);
+    EXPECT_EQ(tlb.access(0x0000), 0u);
+}
+
+TEST(Tlb, LargerPagesCoverMoreAddresses)
+{
+    sim::Tlb small_pages("s", geom(4, 4096, 4, 10));
+    sim::Tlb large_pages("l", geom(4, 4 * 1024 * 1024, 4, 10));
+    // Touch 64KB of addresses at 4KB strides.
+    for (std::uint64_t a = 0; a < 64 * 1024; a += 4096) {
+        small_pages.access(a);
+        large_pages.access(a);
+    }
+    // 16 distinct 4KB pages thrash a 4-entry TLB; one 4MB page holds
+    // everything.
+    EXPECT_EQ(large_pages.stats().misses, 1u);
+    EXPECT_GT(small_pages.stats().misses, 4u);
+}
+
+TEST(Tlb, CapacityReplacementIsLru)
+{
+    // Fully associative 2-entry TLB.
+    sim::Tlb tlb("fa", geom(2, 4096, 0, 10));
+    tlb.access(0x0000);
+    tlb.access(0x1000);
+    tlb.access(0x0000); // refresh page 0
+    tlb.access(0x2000); // evicts page 1
+    EXPECT_EQ(tlb.access(0x0000), 0u);
+    EXPECT_EQ(tlb.access(0x1000), 10u);
+}
+
+TEST(Tlb, MoreEntriesReduceMisses)
+{
+    sim::Tlb small_tlb("s", geom(32, 4096, 2, 10));
+    sim::Tlb big_tlb("b", geom(256, 4096, 2, 10));
+    // Cycle over 128 pages twice.
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t a = 0; a < 128 * 4096; a += 4096) {
+            small_tlb.access(a);
+            big_tlb.access(a);
+        }
+    EXPECT_EQ(big_tlb.stats().misses, 128u);
+    EXPECT_GT(small_tlb.stats().misses, 200u);
+}
+
+TEST(Tlb, ResetClearsEverything)
+{
+    sim::Tlb tlb("r", geom(16, 4096, 4, 30));
+    tlb.access(0x1000);
+    tlb.reset();
+    EXPECT_EQ(tlb.stats().accesses, 0u);
+    EXPECT_EQ(tlb.access(0x1000), 30u);
+}
+
+TEST(Tlb, MissRate)
+{
+    sim::Tlb tlb("mr", geom(16, 4096, 4, 30));
+    tlb.access(0x1000);
+    tlb.access(0x1000);
+    EXPECT_DOUBLE_EQ(tlb.stats().missRate(), 0.5);
+}

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "doe/effects.hh"
+#include "doe/foldover.hh"
+#include "doe/pb_design.hh"
+#include "stats/linear_model.hh"
+
+namespace doe = rigor::doe;
+namespace stats = rigor::stats;
+
+TEST(SolveLinearSystem, TwoByTwo)
+{
+    // 2x + y = 5; x - y = 1 -> x = 2, y = 1.
+    const auto x = stats::solveLinearSystem({{2, 1}, {1, -1}}, {5, 1});
+    ASSERT_EQ(x.size(), 2u);
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, NeedsPivoting)
+{
+    // Leading zero forces a row swap.
+    const auto x =
+        stats::solveLinearSystem({{0, 1}, {1, 0}}, {3, 7});
+    EXPECT_NEAR(x[0], 7.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularThrows)
+{
+    EXPECT_THROW(
+        stats::solveLinearSystem({{1, 2}, {2, 4}}, {1, 2}),
+        std::invalid_argument);
+    EXPECT_THROW(stats::solveLinearSystem({{1, 2}}, {1}),
+                 std::invalid_argument);
+}
+
+TEST(LinearModel, ExactLineRecovered)
+{
+    // y = 3 + 2x, no noise.
+    const std::vector<std::vector<double>> x = {
+        {0.0}, {1.0}, {2.0}, {3.0}};
+    const std::vector<double> y = {3.0, 5.0, 7.0, 9.0};
+    const stats::LinearFit fit = stats::fitLinearModel(x, y);
+    EXPECT_NEAR(fit.intercept(), 3.0, 1e-10);
+    EXPECT_NEAR(fit.slope(0), 2.0, 1e-10);
+    EXPECT_NEAR(fit.rSquared, 1.0, 1e-12);
+    EXPECT_NEAR(fit.residualSumSquares, 0.0, 1e-18);
+}
+
+TEST(LinearModel, TwoPredictors)
+{
+    // y = 1 + 2a - 3b on a 2^2 grid.
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (double a : {-1.0, 1.0})
+        for (double b : {-1.0, 1.0}) {
+            x.push_back({a, b});
+            y.push_back(1.0 + 2.0 * a - 3.0 * b);
+        }
+    const stats::LinearFit fit = stats::fitLinearModel(x, y);
+    EXPECT_NEAR(fit.intercept(), 1.0, 1e-10);
+    EXPECT_NEAR(fit.slope(0), 2.0, 1e-10);
+    EXPECT_NEAR(fit.slope(1), -3.0, 1e-10);
+}
+
+TEST(LinearModel, NoisyFitResidualsSumNearZero)
+{
+    const std::vector<std::vector<double>> x = {
+        {1.0}, {2.0}, {3.0}, {4.0}, {5.0}};
+    const std::vector<double> y = {2.1, 3.9, 6.2, 7.8, 10.1};
+    const stats::LinearFit fit = stats::fitLinearModel(x, y);
+    double sum = 0.0;
+    for (double r : fit.residuals)
+        sum += r;
+    EXPECT_NEAR(sum, 0.0, 1e-9); // OLS residuals orthogonal to 1
+    EXPECT_GT(fit.rSquared, 0.99);
+}
+
+TEST(LinearModel, RegressionCoefficientsMatchPbEffects)
+{
+    // On an orthogonal two-level design, the OLS slope of a factor
+    // equals half its normalized PB effect — the regression view of
+    // effect estimation.
+    const doe::DesignMatrix design = doe::foldover(doe::pbDesign(12));
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (std::size_t r = 0; r < design.numRows(); ++r) {
+        std::vector<double> row;
+        for (std::size_t c = 0; c < design.numColumns(); ++c)
+            row.push_back(design.sign(r, c));
+        // Arbitrary linear truth plus a deterministic pseudo-noise.
+        double response = 50.0 + 7.0 * row[0] - 4.0 * row[3] +
+                          1.5 * row[7];
+        response += 0.01 * static_cast<double>((r * 37) % 11);
+        x.push_back(std::move(row));
+        y.push_back(response);
+    }
+
+    const stats::LinearFit fit = stats::fitLinearModel(x, y);
+    const std::vector<double> effects =
+        doe::computeNormalizedEffects(design, y);
+    for (std::size_t c = 0; c < design.numColumns(); ++c)
+        EXPECT_NEAR(fit.slope(c), effects[c] / 2.0, 1e-9) << c;
+}
+
+TEST(LinearModel, HandlesNonOrthogonalDesign)
+{
+    // One-at-a-time-style predictors are not orthogonal, but OLS
+    // still recovers an exact linear truth.
+    const std::vector<std::vector<double>> x = {
+        {-1.0, -1.0}, {1.0, -1.0}, {-1.0, 1.0}};
+    std::vector<double> y;
+    for (const auto &row : x)
+        y.push_back(10.0 + 4.0 * row[0] + 0.5 * row[1]);
+    const stats::LinearFit fit = stats::fitLinearModel(x, y);
+    EXPECT_NEAR(fit.slope(0), 4.0, 1e-10);
+    EXPECT_NEAR(fit.slope(1), 0.5, 1e-10);
+}
+
+TEST(LinearModel, ValidatesShapes)
+{
+    const std::vector<std::vector<double>> x = {{1.0}, {2.0}};
+    const std::vector<double> y = {1.0};
+    EXPECT_THROW(stats::fitLinearModel(x, y), std::invalid_argument);
+
+    const std::vector<std::vector<double>> ragged = {{1.0},
+                                                     {2.0, 3.0}};
+    const std::vector<double> y2 = {1.0, 2.0};
+    EXPECT_THROW(stats::fitLinearModel(ragged, y2),
+                 std::invalid_argument);
+
+    // More parameters than observations.
+    const std::vector<std::vector<double>> wide = {{1.0, 2.0}};
+    const std::vector<double> y3 = {1.0};
+    EXPECT_THROW(stats::fitLinearModel(wide, y3),
+                 std::invalid_argument);
+}
+
+TEST(LinearModel, CollinearPredictorsThrow)
+{
+    const std::vector<std::vector<double>> x = {
+        {1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}};
+    const std::vector<double> y = {1.0, 2.0, 3.0};
+    EXPECT_THROW(stats::fitLinearModel(x, y), std::invalid_argument);
+}

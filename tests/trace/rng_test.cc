@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/rng.hh"
+
+namespace trace = rigor::trace;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    trace::Rng a(12345);
+    trace::Rng b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    trace::Rng a(1);
+    trace::Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    trace::Rng r(0);
+    EXPECT_NE(r.next(), r.next());
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    trace::Rng r(99);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBelow(17), 17u);
+    EXPECT_THROW(r.nextBelow(0), std::invalid_argument);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    trace::Rng r(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.nextDouble();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolMatchesProbability)
+{
+    trace::Rng r(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        if (r.nextBool(0.3))
+            ++hits;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ZipfConcentratesLowIndices)
+{
+    trace::Rng r(13);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 20000; ++i)
+        ++counts[r.nextZipf(100)];
+    // Index 0 must dominate the tail.
+    EXPECT_GT(counts[0], counts[50] * 3);
+    // All draws in range.
+    for (const auto &[idx, n] : counts)
+        EXPECT_LT(idx, 100u);
+    EXPECT_THROW(r.nextZipf(0), std::invalid_argument);
+}
+
+TEST(Rng, GeometricMeanApproximatelyCorrect)
+{
+    trace::Rng r(17);
+    double total = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        total += static_cast<double>(r.nextGeometric(6.0));
+    EXPECT_NEAR(total / n, 6.0, 0.3);
+}
+
+TEST(Rng, GeometricAlwaysAtLeastOne)
+{
+    trace::Rng r(19);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(r.nextGeometric(1.5), 1u);
+    EXPECT_EQ(r.nextGeometric(1.0), 1u);
+    EXPECT_THROW(r.nextGeometric(0.5), std::invalid_argument);
+}
+
+TEST(HashName, StableAndDistinct)
+{
+    EXPECT_EQ(trace::hashName("gzip"), trace::hashName("gzip"));
+    EXPECT_NE(trace::hashName("gzip"), trace::hashName("gcc"));
+    EXPECT_NE(trace::hashName("vpr-Place"),
+              trace::hashName("vpr-Route"));
+}

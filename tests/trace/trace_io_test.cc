@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+#include "sim/core.hh"
+#include "trace/trace_io.hh"
+#include "trace/workloads.hh"
+
+namespace sim = rigor::sim;
+namespace trace = rigor::trace;
+
+namespace
+{
+
+/** Temp file path that cleans up after the test. */
+class TempFile
+{
+  public:
+    explicit TempFile(const char *name)
+        : _path(std::string(::testing::TempDir()) + name)
+    {
+    }
+    ~TempFile() { std::remove(_path.c_str()); }
+    const std::string &path() const { return _path; }
+
+  private:
+    std::string _path;
+};
+
+} // namespace
+
+TEST(TraceIo, RoundTripPreservesEveryField)
+{
+    trace::Instruction a;
+    a.pc = 0x1234;
+    a.op = trace::OpClass::Load;
+    a.srcA = 3;
+    a.srcB = trace::noReg;
+    a.dst = 7;
+    a.memAddr = 0xdeadbeef;
+    a.valA = 11;
+    a.valB = 22;
+    trace::Instruction b;
+    b.pc = 0x1238;
+    b.op = trace::OpClass::Call;
+    b.taken = true;
+    b.target = 0x4000;
+    b.retAddr = 0x123c;
+
+    TempFile file("roundtrip.rgtr");
+    trace::VectorTraceSource out({a, b});
+    EXPECT_EQ(trace::writeTrace(out, file.path()), 2u);
+
+    trace::VectorTraceSource in = trace::readTrace(file.path());
+    EXPECT_EQ(in.length(), 2u);
+    trace::Instruction got;
+    ASSERT_TRUE(in.next(got));
+    EXPECT_EQ(got.pc, a.pc);
+    EXPECT_EQ(got.op, a.op);
+    EXPECT_EQ(got.srcA, a.srcA);
+    EXPECT_EQ(got.srcB, a.srcB);
+    EXPECT_EQ(got.dst, a.dst);
+    EXPECT_EQ(got.memAddr, a.memAddr);
+    EXPECT_EQ(got.valA, a.valA);
+    EXPECT_EQ(got.valB, a.valB);
+    ASSERT_TRUE(in.next(got));
+    EXPECT_EQ(got.op, b.op);
+    EXPECT_TRUE(got.taken);
+    EXPECT_EQ(got.target, b.target);
+    EXPECT_EQ(got.retAddr, b.retAddr);
+    EXPECT_FALSE(in.next(got));
+}
+
+TEST(TraceIo, ReplayedSyntheticTraceTimesIdentically)
+{
+    // Saving a synthetic trace and replaying it through the core must
+    // give the exact same cycle count as the live generator.
+    const trace::WorkloadProfile &p = trace::workloadByName("gzip");
+    TempFile file("gzip.rgtr");
+    {
+        trace::SyntheticTraceGenerator gen(p, 20000);
+        EXPECT_EQ(trace::writeTrace(gen, file.path()), 20000u);
+    }
+
+    trace::SyntheticTraceGenerator live(p, 20000);
+    sim::SuperscalarCore core_live{sim::ProcessorConfig{}};
+    const std::uint64_t live_cycles = core_live.run(live).cycles;
+
+    trace::VectorTraceSource replay = trace::readTrace(file.path());
+    sim::SuperscalarCore core_replay{sim::ProcessorConfig{}};
+    const std::uint64_t replay_cycles = core_replay.run(replay).cycles;
+
+    EXPECT_EQ(live_cycles, replay_cycles);
+}
+
+TEST(TraceIo, EmptyTrace)
+{
+    TempFile file("empty.rgtr");
+    trace::VectorTraceSource out({});
+    EXPECT_EQ(trace::writeTrace(out, file.path()), 0u);
+    trace::VectorTraceSource in = trace::readTrace(file.path());
+    EXPECT_EQ(in.length(), 0u);
+}
+
+TEST(TraceIo, MissingFileThrows)
+{
+    EXPECT_THROW(trace::readTrace("/nonexistent/path/x.rgtr"),
+                 std::runtime_error);
+}
+
+TEST(TraceIo, BadMagicRejected)
+{
+    TempFile file("badmagic.rgtr");
+    std::FILE *f = std::fopen(file.path().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOPE0000000000000000", f);
+    std::fclose(f);
+    EXPECT_THROW(trace::readTrace(file.path()), std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedFileRejected)
+{
+    const trace::WorkloadProfile &p = trace::workloadByName("mcf");
+    TempFile file("trunc.rgtr");
+    {
+        trace::SyntheticTraceGenerator gen(p, 100);
+        trace::writeTrace(gen, file.path());
+    }
+    // Chop the file short.
+    std::FILE *f = std::fopen(file.path().c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(file.path().c_str(), size / 2), 0);
+    EXPECT_THROW(trace::readTrace(file.path()), std::runtime_error);
+}
