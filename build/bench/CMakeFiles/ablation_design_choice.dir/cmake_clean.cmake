@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_design_choice.dir/ablation_design_choice.cc.o"
+  "CMakeFiles/ablation_design_choice.dir/ablation_design_choice.cc.o.d"
+  "ablation_design_choice"
+  "ablation_design_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_design_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

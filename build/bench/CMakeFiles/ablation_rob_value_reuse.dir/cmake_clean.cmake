@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rob_value_reuse.dir/ablation_rob_value_reuse.cc.o"
+  "CMakeFiles/ablation_rob_value_reuse.dir/ablation_rob_value_reuse.cc.o.d"
+  "ablation_rob_value_reuse"
+  "ablation_rob_value_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rob_value_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

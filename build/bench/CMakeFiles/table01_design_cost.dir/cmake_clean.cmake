@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_design_cost.dir/table01_design_cost.cc.o"
+  "CMakeFiles/table01_design_cost.dir/table01_design_cost.cc.o.d"
+  "table01_design_cost"
+  "table01_design_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_design_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

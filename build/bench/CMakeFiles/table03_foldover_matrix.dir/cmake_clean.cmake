@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_foldover_matrix.dir/table03_foldover_matrix.cc.o"
+  "CMakeFiles/table03_foldover_matrix.dir/table03_foldover_matrix.cc.o.d"
+  "table03_foldover_matrix"
+  "table03_foldover_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_foldover_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_example_analysis.dir/table04_example_analysis.cc.o"
+  "CMakeFiles/table04_example_analysis.dir/table04_example_analysis.cc.o.d"
+  "table04_example_analysis"
+  "table04_example_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_example_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

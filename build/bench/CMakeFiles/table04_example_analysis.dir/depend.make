@@ -1,0 +1,2 @@
+# Empty dependencies file for table04_example_analysis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_benchmarks.dir/table05_benchmarks.cc.o"
+  "CMakeFiles/table05_benchmarks.dir/table05_benchmarks.cc.o.d"
+  "table05_benchmarks"
+  "table05_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_08_parameters.dir/table06_08_parameters.cc.o"
+  "CMakeFiles/table06_08_parameters.dir/table06_08_parameters.cc.o.d"
+  "table06_08_parameters"
+  "table06_08_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_08_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_parameter_ranking.dir/table09_parameter_ranking.cc.o"
+  "CMakeFiles/table09_parameter_ranking.dir/table09_parameter_ranking.cc.o.d"
+  "table09_parameter_ranking"
+  "table09_parameter_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_parameter_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

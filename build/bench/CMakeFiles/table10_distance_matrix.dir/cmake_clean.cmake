@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_distance_matrix.dir/table10_distance_matrix.cc.o"
+  "CMakeFiles/table10_distance_matrix.dir/table10_distance_matrix.cc.o.d"
+  "table10_distance_matrix"
+  "table10_distance_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_distance_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

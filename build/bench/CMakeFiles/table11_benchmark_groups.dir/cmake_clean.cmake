@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_benchmark_groups.dir/table11_benchmark_groups.cc.o"
+  "CMakeFiles/table11_benchmark_groups.dir/table11_benchmark_groups.cc.o.d"
+  "table11_benchmark_groups"
+  "table11_benchmark_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_benchmark_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

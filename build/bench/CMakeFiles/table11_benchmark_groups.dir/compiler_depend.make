@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table11_benchmark_groups.
+# This may be replaced when dependencies are built.

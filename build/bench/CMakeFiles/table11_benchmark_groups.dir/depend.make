@@ -1,0 +1,2 @@
+# Empty dependencies file for table11_benchmark_groups.
+# This may be replaced when dependencies are built.

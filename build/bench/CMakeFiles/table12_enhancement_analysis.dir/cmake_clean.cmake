@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table12_enhancement_analysis.dir/table12_enhancement_analysis.cc.o"
+  "CMakeFiles/table12_enhancement_analysis.dir/table12_enhancement_analysis.cc.o.d"
+  "table12_enhancement_analysis"
+  "table12_enhancement_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_enhancement_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_benchmark_similarity.dir/benchmark_similarity.cpp.o"
+  "CMakeFiles/example_benchmark_similarity.dir/benchmark_similarity.cpp.o.d"
+  "example_benchmark_similarity"
+  "example_benchmark_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_benchmark_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_enhancement_analysis.dir/enhancement_analysis.cpp.o"
+  "CMakeFiles/example_enhancement_analysis.dir/enhancement_analysis.cpp.o.d"
+  "example_enhancement_analysis"
+  "example_enhancement_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_enhancement_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_full_workflow.dir/full_workflow.cpp.o"
+  "CMakeFiles/example_full_workflow.dir/full_workflow.cpp.o.d"
+  "example_full_workflow"
+  "example_full_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_full_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

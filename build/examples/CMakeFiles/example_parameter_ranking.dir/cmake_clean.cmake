@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_parameter_ranking.dir/parameter_ranking.cpp.o"
+  "CMakeFiles/example_parameter_ranking.dir/parameter_ranking.cpp.o.d"
+  "example_parameter_ranking"
+  "example_parameter_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_parameter_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

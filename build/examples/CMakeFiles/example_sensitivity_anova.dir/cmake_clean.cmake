@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sensitivity_anova.dir/sensitivity_anova.cpp.o"
+  "CMakeFiles/example_sensitivity_anova.dir/sensitivity_anova.cpp.o.d"
+  "example_sensitivity_anova"
+  "example_sensitivity_anova.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sensitivity_anova.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

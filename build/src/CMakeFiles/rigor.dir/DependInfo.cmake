@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/distance.cc" "src/CMakeFiles/rigor.dir/cluster/distance.cc.o" "gcc" "src/CMakeFiles/rigor.dir/cluster/distance.cc.o.d"
+  "/root/repo/src/cluster/distance_matrix.cc" "src/CMakeFiles/rigor.dir/cluster/distance_matrix.cc.o" "gcc" "src/CMakeFiles/rigor.dir/cluster/distance_matrix.cc.o.d"
+  "/root/repo/src/cluster/hierarchical.cc" "src/CMakeFiles/rigor.dir/cluster/hierarchical.cc.o" "gcc" "src/CMakeFiles/rigor.dir/cluster/hierarchical.cc.o.d"
+  "/root/repo/src/cluster/threshold_grouping.cc" "src/CMakeFiles/rigor.dir/cluster/threshold_grouping.cc.o" "gcc" "src/CMakeFiles/rigor.dir/cluster/threshold_grouping.cc.o.d"
+  "/root/repo/src/cluster/union_find.cc" "src/CMakeFiles/rigor.dir/cluster/union_find.cc.o" "gcc" "src/CMakeFiles/rigor.dir/cluster/union_find.cc.o.d"
+  "/root/repo/src/doe/design_cost.cc" "src/CMakeFiles/rigor.dir/doe/design_cost.cc.o" "gcc" "src/CMakeFiles/rigor.dir/doe/design_cost.cc.o.d"
+  "/root/repo/src/doe/design_matrix.cc" "src/CMakeFiles/rigor.dir/doe/design_matrix.cc.o" "gcc" "src/CMakeFiles/rigor.dir/doe/design_matrix.cc.o.d"
+  "/root/repo/src/doe/effects.cc" "src/CMakeFiles/rigor.dir/doe/effects.cc.o" "gcc" "src/CMakeFiles/rigor.dir/doe/effects.cc.o.d"
+  "/root/repo/src/doe/foldover.cc" "src/CMakeFiles/rigor.dir/doe/foldover.cc.o" "gcc" "src/CMakeFiles/rigor.dir/doe/foldover.cc.o.d"
+  "/root/repo/src/doe/galois.cc" "src/CMakeFiles/rigor.dir/doe/galois.cc.o" "gcc" "src/CMakeFiles/rigor.dir/doe/galois.cc.o.d"
+  "/root/repo/src/doe/hadamard.cc" "src/CMakeFiles/rigor.dir/doe/hadamard.cc.o" "gcc" "src/CMakeFiles/rigor.dir/doe/hadamard.cc.o.d"
+  "/root/repo/src/doe/one_at_a_time.cc" "src/CMakeFiles/rigor.dir/doe/one_at_a_time.cc.o" "gcc" "src/CMakeFiles/rigor.dir/doe/one_at_a_time.cc.o.d"
+  "/root/repo/src/doe/pb_design.cc" "src/CMakeFiles/rigor.dir/doe/pb_design.cc.o" "gcc" "src/CMakeFiles/rigor.dir/doe/pb_design.cc.o.d"
+  "/root/repo/src/doe/ranking.cc" "src/CMakeFiles/rigor.dir/doe/ranking.cc.o" "gcc" "src/CMakeFiles/rigor.dir/doe/ranking.cc.o.d"
+  "/root/repo/src/enhance/precompute.cc" "src/CMakeFiles/rigor.dir/enhance/precompute.cc.o" "gcc" "src/CMakeFiles/rigor.dir/enhance/precompute.cc.o.d"
+  "/root/repo/src/enhance/value_reuse.cc" "src/CMakeFiles/rigor.dir/enhance/value_reuse.cc.o" "gcc" "src/CMakeFiles/rigor.dir/enhance/value_reuse.cc.o.d"
+  "/root/repo/src/methodology/classification.cc" "src/CMakeFiles/rigor.dir/methodology/classification.cc.o" "gcc" "src/CMakeFiles/rigor.dir/methodology/classification.cc.o.d"
+  "/root/repo/src/methodology/csv_export.cc" "src/CMakeFiles/rigor.dir/methodology/csv_export.cc.o" "gcc" "src/CMakeFiles/rigor.dir/methodology/csv_export.cc.o.d"
+  "/root/repo/src/methodology/enhancement_analysis.cc" "src/CMakeFiles/rigor.dir/methodology/enhancement_analysis.cc.o" "gcc" "src/CMakeFiles/rigor.dir/methodology/enhancement_analysis.cc.o.d"
+  "/root/repo/src/methodology/parameter_space.cc" "src/CMakeFiles/rigor.dir/methodology/parameter_space.cc.o" "gcc" "src/CMakeFiles/rigor.dir/methodology/parameter_space.cc.o.d"
+  "/root/repo/src/methodology/pb_experiment.cc" "src/CMakeFiles/rigor.dir/methodology/pb_experiment.cc.o" "gcc" "src/CMakeFiles/rigor.dir/methodology/pb_experiment.cc.o.d"
+  "/root/repo/src/methodology/published_data.cc" "src/CMakeFiles/rigor.dir/methodology/published_data.cc.o" "gcc" "src/CMakeFiles/rigor.dir/methodology/published_data.cc.o.d"
+  "/root/repo/src/methodology/rank_table.cc" "src/CMakeFiles/rigor.dir/methodology/rank_table.cc.o" "gcc" "src/CMakeFiles/rigor.dir/methodology/rank_table.cc.o.d"
+  "/root/repo/src/methodology/report.cc" "src/CMakeFiles/rigor.dir/methodology/report.cc.o" "gcc" "src/CMakeFiles/rigor.dir/methodology/report.cc.o.d"
+  "/root/repo/src/methodology/workflow.cc" "src/CMakeFiles/rigor.dir/methodology/workflow.cc.o" "gcc" "src/CMakeFiles/rigor.dir/methodology/workflow.cc.o.d"
+  "/root/repo/src/sim/branch_predictor.cc" "src/CMakeFiles/rigor.dir/sim/branch_predictor.cc.o" "gcc" "src/CMakeFiles/rigor.dir/sim/branch_predictor.cc.o.d"
+  "/root/repo/src/sim/btb.cc" "src/CMakeFiles/rigor.dir/sim/btb.cc.o" "gcc" "src/CMakeFiles/rigor.dir/sim/btb.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/CMakeFiles/rigor.dir/sim/cache.cc.o" "gcc" "src/CMakeFiles/rigor.dir/sim/cache.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/rigor.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/rigor.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/CMakeFiles/rigor.dir/sim/core.cc.o" "gcc" "src/CMakeFiles/rigor.dir/sim/core.cc.o.d"
+  "/root/repo/src/sim/func_unit.cc" "src/CMakeFiles/rigor.dir/sim/func_unit.cc.o" "gcc" "src/CMakeFiles/rigor.dir/sim/func_unit.cc.o.d"
+  "/root/repo/src/sim/memory_system.cc" "src/CMakeFiles/rigor.dir/sim/memory_system.cc.o" "gcc" "src/CMakeFiles/rigor.dir/sim/memory_system.cc.o.d"
+  "/root/repo/src/sim/ras.cc" "src/CMakeFiles/rigor.dir/sim/ras.cc.o" "gcc" "src/CMakeFiles/rigor.dir/sim/ras.cc.o.d"
+  "/root/repo/src/sim/replacement.cc" "src/CMakeFiles/rigor.dir/sim/replacement.cc.o" "gcc" "src/CMakeFiles/rigor.dir/sim/replacement.cc.o.d"
+  "/root/repo/src/sim/stats_report.cc" "src/CMakeFiles/rigor.dir/sim/stats_report.cc.o" "gcc" "src/CMakeFiles/rigor.dir/sim/stats_report.cc.o.d"
+  "/root/repo/src/sim/tlb.cc" "src/CMakeFiles/rigor.dir/sim/tlb.cc.o" "gcc" "src/CMakeFiles/rigor.dir/sim/tlb.cc.o.d"
+  "/root/repo/src/stats/anova.cc" "src/CMakeFiles/rigor.dir/stats/anova.cc.o" "gcc" "src/CMakeFiles/rigor.dir/stats/anova.cc.o.d"
+  "/root/repo/src/stats/correlation.cc" "src/CMakeFiles/rigor.dir/stats/correlation.cc.o" "gcc" "src/CMakeFiles/rigor.dir/stats/correlation.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/rigor.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/rigor.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/CMakeFiles/rigor.dir/stats/distributions.cc.o" "gcc" "src/CMakeFiles/rigor.dir/stats/distributions.cc.o.d"
+  "/root/repo/src/stats/linear_model.cc" "src/CMakeFiles/rigor.dir/stats/linear_model.cc.o" "gcc" "src/CMakeFiles/rigor.dir/stats/linear_model.cc.o.d"
+  "/root/repo/src/stats/special_functions.cc" "src/CMakeFiles/rigor.dir/stats/special_functions.cc.o" "gcc" "src/CMakeFiles/rigor.dir/stats/special_functions.cc.o.d"
+  "/root/repo/src/stats/yates.cc" "src/CMakeFiles/rigor.dir/stats/yates.cc.o" "gcc" "src/CMakeFiles/rigor.dir/stats/yates.cc.o.d"
+  "/root/repo/src/trace/generator.cc" "src/CMakeFiles/rigor.dir/trace/generator.cc.o" "gcc" "src/CMakeFiles/rigor.dir/trace/generator.cc.o.d"
+  "/root/repo/src/trace/instruction.cc" "src/CMakeFiles/rigor.dir/trace/instruction.cc.o" "gcc" "src/CMakeFiles/rigor.dir/trace/instruction.cc.o.d"
+  "/root/repo/src/trace/rng.cc" "src/CMakeFiles/rigor.dir/trace/rng.cc.o" "gcc" "src/CMakeFiles/rigor.dir/trace/rng.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/rigor.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/rigor.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/trace/workload_profile.cc" "src/CMakeFiles/rigor.dir/trace/workload_profile.cc.o" "gcc" "src/CMakeFiles/rigor.dir/trace/workload_profile.cc.o.d"
+  "/root/repo/src/trace/workloads.cc" "src/CMakeFiles/rigor.dir/trace/workloads.cc.o" "gcc" "src/CMakeFiles/rigor.dir/trace/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/distance_matrix_test.cc" "tests/CMakeFiles/rigor_tests.dir/cluster/distance_matrix_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/cluster/distance_matrix_test.cc.o.d"
+  "/root/repo/tests/cluster/distance_test.cc" "tests/CMakeFiles/rigor_tests.dir/cluster/distance_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/cluster/distance_test.cc.o.d"
+  "/root/repo/tests/cluster/hierarchical_test.cc" "tests/CMakeFiles/rigor_tests.dir/cluster/hierarchical_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/cluster/hierarchical_test.cc.o.d"
+  "/root/repo/tests/cluster/threshold_grouping_test.cc" "tests/CMakeFiles/rigor_tests.dir/cluster/threshold_grouping_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/cluster/threshold_grouping_test.cc.o.d"
+  "/root/repo/tests/cluster/union_find_test.cc" "tests/CMakeFiles/rigor_tests.dir/cluster/union_find_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/cluster/union_find_test.cc.o.d"
+  "/root/repo/tests/doe/design_cost_test.cc" "tests/CMakeFiles/rigor_tests.dir/doe/design_cost_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/doe/design_cost_test.cc.o.d"
+  "/root/repo/tests/doe/design_matrix_test.cc" "tests/CMakeFiles/rigor_tests.dir/doe/design_matrix_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/doe/design_matrix_test.cc.o.d"
+  "/root/repo/tests/doe/design_property_test.cc" "tests/CMakeFiles/rigor_tests.dir/doe/design_property_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/doe/design_property_test.cc.o.d"
+  "/root/repo/tests/doe/effects_test.cc" "tests/CMakeFiles/rigor_tests.dir/doe/effects_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/doe/effects_test.cc.o.d"
+  "/root/repo/tests/doe/foldover_test.cc" "tests/CMakeFiles/rigor_tests.dir/doe/foldover_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/doe/foldover_test.cc.o.d"
+  "/root/repo/tests/doe/galois_test.cc" "tests/CMakeFiles/rigor_tests.dir/doe/galois_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/doe/galois_test.cc.o.d"
+  "/root/repo/tests/doe/hadamard_test.cc" "tests/CMakeFiles/rigor_tests.dir/doe/hadamard_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/doe/hadamard_test.cc.o.d"
+  "/root/repo/tests/doe/one_at_a_time_test.cc" "tests/CMakeFiles/rigor_tests.dir/doe/one_at_a_time_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/doe/one_at_a_time_test.cc.o.d"
+  "/root/repo/tests/doe/pb_design_test.cc" "tests/CMakeFiles/rigor_tests.dir/doe/pb_design_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/doe/pb_design_test.cc.o.d"
+  "/root/repo/tests/doe/ranking_test.cc" "tests/CMakeFiles/rigor_tests.dir/doe/ranking_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/doe/ranking_test.cc.o.d"
+  "/root/repo/tests/enhance/precompute_test.cc" "tests/CMakeFiles/rigor_tests.dir/enhance/precompute_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/enhance/precompute_test.cc.o.d"
+  "/root/repo/tests/enhance/value_reuse_test.cc" "tests/CMakeFiles/rigor_tests.dir/enhance/value_reuse_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/enhance/value_reuse_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/rigor_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/property_test.cc" "tests/CMakeFiles/rigor_tests.dir/integration/property_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/integration/property_test.cc.o.d"
+  "/root/repo/tests/methodology/classification_test.cc" "tests/CMakeFiles/rigor_tests.dir/methodology/classification_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/methodology/classification_test.cc.o.d"
+  "/root/repo/tests/methodology/csv_export_test.cc" "tests/CMakeFiles/rigor_tests.dir/methodology/csv_export_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/methodology/csv_export_test.cc.o.d"
+  "/root/repo/tests/methodology/enhancement_analysis_test.cc" "tests/CMakeFiles/rigor_tests.dir/methodology/enhancement_analysis_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/methodology/enhancement_analysis_test.cc.o.d"
+  "/root/repo/tests/methodology/parameter_space_test.cc" "tests/CMakeFiles/rigor_tests.dir/methodology/parameter_space_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/methodology/parameter_space_test.cc.o.d"
+  "/root/repo/tests/methodology/pb_experiment_test.cc" "tests/CMakeFiles/rigor_tests.dir/methodology/pb_experiment_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/methodology/pb_experiment_test.cc.o.d"
+  "/root/repo/tests/methodology/published_data_test.cc" "tests/CMakeFiles/rigor_tests.dir/methodology/published_data_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/methodology/published_data_test.cc.o.d"
+  "/root/repo/tests/methodology/rank_table_test.cc" "tests/CMakeFiles/rigor_tests.dir/methodology/rank_table_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/methodology/rank_table_test.cc.o.d"
+  "/root/repo/tests/methodology/workflow_test.cc" "tests/CMakeFiles/rigor_tests.dir/methodology/workflow_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/methodology/workflow_test.cc.o.d"
+  "/root/repo/tests/sim/branch_predictor_test.cc" "tests/CMakeFiles/rigor_tests.dir/sim/branch_predictor_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/sim/branch_predictor_test.cc.o.d"
+  "/root/repo/tests/sim/btb_test.cc" "tests/CMakeFiles/rigor_tests.dir/sim/btb_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/sim/btb_test.cc.o.d"
+  "/root/repo/tests/sim/cache_property_test.cc" "tests/CMakeFiles/rigor_tests.dir/sim/cache_property_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/sim/cache_property_test.cc.o.d"
+  "/root/repo/tests/sim/cache_test.cc" "tests/CMakeFiles/rigor_tests.dir/sim/cache_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/sim/cache_test.cc.o.d"
+  "/root/repo/tests/sim/config_test.cc" "tests/CMakeFiles/rigor_tests.dir/sim/config_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/sim/config_test.cc.o.d"
+  "/root/repo/tests/sim/core_test.cc" "tests/CMakeFiles/rigor_tests.dir/sim/core_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/sim/core_test.cc.o.d"
+  "/root/repo/tests/sim/func_unit_test.cc" "tests/CMakeFiles/rigor_tests.dir/sim/func_unit_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/sim/func_unit_test.cc.o.d"
+  "/root/repo/tests/sim/memory_system_test.cc" "tests/CMakeFiles/rigor_tests.dir/sim/memory_system_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/sim/memory_system_test.cc.o.d"
+  "/root/repo/tests/sim/ras_test.cc" "tests/CMakeFiles/rigor_tests.dir/sim/ras_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/sim/ras_test.cc.o.d"
+  "/root/repo/tests/sim/replacement_test.cc" "tests/CMakeFiles/rigor_tests.dir/sim/replacement_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/sim/replacement_test.cc.o.d"
+  "/root/repo/tests/sim/slot_allocator_test.cc" "tests/CMakeFiles/rigor_tests.dir/sim/slot_allocator_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/sim/slot_allocator_test.cc.o.d"
+  "/root/repo/tests/sim/tlb_test.cc" "tests/CMakeFiles/rigor_tests.dir/sim/tlb_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/sim/tlb_test.cc.o.d"
+  "/root/repo/tests/stats/anova_test.cc" "tests/CMakeFiles/rigor_tests.dir/stats/anova_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/stats/anova_test.cc.o.d"
+  "/root/repo/tests/stats/correlation_test.cc" "tests/CMakeFiles/rigor_tests.dir/stats/correlation_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/stats/correlation_test.cc.o.d"
+  "/root/repo/tests/stats/descriptive_test.cc" "tests/CMakeFiles/rigor_tests.dir/stats/descriptive_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/stats/descriptive_test.cc.o.d"
+  "/root/repo/tests/stats/distribution_property_test.cc" "tests/CMakeFiles/rigor_tests.dir/stats/distribution_property_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/stats/distribution_property_test.cc.o.d"
+  "/root/repo/tests/stats/distributions_test.cc" "tests/CMakeFiles/rigor_tests.dir/stats/distributions_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/stats/distributions_test.cc.o.d"
+  "/root/repo/tests/stats/linear_model_test.cc" "tests/CMakeFiles/rigor_tests.dir/stats/linear_model_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/stats/linear_model_test.cc.o.d"
+  "/root/repo/tests/stats/special_functions_test.cc" "tests/CMakeFiles/rigor_tests.dir/stats/special_functions_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/stats/special_functions_test.cc.o.d"
+  "/root/repo/tests/stats/yates_test.cc" "tests/CMakeFiles/rigor_tests.dir/stats/yates_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/stats/yates_test.cc.o.d"
+  "/root/repo/tests/trace/generator_test.cc" "tests/CMakeFiles/rigor_tests.dir/trace/generator_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/trace/generator_test.cc.o.d"
+  "/root/repo/tests/trace/rng_test.cc" "tests/CMakeFiles/rigor_tests.dir/trace/rng_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/trace/rng_test.cc.o.d"
+  "/root/repo/tests/trace/trace_io_test.cc" "tests/CMakeFiles/rigor_tests.dir/trace/trace_io_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/trace/trace_io_test.cc.o.d"
+  "/root/repo/tests/trace/workload_test.cc" "tests/CMakeFiles/rigor_tests.dir/trace/workload_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/trace/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rigor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
