@@ -11,11 +11,32 @@
 #include <cstdlib>
 #include <string>
 
+#include "exec/engine.hh"
 #include "methodology/pb_experiment.hh"
 #include "trace/workloads.hh"
 
 namespace rigor::bench
 {
+
+/**
+ * One execution engine shared by every experiment a harness runs, so
+ * the run cache carries across base/enhanced experiment pairs and the
+ * progress counters aggregate the whole program.
+ */
+inline exec::SimulationEngine &
+sharedEngine()
+{
+    static exec::SimulationEngine engine;
+    return engine;
+}
+
+/** Print the engine's counters to stderr (harness status output). */
+inline void
+reportProgress(const char *stage)
+{
+    std::fprintf(stderr, "[bench] %s: %s\n", stage,
+                 sharedEngine().progress().snapshot().toString().c_str());
+}
 
 /**
  * Dynamic instructions per simulation run. The paper ran the full
@@ -34,23 +55,45 @@ instructionsPerRun()
     return 100000;
 }
 
-/** Run the full 88-configuration experiment over all 13 workloads. */
-inline methodology::PbExperimentResult
-runFullExperiment(const methodology::HookFactory &hook_factory = {})
+/** Experiment options every harness shares (the shared engine, the
+ *  RIGOR_INSTRUCTIONS-scaled run length, full-length warm-up). */
+inline methodology::PbExperimentOptions
+fullExperimentOptions()
 {
     methodology::PbExperimentOptions opts;
     opts.instructionsPerRun = instructionsPerRun();
     // A full-length warm-up lets the sequential/strided sweeps cover
     // cache-resident working sets before measurement begins.
     opts.warmupInstructions = opts.instructionsPerRun;
+    opts.engine = &sharedEngine();
+    return opts;
+}
+
+/**
+ * Run the full 88-configuration experiment over all 13 workloads.
+ *
+ * @param hook_factory optional enhancement hook
+ * @param hook_id stable cache identity of the hook (empty = hooked
+ *        runs bypass the shared engine's cache)
+ */
+inline methodology::PbExperimentResult
+runFullExperiment(const methodology::HookFactory &hook_factory = {},
+                  const std::string &hook_id = {})
+{
+    methodology::PbExperimentOptions opts = fullExperimentOptions();
     opts.hookFactory = hook_factory;
+    opts.hookId = hook_id;
     std::fprintf(stderr,
                  "[bench] running 88 configs x 13 workloads at %llu "
-                 "instructions per run...\n",
+                 "instructions per run on %u threads...\n",
                  static_cast<unsigned long long>(
-                     opts.instructionsPerRun));
-    return methodology::runPbExperiment(trace::spec2000Workloads(),
-                                        opts);
+                     opts.instructionsPerRun),
+                 sharedEngine().threads());
+    const methodology::PbExperimentResult result =
+        methodology::runPbExperiment(trace::spec2000Workloads(),
+                                     opts);
+    reportProgress("experiment done");
+    return result;
 }
 
 } // namespace rigor::bench

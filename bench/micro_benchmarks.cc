@@ -8,16 +8,23 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <thread>
+#include <vector>
+
 #include "doe/effects.hh"
 #include "doe/foldover.hh"
 #include "doe/pb_design.hh"
+#include "exec/engine.hh"
 #include "methodology/parameter_space.hh"
 #include "methodology/pb_experiment.hh"
+#include "methodology/workflow.hh"
 #include "sim/core.hh"
 #include "trace/generator.hh"
 #include "trace/workloads.hh"
 
 namespace doe = rigor::doe;
+namespace exec = rigor::exec;
 namespace methodology = rigor::methodology;
 namespace sim = rigor::sim;
 namespace trace = rigor::trace;
@@ -114,5 +121,101 @@ BM_ConfigFromLevels(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ConfigFromLevels);
+
+/** A small batch of distinct engine jobs: 2 workloads x 16 screen
+ *  rows, enough work per job for the pool to matter. */
+std::vector<exec::SimJob>
+engineBatch(std::uint64_t instructions)
+{
+    const doe::DesignMatrix design = doe::pbDesign(44);
+    std::vector<exec::SimJob> jobs;
+    for (const char *name : {"gzip", "mcf"}) {
+        const trace::WorkloadProfile &w = trace::workloadByName(name);
+        for (std::size_t row = 0; row < 16; ++row) {
+            exec::SimJob job;
+            job.workload = &w;
+            job.config = methodology::configForLevels(design.row(row));
+            job.instructions = instructions;
+            job.label = name;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+/**
+ * Thread scaling of the raw engine over a fixed batch. The cache is
+ * disabled and the engine rebuilt per iteration so every run is
+ * simulated — the items/s ratio between thread counts is the honest
+ * pool speedup.
+ */
+void
+BM_EngineBatchThreadScaling(benchmark::State &state)
+{
+    const auto threads = static_cast<unsigned>(state.range(0));
+    const std::vector<exec::SimJob> jobs = engineBatch(20000);
+    for (auto _ : state) {
+        exec::SimulationEngine engine(
+            exec::EngineOptions{threads, false});
+        benchmark::DoNotOptimize(engine.run(jobs));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(jobs.size()) * state.iterations());
+}
+BENCHMARK(BM_EngineBatchThreadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency())))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/** Rerunning an identical batch through one engine: every run should
+ *  be a cache hit, so this measures pure memoization overhead. */
+void
+BM_EngineCachedRerun(benchmark::State &state)
+{
+    const std::vector<exec::SimJob> jobs = engineBatch(20000);
+    exec::SimulationEngine engine(exec::EngineOptions{1, true});
+    engine.run(jobs); // warm the cache
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.run(jobs));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(jobs.size()) * state.iterations());
+}
+BENCHMARK(BM_EngineCachedRerun);
+
+/**
+ * The acceptance-criterion benchmark: end-to-end recommended workflow
+ * (PB screen + 2^k factorial) at 1..N threads. On a 4+ core machine
+ * the N-thread row should be >= 2x the 1-thread row.
+ */
+void
+BM_RecommendedWorkflowThreadScaling(benchmark::State &state)
+{
+    methodology::WorkflowOptions opts;
+    opts.instructionsPerRun = 2000;
+    opts.warmupInstructions = 0;
+    opts.maxCriticalParameters = 3;
+    opts.threads = static_cast<unsigned>(state.range(0));
+    const std::vector<trace::WorkloadProfile> workloads = {
+        trace::workloadByName("gzip"),
+        trace::workloadByName("mcf"),
+    };
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            methodology::runRecommendedWorkflow(workloads, opts)
+                .execution.runsCompleted);
+    }
+}
+BENCHMARK(BM_RecommendedWorkflowThreadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency())))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 } // namespace

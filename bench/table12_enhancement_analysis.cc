@@ -46,15 +46,21 @@ main()
         tables.emplace(p.name, std::move(table));
     }
 
-    const methodology::PbExperimentResult base =
-        rigor::bench::runFullExperiment();
-    const methodology::PbExperimentResult enhanced =
-        rigor::bench::runFullExperiment(
+    // Both legs run through the shared engine as one paired
+    // experiment: one pool, one run cache, aggregated counters.
+    const methodology::EnhancementExperimentResult paired =
+        methodology::runEnhancementExperiment(
+            trace::spec2000Workloads(),
+            rigor::bench::fullExperimentOptions(),
             [&](const trace::WorkloadProfile &p)
                 -> std::unique_ptr<rigor::sim::ExecutionHook> {
                 return std::make_unique<enhance::PrecomputationTable>(
                     *tables.at(p.name));
-            });
+            },
+            "precompute-128");
+    const methodology::PbExperimentResult &base = paired.base;
+    const methodology::PbExperimentResult &enhanced = paired.enhanced;
+    rigor::bench::reportProgress("base + enhanced experiments done");
 
     std::printf("Table 12: PB Design Results with Instruction "
                 "Precomputation (measured)\n\n%s\n",
@@ -62,9 +68,7 @@ main()
                                              enhanced.benchmarks)
                     .c_str());
 
-    const methodology::EnhancementComparison cmp =
-        methodology::compareRankTables(base.summaries,
-                                       enhanced.summaries);
+    const methodology::EnhancementComparison &cmp = paired.comparison;
     std::printf("Before/after sum-of-ranks shifts (sorted by "
                 "|delta|):\n%s\n",
                 cmp.toString(15).c_str());

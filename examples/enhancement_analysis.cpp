@@ -44,17 +44,19 @@ main()
     opts.instructionsPerRun = instructions;
     const std::vector<trace::WorkloadProfile> workloads = {workload};
 
-    std::printf("running base PB experiment (88 configs)...\n");
-    const methodology::PbExperimentResult base =
-        methodology::runPbExperiment(workloads, opts);
-
-    std::printf("running enhanced PB experiment (88 configs)...\n\n");
-    opts.hookFactory = [&](const trace::WorkloadProfile &)
-        -> std::unique_ptr<rigor::sim::ExecutionHook> {
-        return std::make_unique<enhance::PrecomputationTable>(*table);
-    };
-    const methodology::PbExperimentResult enhanced =
-        methodology::runPbExperiment(workloads, opts);
+    std::printf("running base + enhanced PB experiments "
+                "(2 x 88 configs, shared engine)...\n\n");
+    const methodology::EnhancementExperimentResult paired =
+        methodology::runEnhancementExperiment(
+            workloads, opts,
+            [&](const trace::WorkloadProfile &)
+                -> std::unique_ptr<rigor::sim::ExecutionHook> {
+                return std::make_unique<enhance::PrecomputationTable>(
+                    *table);
+            },
+            "precompute-128");
+    const methodology::PbExperimentResult &base = paired.base;
+    const methodology::PbExperimentResult &enhanced = paired.enhanced;
 
     // The one-number view...
     double base_cycles = 0.0;
@@ -67,9 +69,7 @@ main()
                 base_cycles / enh_cycles);
 
     // ...vs the whole-picture view.
-    const methodology::EnhancementComparison cmp =
-        methodology::compareRankTables(base.summaries,
-                                       enhanced.summaries);
+    const methodology::EnhancementComparison &cmp = paired.comparison;
     std::printf("What the enhancement did to the bottlenecks "
                 "(top shifts):\n%s\n",
                 cmp.toString(12).c_str());
@@ -79,5 +79,7 @@ main()
                 "(sum of ranks %lu -> %lu)\n",
                 relief.name.c_str(), relief.sumBefore,
                 relief.sumAfter);
+    std::printf("Execution engine: %s\n",
+                paired.execution.toString().c_str());
     return 0;
 }

@@ -44,5 +44,7 @@ main()
                 "full factorial over all 43 factors would have cost "
                 "2^43 ~ 8.8e12.\n",
                 result.screening.design.numRows());
+    std::printf("Execution engine: %s\n",
+                result.execution.toString().c_str());
     return 0;
 }

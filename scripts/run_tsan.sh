@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build the tsan preset and run the concurrency-sensitive test suites
+# (doe, methodology, exec) under ThreadSanitizer. Any data race in the
+# SimJobQueue, RunCache, ProgressReporter, or the drivers that share a
+# SimulationEngine fails the run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+
+# TSan halts on the first race so failures point at one stack pair.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+
+# Every suite under tests/doe, tests/methodology, and tests/exec —
+# run straight from the gtest binary so one process exercises the
+# shared-engine paths end to end.
+./build-tsan/tests/rigor_tests --gtest_filter="$(tr -d ' \n' <<'EOF'
+SimJobQueue.*:RunCache.*:ProcessorConfigHash.*:SimulationEngine.*:
+PbDesign.*:Foldover.*:Effects.*:Hadamard.*:GaloisField.*:
+PrimePower.*:DesignMatrix.*:DesignCost.*:OneAtATime.*:
+Classification.*:Ranking.*:RankTable.*:TextTable.*:
+ParameterSpace.*:PbExperiment.*:Workflow.*:EnhancementAnalysis.*:
+CsvExport.*:PublishedData.*
+EOF
+)"
+
+echo "TSan suites passed."

@@ -1,0 +1,131 @@
+#include "exec/engine.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "exec/sim_job_queue.hh"
+#include "trace/generator.hh"
+
+namespace rigor::exec
+{
+
+namespace
+{
+
+unsigned
+resolveThreads(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 4 : hw;
+}
+
+} // namespace
+
+SimulationEngine::SimulationEngine(const EngineOptions &options)
+    : _threads(resolveThreads(options.threads)),
+      _cacheEnabled(options.cacheEnabled)
+{
+}
+
+double
+SimulationEngine::simulateJob(const SimJob &job)
+{
+    std::unique_ptr<sim::ExecutionHook> hook;
+    if (job.makeHook)
+        hook = job.makeHook();
+    trace::SyntheticTraceGenerator gen(
+        *job.workload, job.instructions + job.warmupInstructions);
+    sim::SuperscalarCore core(job.config, hook.get());
+    const sim::CoreStats stats =
+        core.run(gen, job.warmupInstructions);
+    return static_cast<double>(stats.measuredCycles());
+}
+
+double
+SimulationEngine::runOne(const SimJob &job)
+{
+    const bool use_cache = _cacheEnabled && job.cacheable();
+    RunKey key;
+    if (use_cache) {
+        key.workload = job.workload->name;
+        key.config = job.config;
+        key.instructions = job.instructions;
+        key.warmupInstructions = job.warmupInstructions;
+        key.hookId = job.hookId;
+        if (const std::optional<double> cached = _cache.lookup(key)) {
+            _progress.addCacheHit();
+            _progress.addCompleted();
+            return *cached;
+        }
+    }
+
+    const double response = simulateJob(job);
+    if (use_cache)
+        _cache.store(key, response);
+    _progress.addSimulatedInstructions(job.instructions +
+                                       job.warmupInstructions);
+    _progress.addCompleted();
+    return response;
+}
+
+std::vector<double>
+SimulationEngine::run(std::span<const SimJob> jobs)
+{
+    const auto start = std::chrono::steady_clock::now();
+    _progress.addSubmitted(jobs.size());
+
+    std::vector<double> responses(jobs.size(), 0.0);
+
+    std::atomic<bool> failed{false};
+    std::string failure_message;
+    std::mutex failure_mutex;
+
+    const unsigned num_threads = static_cast<unsigned>(
+        std::min<std::size_t>(_threads, jobs.size()));
+
+    SimJobQueue queue(jobs.size(), std::max(1u, num_threads));
+    const auto worker = [&](unsigned id) {
+        std::size_t index;
+        while (queue.pop(id, index)) {
+            if (failed.load(std::memory_order_relaxed))
+                return;
+            const SimJob &job = jobs[index];
+            try {
+                responses[index] = runOne(job);
+            } catch (const std::exception &e) {
+                const std::scoped_lock lock(failure_mutex);
+                if (!failed.exchange(true))
+                    failure_message = "job '" + job.label +
+                                      "' failed: " + e.what();
+            }
+        }
+    };
+
+    if (num_threads <= 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(num_threads);
+        for (unsigned t = 0; t < num_threads; ++t)
+            pool.emplace_back(worker, t);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    _progress.addWallNanos(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+
+    if (failed.load())
+        throw std::runtime_error("SimulationEngine: " +
+                                 failure_message);
+    return responses;
+}
+
+} // namespace rigor::exec

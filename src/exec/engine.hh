@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The shared simulation execution engine.
+ *
+ * Every multi-run experiment in this repository — the Plackett-Burman
+ * screen, the recommended workflow's full factorial, the paired
+ * base/enhanced enhancement analysis — reduces to the same schedulable
+ * unit: a batch of independent (workload, configuration) simulations.
+ * SimulationEngine runs such batches on a work-stealing thread pool
+ * (SimJobQueue), memoizes pure runs in a RunCache, and feeds a
+ * ProgressReporter, so the dominant cost of the reproduction scales
+ * with cores and repeated configurations are free.
+ *
+ * Determinism: job results are written by job index, so the responses
+ * are bit-identical regardless of thread count or scheduling order
+ * (the simulator itself is deterministic).
+ *
+ * Failure: the first failing job cancels the batch; the rethrown
+ * error names the job's label (benchmark and design row) so a bad
+ * configuration is diagnosable.
+ */
+
+#ifndef RIGOR_EXEC_ENGINE_HH
+#define RIGOR_EXEC_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exec/progress.hh"
+#include "exec/run_cache.hh"
+#include "sim/core.hh"
+#include "trace/workload_profile.hh"
+
+namespace rigor::exec
+{
+
+/** One independent simulation in a batch. */
+struct SimJob
+{
+    /** Workload to simulate; must outlive the batch. */
+    const trace::WorkloadProfile *workload = nullptr;
+    sim::ProcessorConfig config;
+    /** Measured dynamic instructions. */
+    std::uint64_t instructions = 0;
+    /** Leading warm-up instructions (excluded from the response). */
+    std::uint64_t warmupInstructions = 0;
+    /**
+     * Optional enhancement-hook builder, already bound to the
+     * workload; called once per executed run (never for cache hits).
+     * Must be callable from any worker thread.
+     */
+    std::function<std::unique_ptr<sim::ExecutionHook>()> makeHook;
+    /**
+     * Stable cache identity of makeHook's product. A job with a hook
+     * but an empty hookId is treated as impure and never cached.
+     */
+    std::string hookId;
+    /** Failure context, e.g. "gzip, design row 17". */
+    std::string label;
+
+    /** Cache participation: pure, or hooked with a stable identity. */
+    bool cacheable() const { return !makeHook || !hookId.empty(); }
+};
+
+/** Engine construction knobs. */
+struct EngineOptions
+{
+    /** Worker threads; 0 = hardware concurrency (min 4 fallback). */
+    unsigned threads = 0;
+    /** Memoize pure runs across batches. */
+    bool cacheEnabled = true;
+};
+
+/** Reusable batch executor; share one per experiment to share the
+ *  cache and the progress counters across phases. */
+class SimulationEngine
+{
+  public:
+    explicit SimulationEngine(const EngineOptions &options = {});
+
+    /**
+     * Run every job and return the responses (measured cycles) in job
+     * order. Throws std::runtime_error naming the failing job's label
+     * if any simulation fails. Not reentrant: one batch at a time.
+     */
+    std::vector<double> run(std::span<const SimJob> jobs);
+
+    /** Resolved worker-thread count. */
+    unsigned threads() const { return _threads; }
+
+    RunCache &cache() { return _cache; }
+    const RunCache &cache() const { return _cache; }
+
+    ProgressReporter &progress() { return _progress; }
+    const ProgressReporter &progress() const { return _progress; }
+
+    /**
+     * Execute one job unconditionally (no cache, no counters) — the
+     * single-run primitive the batch path and simulateOnce share.
+     */
+    static double simulateJob(const SimJob &job);
+
+  private:
+    /** Run one job through cache + simulation + counters. */
+    double runOne(const SimJob &job);
+
+    unsigned _threads;
+    bool _cacheEnabled;
+    RunCache _cache;
+    ProgressReporter _progress;
+};
+
+} // namespace rigor::exec
+
+#endif // RIGOR_EXEC_ENGINE_HH

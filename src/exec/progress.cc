@@ -1,0 +1,44 @@
+#include "exec/progress.hh"
+
+#include <sstream>
+
+namespace rigor::exec
+{
+
+std::string
+ProgressSnapshot::toString() const
+{
+    std::ostringstream os;
+    os << runsCompleted << "/" << runsTotal << " runs, " << cacheHits
+       << " cache hits, " << simulatedInstructions
+       << " instructions simulated, " << wallSeconds << " s wall";
+    return os.str();
+}
+
+ProgressSnapshot
+ProgressReporter::snapshot() const
+{
+    ProgressSnapshot s;
+    s.runsTotal = _runsTotal.load(std::memory_order_relaxed);
+    s.runsCompleted = _runsCompleted.load(std::memory_order_relaxed);
+    s.cacheHits = _cacheHits.load(std::memory_order_relaxed);
+    s.simulatedInstructions =
+        _simulatedInstructions.load(std::memory_order_relaxed);
+    s.wallSeconds =
+        static_cast<double>(
+            _wallNanos.load(std::memory_order_relaxed)) *
+        1e-9;
+    return s;
+}
+
+void
+ProgressReporter::reset()
+{
+    _runsTotal.store(0, std::memory_order_relaxed);
+    _runsCompleted.store(0, std::memory_order_relaxed);
+    _cacheHits.store(0, std::memory_order_relaxed);
+    _simulatedInstructions.store(0, std::memory_order_relaxed);
+    _wallNanos.store(0, std::memory_order_relaxed);
+}
+
+} // namespace rigor::exec

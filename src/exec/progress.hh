@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Thread-safe progress accounting for batched simulation runs.
+ *
+ * Every simulation driver in this repository ultimately pushes jobs
+ * through exec::SimulationEngine; the engine feeds a ProgressReporter
+ * so that long experiments (the 1144-run Table 9 sweep, the workflow's
+ * full factorial) can expose live counters to the bench harnesses and
+ * examples without any locking on the simulation fast path.
+ */
+
+#ifndef RIGOR_EXEC_PROGRESS_HH
+#define RIGOR_EXEC_PROGRESS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rigor::exec
+{
+
+/** One consistent-enough view of the counters (snapshot semantics). */
+struct ProgressSnapshot
+{
+    /** Jobs submitted across all batches. */
+    std::uint64_t runsTotal = 0;
+    /** Jobs finished (simulated or served from cache). */
+    std::uint64_t runsCompleted = 0;
+    /** Jobs satisfied by the RunCache without simulating. */
+    std::uint64_t cacheHits = 0;
+    /** Dynamic instructions actually simulated (warm-up included;
+     *  cache hits contribute nothing). */
+    std::uint64_t simulatedInstructions = 0;
+    /** Wall-clock seconds spent inside engine batches. */
+    double wallSeconds = 0.0;
+
+    /** One-line rendering for bench/example status output. */
+    std::string toString() const;
+};
+
+/** Lock-free counter set shared by the engine's workers. */
+class ProgressReporter
+{
+  public:
+    void addSubmitted(std::uint64_t jobs)
+    {
+        _runsTotal.fetch_add(jobs, std::memory_order_relaxed);
+    }
+
+    void addCompleted()
+    {
+        _runsCompleted.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void addCacheHit()
+    {
+        _cacheHits.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void addSimulatedInstructions(std::uint64_t instructions)
+    {
+        _simulatedInstructions.fetch_add(instructions,
+                                         std::memory_order_relaxed);
+    }
+
+    void addWallNanos(std::uint64_t nanos)
+    {
+        _wallNanos.fetch_add(nanos, std::memory_order_relaxed);
+    }
+
+    ProgressSnapshot snapshot() const;
+
+    /** Zero every counter (fresh experiment on a reused engine). */
+    void reset();
+
+  private:
+    std::atomic<std::uint64_t> _runsTotal{0};
+    std::atomic<std::uint64_t> _runsCompleted{0};
+    std::atomic<std::uint64_t> _cacheHits{0};
+    std::atomic<std::uint64_t> _simulatedInstructions{0};
+    std::atomic<std::uint64_t> _wallNanos{0};
+};
+
+} // namespace rigor::exec
+
+#endif // RIGOR_EXEC_PROGRESS_HH

@@ -1,0 +1,60 @@
+#include "exec/run_cache.hh"
+
+#include <functional>
+
+namespace rigor::exec
+{
+
+std::size_t
+RunKey::hash() const
+{
+    std::size_t seed = config.hash();
+    const auto mix = [&seed](std::size_t h) {
+        seed ^= h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+    };
+    mix(std::hash<std::string>{}(workload));
+    mix(std::hash<std::uint64_t>{}(instructions));
+    mix(std::hash<std::uint64_t>{}(warmupInstructions));
+    mix(std::hash<std::string>{}(hookId));
+    return seed;
+}
+
+std::optional<double>
+RunCache::lookup(const RunKey &key)
+{
+    {
+        const std::scoped_lock lock(_mutex);
+        const auto it = _entries.find(key);
+        if (it != _entries.end()) {
+            _hits.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    _misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+}
+
+void
+RunCache::store(const RunKey &key, double response)
+{
+    const std::scoped_lock lock(_mutex);
+    _entries.try_emplace(key, response);
+}
+
+std::size_t
+RunCache::size() const
+{
+    const std::scoped_lock lock(_mutex);
+    return _entries.size();
+}
+
+void
+RunCache::clear()
+{
+    const std::scoped_lock lock(_mutex);
+    _entries.clear();
+    _hits.store(0, std::memory_order_relaxed);
+    _misses.store(0, std::memory_order_relaxed);
+}
+
+} // namespace rigor::exec

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Memoization of simulation runs.
+ *
+ * A simulation of this repository is a pure function of (workload,
+ * processor configuration, measured instructions, warm-up
+ * instructions, enhancement hook): the synthetic trace generator is
+ * seeded from the workload name alone and the timing core is
+ * deterministic. RunCache exploits that purity to make repeated
+ * configurations free — the PB screen and the workflow's factorial
+ * overlap, and the enhancement analysis re-runs the base experiment
+ * verbatim.
+ *
+ * Hooked runs participate only when the caller supplies a stable hook
+ * identity string (e.g. "precompute-128/gzip"); a hook factory with
+ * no identity is assumed impure and bypasses the cache.
+ */
+
+#ifndef RIGOR_EXEC_RUN_CACHE_HH
+#define RIGOR_EXEC_RUN_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/config.hh"
+
+namespace rigor::exec
+{
+
+/** Full identity of one simulation run. */
+struct RunKey
+{
+    /** Workload name — the trace generator's seed derives from it. */
+    std::string workload;
+    sim::ProcessorConfig config;
+    std::uint64_t instructions = 0;
+    std::uint64_t warmupInstructions = 0;
+    /** Identity of the enhancement hook; empty = no hook. */
+    std::string hookId;
+
+    bool operator==(const RunKey &) const = default;
+
+    std::size_t hash() const;
+};
+
+/** Thread-safe memo table from RunKey to measured cycles. */
+class RunCache
+{
+  public:
+    /** Cached response, or nullopt on miss. Counts hit/miss stats. */
+    std::optional<double> lookup(const RunKey &key);
+
+    /** Record one run's response (first writer wins). */
+    void store(const RunKey &key, double response);
+
+    std::size_t size() const;
+    std::uint64_t hits() const
+    {
+        return _hits.load(std::memory_order_relaxed);
+    }
+    std::uint64_t misses() const
+    {
+        return _misses.load(std::memory_order_relaxed);
+    }
+
+    void clear();
+
+  private:
+    struct KeyHash
+    {
+        std::size_t operator()(const RunKey &key) const
+        {
+            return key.hash();
+        }
+    };
+
+    mutable std::mutex _mutex;
+    std::unordered_map<RunKey, double, KeyHash> _entries;
+    std::atomic<std::uint64_t> _hits{0};
+    std::atomic<std::uint64_t> _misses{0};
+};
+
+} // namespace rigor::exec
+
+#endif // RIGOR_EXEC_RUN_CACHE_HH

@@ -1,0 +1,98 @@
+#include "exec/sim_job_queue.hh"
+
+#include <algorithm>
+
+namespace rigor::exec
+{
+
+SimJobQueue::SimJobQueue(std::size_t num_jobs, unsigned num_workers)
+{
+    const unsigned shards = std::max(1u, num_workers);
+    _shards.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s)
+        _shards.push_back(std::make_unique<Shard>());
+
+    // Contiguous ranges: worker s owns jobs [s*chunk, ...).
+    const std::size_t chunk =
+        std::max<std::size_t>((num_jobs + shards - 1) / shards, 1);
+    for (std::size_t job = 0; job < num_jobs; ++job) {
+        Shard &shard =
+            *_shards[std::min<std::size_t>(job / chunk, shards - 1)];
+        shard.jobs.push_back(job);
+    }
+    for (const std::unique_ptr<Shard> &shard : _shards)
+        shard->approxSize.store(shard->jobs.size(),
+                                std::memory_order_relaxed);
+}
+
+bool
+SimJobQueue::pop(unsigned worker, std::size_t &job)
+{
+    Shard &own = *_shards[worker % _shards.size()];
+    {
+        const std::scoped_lock lock(own.mutex);
+        if (!own.jobs.empty()) {
+            job = own.jobs.front();
+            own.jobs.pop_front();
+            own.approxSize.store(own.jobs.size(),
+                                 std::memory_order_relaxed);
+            return true;
+        }
+    }
+
+    // Own deque drained: steal half of the fullest victim. The loot
+    // is taken under the victim's lock only, then re-homed under our
+    // own lock — never two locks at once, so no ordering issues.
+    std::vector<std::size_t> loot;
+    if (!steal(static_cast<unsigned>(worker % _shards.size()), loot))
+        return false;
+    job = loot.front();
+    if (loot.size() > 1) {
+        const std::scoped_lock lock(own.mutex);
+        own.jobs.insert(own.jobs.end(), loot.begin() + 1, loot.end());
+        own.approxSize.store(own.jobs.size(),
+                             std::memory_order_relaxed);
+    }
+    return true;
+}
+
+bool
+SimJobQueue::steal(unsigned thief, std::vector<std::size_t> &loot)
+{
+    for (;;) {
+        // Pick the victim with the most remaining work. The sizes are
+        // sampled from the relaxed mirrors (the deques themselves are
+        // only touched under their locks); staleness just means a
+        // slightly suboptimal victim.
+        std::size_t victim = _shards.size();
+        std::size_t victim_size = 0;
+        for (std::size_t s = 0; s < _shards.size(); ++s) {
+            if (s == thief)
+                continue;
+            const std::size_t size =
+                _shards[s]->approxSize.load(std::memory_order_relaxed);
+            if (size > victim_size) {
+                victim = s;
+                victim_size = size;
+            }
+        }
+        if (victim == _shards.size())
+            return false;
+
+        Shard &target = *_shards[victim];
+        const std::scoped_lock lock(target.mutex);
+        if (target.jobs.empty())
+            continue; // raced to empty; re-scan for another victim
+        const std::size_t take = (target.jobs.size() + 1) / 2;
+        loot.assign(target.jobs.end() - static_cast<std::ptrdiff_t>(take),
+                    target.jobs.end());
+        target.jobs.erase(
+            target.jobs.end() - static_cast<std::ptrdiff_t>(take),
+            target.jobs.end());
+        target.approxSize.store(target.jobs.size(),
+                                std::memory_order_relaxed);
+        return true;
+    }
+}
+
+} // namespace rigor::exec

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Work-stealing distribution of simulation job indices.
+ *
+ * Simulation batches are embarrassingly parallel but far from
+ * uniform: a low-level memory-bound configuration simulates several
+ * times slower than a high-level one, so a static block partition
+ * leaves workers idle at the tail of every batch. SimJobQueue deals
+ * contiguous index ranges to per-worker deques (preserving whatever
+ * locality adjacent jobs share) and lets an empty worker steal the
+ * back half of the fullest remaining deque — the classic
+ * work-stealing shape, with plain mutexes per deque because each job
+ * is milliseconds of simulation, not nanoseconds of arithmetic.
+ */
+
+#ifndef RIGOR_EXEC_SIM_JOB_QUEUE_HH
+#define RIGOR_EXEC_SIM_JOB_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rigor::exec
+{
+
+/** Distributes the indices [0, num_jobs) across workers. */
+class SimJobQueue
+{
+  public:
+    /**
+     * @param num_jobs total job count in the batch
+     * @param num_workers worker count; each worker passes its id
+     *        (0-based) to pop()
+     */
+    SimJobQueue(std::size_t num_jobs, unsigned num_workers);
+
+    /**
+     * Take the next job for @p worker — from its own deque, else by
+     * stealing from the most loaded other deque.
+     *
+     * @return false when the whole batch is drained
+     */
+    bool pop(unsigned worker, std::size_t &job);
+
+  private:
+    struct Shard
+    {
+        std::mutex mutex;
+        std::deque<std::size_t> jobs;
+        /** Relaxed mirror of jobs.size() for lock-free victim picks. */
+        std::atomic<std::size_t> approxSize{0};
+    };
+
+    /** Steal roughly half of the fullest victim into local storage. */
+    bool steal(unsigned thief, std::vector<std::size_t> &loot);
+
+    std::vector<std::unique_ptr<Shard>> _shards;
+};
+
+} // namespace rigor::exec
+
+#endif // RIGOR_EXEC_SIM_JOB_QUEUE_HH

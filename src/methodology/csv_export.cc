@@ -1,13 +1,40 @@
 #include "methodology/csv_export.hh"
 
+#include <charconv>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "methodology/parameter_space.hh"
 
 namespace rigor::methodology
 {
+
+namespace
+{
+
+/**
+ * Round-trip-exact double formatting. The default ostream precision
+ * (6 significant digits) silently corrupts cycle responses above
+ * ~10^6 when the CSV is read back for effect computations; shortest
+ * round-trip formatting (std::to_chars) guarantees the parsed value
+ * is bit-identical — the same guarantee as printing max_digits10
+ * digits — without padding small values with noise digits.
+ */
+std::string
+formatDouble(double value)
+{
+    char buffer[32];
+    const std::to_chars_result res =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    if (res.ec != std::errc{})
+        throw std::runtime_error(
+            "formatDouble: value does not fit the buffer");
+    return std::string(buffer, res.ptr);
+}
+
+} // namespace
 
 std::string
 csvEscape(const std::string &field)
@@ -43,7 +70,7 @@ responsesToCsv(const PbExperimentResult &result)
         for (std::size_t c = 0; c < names.size(); ++c)
             os << ',' << result.design.sign(r, c);
         for (std::size_t b = 0; b < result.benchmarks.size(); ++b)
-            os << ',' << result.responses[b][r];
+            os << ',' << formatDouble(result.responses[b][r]);
         os << '\n';
     }
     return os.str();
@@ -62,7 +89,7 @@ effectsToCsv(const PbExperimentResult &result)
     for (std::size_t f = 0; f < names.size(); ++f) {
         os << csvEscape(names[f]);
         for (std::size_t b = 0; b < result.benchmarks.size(); ++b)
-            os << ',' << result.effects[b][f];
+            os << ',' << formatDouble(result.effects[b][f]);
         os << '\n';
     }
     return os.str();
@@ -99,7 +126,7 @@ distanceMatrixToCsv(const cluster::DistanceMatrix &distances,
     for (std::size_t i = 0; i < distances.size(); ++i) {
         os << csvEscape(labels[i]);
         for (std::size_t j = 0; j < distances.size(); ++j)
-            os << ',' << distances.at(i, j);
+            os << ',' << formatDouble(distances.at(i, j));
         os << '\n';
     }
     return os.str();

@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace rigor::methodology
 {
@@ -70,21 +71,29 @@ compareRankTables(std::span<const doe::FactorRankSummary> base,
         throw std::invalid_argument(
             "compareRankTables: factor count mismatch");
 
+    // One name -> summary map instead of a linear rescan per factor;
+    // duplicate names are rejected here rather than silently matched
+    // first-wins.
+    std::unordered_map<std::string, const doe::FactorRankSummary *>
+        by_name;
+    by_name.reserve(enhanced.size());
+    for (const doe::FactorRankSummary &e : enhanced)
+        if (!by_name.emplace(e.name, &e).second)
+            throw std::invalid_argument(
+                "compareRankTables: duplicate factor in enhanced "
+                "table: " +
+                e.name);
+
     EnhancementComparison cmp;
     cmp.shifts.reserve(base.size());
     for (const doe::FactorRankSummary &b : base) {
-        const doe::FactorRankSummary *match = nullptr;
-        for (const doe::FactorRankSummary &e : enhanced) {
-            if (e.name == b.name) {
-                match = &e;
-                break;
-            }
-        }
-        if (!match)
+        const auto it = by_name.find(b.name);
+        if (it == by_name.end())
             throw std::invalid_argument(
                 "compareRankTables: enhanced table lacks factor " +
                 b.name);
-        cmp.shifts.push_back({b.name, b.sumOfRanks, match->sumOfRanks});
+        cmp.shifts.push_back(
+            {b.name, b.sumOfRanks, it->second->sumOfRanks});
     }
 
     std::stable_sort(cmp.shifts.begin(), cmp.shifts.end(),
@@ -92,6 +101,44 @@ compareRankTables(std::span<const doe::FactorRankSummary> base,
                          return std::abs(a.delta()) > std::abs(b.delta());
                      });
     return cmp;
+}
+
+EnhancementExperimentResult
+runEnhancementExperiment(
+    std::span<const trace::WorkloadProfile> workloads,
+    const PbExperimentOptions &options,
+    const HookFactory &hook_factory, const std::string &hook_id)
+{
+    if (!hook_factory)
+        throw std::invalid_argument(
+            "runEnhancementExperiment: hook_factory is required");
+
+    // Both legs share one engine: the pool, the run cache (a base leg
+    // already simulated through options.engine is free), and the
+    // progress counters.
+    exec::SimulationEngine local_engine(
+        exec::EngineOptions{options.threads, true});
+    exec::SimulationEngine &engine =
+        options.engine ? *options.engine : local_engine;
+
+    EnhancementExperimentResult result;
+
+    PbExperimentOptions base_opts = options;
+    base_opts.hookFactory = {};
+    base_opts.hookId.clear();
+    base_opts.engine = &engine;
+    result.base = runPbExperiment(workloads, base_opts);
+
+    PbExperimentOptions enhanced_opts = options;
+    enhanced_opts.hookFactory = hook_factory;
+    enhanced_opts.hookId = hook_id;
+    enhanced_opts.engine = &engine;
+    result.enhanced = runPbExperiment(workloads, enhanced_opts);
+
+    result.comparison = compareRankTables(result.base.summaries,
+                                          result.enhanced.summaries);
+    result.execution = engine.progress().snapshot();
+    return result;
 }
 
 } // namespace rigor::methodology

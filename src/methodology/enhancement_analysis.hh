@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "doe/ranking.hh"
+#include "methodology/pb_experiment.hh"
 
 namespace rigor::methodology
 {
@@ -60,11 +61,47 @@ struct EnhancementComparison
 };
 
 /**
- * Compare base and enhanced rank summaries (factor sets must match).
+ * Compare base and enhanced rank summaries. The factor sets must
+ * match exactly; duplicate factor names in the enhanced table are
+ * rejected (a silent first-wins match would corrupt the shifts).
  */
 EnhancementComparison
 compareRankTables(std::span<const doe::FactorRankSummary> base,
                   std::span<const doe::FactorRankSummary> enhanced);
+
+/** Everything the paired base/enhanced experiment produced. */
+struct EnhancementExperimentResult
+{
+    /** PB experiment without the enhancement. */
+    PbExperimentResult base;
+    /** PB experiment with the enhancement hook enabled. */
+    PbExperimentResult enhanced;
+    /** Sum-of-ranks shifts between the two (section 4.3). */
+    EnhancementComparison comparison;
+    /** Engine counters across both runs (cache hits show how much of
+     *  the pair was shared). */
+    exec::ProgressSnapshot execution;
+};
+
+/**
+ * Run the section 4.3 before/after analysis: the PB experiment on the
+ * base machine and again with @p hook_factory enabled, both through
+ * one shared execution engine, then compare the rank tables.
+ *
+ * @param workloads the workload profiles to simulate
+ * @param options experiment knobs; hookFactory/hookId are ignored
+ *        (they describe the enhanced leg, passed separately). When
+ *        options.engine is set, its cache makes any previously
+ *        simulated leg (e.g. an earlier base run) free.
+ * @param hook_factory builds the enhancement hook per run
+ * @param hook_id stable cache identity of the enhancement (empty
+ *        disables caching of the enhanced leg)
+ */
+EnhancementExperimentResult
+runEnhancementExperiment(
+    std::span<const trace::WorkloadProfile> workloads,
+    const PbExperimentOptions &options,
+    const HookFactory &hook_factory, const std::string &hook_id);
 
 } // namespace rigor::methodology
 

@@ -1,9 +1,6 @@
 #include "methodology/pb_experiment.hh"
 
-#include <atomic>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
 
 #include "doe/effects.hh"
 #include "doe/foldover.hh"
@@ -39,6 +36,45 @@ simulateOnce(const trace::WorkloadProfile &profile,
     return static_cast<double>(stats.measuredCycles());
 }
 
+namespace
+{
+
+/** One engine job per (benchmark, design row) pair. */
+std::vector<exec::SimJob>
+pbSimJobs(std::span<const trace::WorkloadProfile> workloads,
+          const doe::DesignMatrix &design,
+          const PbExperimentOptions &options)
+{
+    const std::size_t num_runs = design.numRows();
+    std::vector<exec::SimJob> jobs;
+    jobs.reserve(workloads.size() * num_runs);
+    for (std::size_t bench = 0; bench < workloads.size(); ++bench) {
+        const trace::WorkloadProfile &workload = workloads[bench];
+        for (std::size_t run = 0; run < num_runs; ++run) {
+            exec::SimJob job;
+            job.workload = &workload;
+            job.config = configForLevels(design.row(run));
+            job.instructions = options.instructionsPerRun;
+            job.warmupInstructions = options.warmupInstructions;
+            if (options.hookFactory) {
+                job.makeHook = [&factory = options.hookFactory,
+                                &workload]() {
+                    return factory(workload);
+                };
+                if (!options.hookId.empty())
+                    job.hookId =
+                        options.hookId + "/" + workload.name;
+            }
+            job.label = workload.name + ", design row " +
+                        std::to_string(run);
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+} // namespace
+
 PbExperimentResult
 runPbExperiment(std::span<const trace::WorkloadProfile> workloads,
                 const PbExperimentOptions &options)
@@ -58,64 +94,33 @@ runPbExperiment(std::span<const trace::WorkloadProfile> workloads,
     result.benchmarks.reserve(num_benches);
     for (const trace::WorkloadProfile &w : workloads)
         result.benchmarks.push_back(w.name);
+
+    // One engine job per (benchmark, design row) pair, run through
+    // the shared engine (or a private one) — the responses come back
+    // in job order, so the result is thread-count independent.
+    const std::vector<exec::SimJob> jobs =
+        pbSimJobs(workloads, result.design, options);
+
+    exec::SimulationEngine local_engine(
+        exec::EngineOptions{options.threads, true});
+    exec::SimulationEngine &engine =
+        options.engine ? *options.engine : local_engine;
+
+    std::vector<double> flat;
+    try {
+        flat = engine.run(jobs);
+    } catch (const std::exception &e) {
+        throw std::runtime_error(
+            std::string("runPbExperiment: simulation failed: ") +
+            e.what());
+    }
+
     result.responses.assign(num_benches,
                             std::vector<double>(num_runs, 0.0));
-
-    // Flat task list: one (benchmark, design row) pair per task.
-    const std::size_t num_tasks = num_benches * num_runs;
-    std::atomic<std::size_t> next_task{0};
-    std::atomic<bool> failed{false};
-    std::string failure_message;
-    std::mutex failure_mutex;
-
-    const auto worker = [&]() {
-        for (;;) {
-            const std::size_t task =
-                next_task.fetch_add(1, std::memory_order_relaxed);
-            if (task >= num_tasks || failed.load())
-                return;
-            const std::size_t bench = task / num_runs;
-            const std::size_t run = task % num_runs;
-            try {
-                const std::vector<doe::Level> levels =
-                    result.design.row(run);
-                const sim::ProcessorConfig config =
-                    configForLevels(levels);
-                std::unique_ptr<sim::ExecutionHook> hook;
-                if (options.hookFactory)
-                    hook = options.hookFactory(workloads[bench]);
-                result.responses[bench][run] = simulateOnce(
-                    workloads[bench], config,
-                    options.instructionsPerRun, hook.get(),
-                    options.warmupInstructions);
-            } catch (const std::exception &e) {
-                const std::scoped_lock lock(failure_mutex);
-                failed.store(true);
-                if (failure_message.empty())
-                    failure_message = e.what();
-            }
-        }
-    };
-
-    unsigned num_threads = options.threads;
-    if (num_threads == 0) {
-        num_threads = std::thread::hardware_concurrency();
-        if (num_threads == 0)
-            num_threads = 4;
-    }
-    num_threads = static_cast<unsigned>(
-        std::min<std::size_t>(num_threads, num_tasks));
-
-    std::vector<std::thread> pool;
-    pool.reserve(num_threads);
-    for (unsigned t = 0; t < num_threads; ++t)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
-
-    if (failed.load())
-        throw std::runtime_error("runPbExperiment: simulation failed: " +
-                                 failure_message);
+    for (std::size_t bench = 0; bench < num_benches; ++bench)
+        for (std::size_t run = 0; run < num_runs; ++run)
+            result.responses[bench][run] =
+                flat[bench * num_runs + run];
 
     // Effects and per-benchmark ranks over the 43 real+dummy factors
     // (the design has exactly 43 columns for X = 44).

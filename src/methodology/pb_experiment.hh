@@ -20,6 +20,7 @@
 
 #include "doe/design_matrix.hh"
 #include "doe/ranking.hh"
+#include "exec/engine.hh"
 #include "sim/core.hh"
 #include "trace/workload_profile.hh"
 
@@ -46,12 +47,28 @@ struct PbExperimentOptions
      * (the paper's billion-instruction runs amortized them away).
      */
     std::uint64_t warmupInstructions = 0;
-    /** Worker threads; 0 = hardware concurrency. */
+    /** Worker threads; 0 = hardware concurrency. Ignored when a
+     *  shared engine is supplied (its pool is used instead). */
     unsigned threads = 0;
     /** Use the foldover design (2X runs) as the paper does. */
     bool foldover = true;
     /** Optional enhancement (instruction precomputation etc.). */
     HookFactory hookFactory;
+    /**
+     * Stable cache identity of hookFactory's product (appended with
+     * the workload name per run). Leave empty for an impure factory:
+     * hooked runs are then never served from the run cache.
+     */
+    std::string hookId;
+    /**
+     * Optional shared execution engine (not owned). Sharing one
+     * engine across experiments shares its run cache — the paper's
+     * enhancement analysis re-runs the base experiment verbatim, and
+     * the workflow's screen and factorial overlap — and aggregates
+     * the progress counters. When null, a private engine with
+     * `threads` workers is used.
+     */
+    exec::SimulationEngine *engine = nullptr;
 };
 
 /** Everything the experiment produced. */

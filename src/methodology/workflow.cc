@@ -45,6 +45,7 @@ WorkflowResult::toString() const
     if (!largestInteraction.empty())
         os << "Largest interaction: " << largestInteraction << " ("
            << 100.0 * largestInteractionShare << "% of variation)\n";
+    os << "Execution: " << execution.toString() << "\n";
     return os.str();
 }
 
@@ -61,11 +62,17 @@ runRecommendedWorkflow(
 
     WorkflowResult result;
 
+    // One engine for both simulation phases: the screen's pool is
+    // reused by the step-3 factorial, and any configuration the
+    // factorial shares with the screen is served from the run cache.
+    exec::SimulationEngine engine(
+        exec::EngineOptions{options.threads, true});
+
     // ----- Step 1: PB screening -----
     PbExperimentOptions screen_opts;
     screen_opts.instructionsPerRun = options.instructionsPerRun;
     screen_opts.warmupInstructions = options.warmupInstructions;
-    screen_opts.threads = options.threads;
+    screen_opts.engine = &engine;
     result.screening = runPbExperiment(workloads, screen_opts);
 
     // Critical set: up to the largest sum-of-ranks gap, capped, and
@@ -95,8 +102,12 @@ runRecommendedWorkflow(
     for (Factor f : result.criticalFactors)
         names.push_back(factorName(f));
 
-    std::vector<double> responses;
-    responses.reserve(std::size_t{1} << k);
+    // All 2^k x workloads cells go through the shared engine as one
+    // parallel batch; the per-cell responses are then averaged in a
+    // fixed order so the result is thread-count independent.
+    const std::size_t num_cells = std::size_t{1} << k;
+    std::vector<exec::SimJob> jobs;
+    jobs.reserve(num_cells * workloads.size());
     for (std::uint32_t t = 0; t < (1u << k); ++t) {
         std::vector<std::pair<Factor, doe::Level>> overrides;
         overrides.reserve(k);
@@ -106,12 +117,25 @@ runRecommendedWorkflow(
                                                 : doe::Level::Low);
         const sim::ProcessorConfig config =
             configWithOverrides(overrides);
+        for (const trace::WorkloadProfile &w : workloads) {
+            exec::SimJob job;
+            job.workload = &w;
+            job.config = config;
+            job.instructions = options.instructionsPerRun;
+            job.warmupInstructions = options.warmupInstructions;
+            job.label =
+                w.name + ", factorial cell " + std::to_string(t);
+            jobs.push_back(std::move(job));
+        }
+    }
+    const std::vector<double> cells = engine.run(jobs);
 
+    std::vector<double> responses;
+    responses.reserve(num_cells);
+    for (std::size_t t = 0; t < num_cells; ++t) {
         double total = 0.0;
-        for (const trace::WorkloadProfile &w : workloads)
-            total += simulateOnce(w, config,
-                                  options.instructionsPerRun, nullptr,
-                                  options.warmupInstructions);
+        for (std::size_t w = 0; w < workloads.size(); ++w)
+            total += cells[t * workloads.size() + w];
         responses.push_back(total /
                             static_cast<double>(workloads.size()));
     }
@@ -146,6 +170,7 @@ runRecommendedWorkflow(
             break;
         }
     }
+    result.execution = engine.progress().snapshot();
     return result;
 }
 

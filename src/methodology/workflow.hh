@@ -38,7 +38,9 @@ struct WorkflowOptions
     std::uint64_t instructionsPerRun = 100000;
     /** Warm-up instructions per run. */
     std::uint64_t warmupInstructions = 100000;
-    /** Worker threads for the screening experiment (0 = hardware). */
+    /** Worker threads for every simulation phase — the PB screen and
+     *  the step-3 full factorial share one execution engine
+     *  (0 = hardware concurrency). */
     unsigned threads = 0;
     /**
      * Cap on the critical-parameter count carried into the ANOVA
@@ -76,6 +78,9 @@ struct WorkflowResult
      *  cannot produce. */
     std::string largestInteraction;
     double largestInteractionShare = 0.0;
+    /** Execution-engine counters over both simulation phases (runs,
+     *  cache hits, simulated instructions, wall time). */
+    exec::ProgressSnapshot execution;
 
     /** Human-readable multi-section report. */
     std::string toString() const;

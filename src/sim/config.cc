@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 
@@ -15,6 +16,33 @@ bool
 isPow2(std::uint64_t v)
 {
     return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Boost-style hash mixing. */
+void
+hashCombine(std::size_t &seed, std::uint64_t value)
+{
+    seed ^= std::hash<std::uint64_t>{}(value) + 0x9e3779b97f4a7c15ULL +
+            (seed << 6) + (seed >> 2);
+}
+
+void
+hashCombine(std::size_t &seed, const CacheGeometry &g)
+{
+    hashCombine(seed, g.sizeBytes);
+    hashCombine(seed, g.assoc);
+    hashCombine(seed, g.blockBytes);
+    hashCombine(seed, static_cast<std::uint64_t>(g.replacement));
+    hashCombine(seed, g.latency);
+}
+
+void
+hashCombine(std::size_t &seed, const TlbGeometry &g)
+{
+    hashCombine(seed, g.entries);
+    hashCombine(seed, g.pageBytes);
+    hashCombine(seed, g.assoc);
+    hashCombine(seed, g.missLatency);
 }
 
 void
@@ -125,6 +153,46 @@ ProcessorConfig::validate() const
             "memBandwidthBytes must be a non-zero power of two");
     validateTlb("itlb", itlb);
     validateTlb("dtlb", dtlb);
+}
+
+std::size_t
+ProcessorConfig::hash() const
+{
+    std::size_t seed = 0;
+    hashCombine(seed, ifqEntries);
+    hashCombine(seed, static_cast<std::uint64_t>(bpred));
+    hashCombine(seed, bpredPenalty);
+    hashCombine(seed, rasEntries);
+    hashCombine(seed, btbEntries);
+    hashCombine(seed, btbAssoc);
+    hashCombine(seed, static_cast<std::uint64_t>(specBranchUpdate));
+    hashCombine(seed, machineWidth);
+    hashCombine(seed, robEntries);
+    hashCombine(seed, std::bit_cast<std::uint64_t>(lsqRatio));
+    hashCombine(seed, memPorts);
+    hashCombine(seed, intAlus);
+    hashCombine(seed, intAluLatency);
+    hashCombine(seed, intAluThroughput);
+    hashCombine(seed, fpAlus);
+    hashCombine(seed, fpAluLatency);
+    hashCombine(seed, fpAluThroughput);
+    hashCombine(seed, intMultDivUnits);
+    hashCombine(seed, intMultLatency);
+    hashCombine(seed, intDivLatency);
+    hashCombine(seed, intMultThroughput);
+    hashCombine(seed, fpMultDivUnits);
+    hashCombine(seed, fpMultLatency);
+    hashCombine(seed, fpDivLatency);
+    hashCombine(seed, fpSqrtLatency);
+    hashCombine(seed, l1iNextLinePrefetch ? 1 : 0);
+    hashCombine(seed, l1i);
+    hashCombine(seed, l1d);
+    hashCombine(seed, l2);
+    hashCombine(seed, memLatencyFirst);
+    hashCombine(seed, memBandwidthBytes);
+    hashCombine(seed, itlb);
+    hashCombine(seed, dtlb);
+    return seed;
 }
 
 std::string

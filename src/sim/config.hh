@@ -13,6 +13,7 @@
 #ifndef RIGOR_SIM_CONFIG_HH
 #define RIGOR_SIM_CONFIG_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -70,6 +71,8 @@ struct CacheGeometry
     {
         return numBlocks() / effectiveAssoc();
     }
+
+    bool operator==(const CacheGeometry &) const = default;
 };
 
 /** Geometry and timing of one TLB. */
@@ -88,6 +91,8 @@ struct TlbGeometry
         return assoc == 0 ? entries : assoc;
     }
     std::uint32_t numSets() const { return entries / effectiveAssoc(); }
+
+    bool operator==(const TlbGeometry &) const = default;
 };
 
 /**
@@ -177,6 +182,16 @@ struct ProcessorConfig
 
     /** Human-readable multi-line dump for reports. */
     std::string toString() const;
+
+    /** Memberwise equality (run-cache key comparisons). */
+    bool operator==(const ProcessorConfig &) const = default;
+
+    /**
+     * Stable memberwise hash covering every configurable field, so
+     * two configurations hash equally iff they would simulate
+     * identically. Used by exec::RunCache to memoize simulation runs.
+     */
+    std::size_t hash() const;
 };
 
 /** Name helpers for report output. */

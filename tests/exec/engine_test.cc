@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "doe/design_matrix.hh"
+#include "exec/engine.hh"
+#include "exec/run_cache.hh"
+#include "exec/sim_job_queue.hh"
+#include "methodology/parameter_space.hh"
+#include "methodology/pb_experiment.hh"
+#include "trace/workloads.hh"
+
+namespace doe = rigor::doe;
+namespace exec = rigor::exec;
+namespace methodology = rigor::methodology;
+namespace sim = rigor::sim;
+namespace trace = rigor::trace;
+
+namespace
+{
+
+/** A small heterogeneous batch: two workloads x two configurations. */
+std::vector<exec::SimJob>
+smallBatch(const std::vector<trace::WorkloadProfile> &workloads,
+           std::uint64_t instructions = 3000)
+{
+    std::vector<exec::SimJob> jobs;
+    for (const trace::WorkloadProfile &w : workloads) {
+        for (doe::Level level : {doe::Level::Low, doe::Level::High}) {
+            exec::SimJob job;
+            job.workload = &w;
+            job.config = methodology::uniformConfig(level);
+            job.instructions = instructions;
+            job.label = w.name;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+} // namespace
+
+// ----- SimJobQueue -----
+
+TEST(SimJobQueue, SingleWorkerDrainsInOrder)
+{
+    exec::SimJobQueue queue(5, 1);
+    std::size_t job;
+    for (std::size_t expected = 0; expected < 5; ++expected) {
+        ASSERT_TRUE(queue.pop(0, job));
+        EXPECT_EQ(job, expected);
+    }
+    EXPECT_FALSE(queue.pop(0, job));
+}
+
+TEST(SimJobQueue, EveryJobDeliveredExactlyOnce)
+{
+    constexpr std::size_t num_jobs = 1000;
+    constexpr unsigned num_workers = 8;
+    exec::SimJobQueue queue(num_jobs, num_workers);
+
+    std::vector<std::atomic<int>> delivered(num_jobs);
+    std::vector<std::thread> pool;
+    for (unsigned w = 0; w < num_workers; ++w) {
+        pool.emplace_back([&queue, &delivered, w]() {
+            std::size_t job;
+            while (queue.pop(w, job))
+                delivered[job].fetch_add(1);
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    for (std::size_t j = 0; j < num_jobs; ++j)
+        EXPECT_EQ(delivered[j].load(), 1) << "job " << j;
+}
+
+TEST(SimJobQueue, StealingDrainsUnbalancedLoad)
+{
+    // Worker 1 never pops its own range; worker 0 must steal it all.
+    exec::SimJobQueue queue(64, 2);
+    std::set<std::size_t> seen;
+    std::size_t job;
+    while (queue.pop(0, job))
+        seen.insert(job);
+    EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(SimJobQueue, EmptyQueueIsDrained)
+{
+    exec::SimJobQueue queue(0, 4);
+    std::size_t job;
+    EXPECT_FALSE(queue.pop(2, job));
+}
+
+// ----- RunCache -----
+
+TEST(RunCache, StoreThenLookupReturnsExactValue)
+{
+    exec::RunCache cache;
+    exec::RunKey key;
+    key.workload = "gzip";
+    key.config = methodology::uniformConfig(doe::Level::High);
+    key.instructions = 1000;
+
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    const double value = 123456789.0000001;
+    cache.store(key, value);
+    const std::optional<double> hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, value); // bit-exact, not approximately
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RunCache, DistinguishesEveryKeyComponent)
+{
+    exec::RunCache cache;
+    exec::RunKey key;
+    key.workload = "gzip";
+    key.config = methodology::uniformConfig(doe::Level::High);
+    key.instructions = 1000;
+    cache.store(key, 1.0);
+
+    exec::RunKey other = key;
+    other.workload = "mcf";
+    EXPECT_FALSE(cache.lookup(other).has_value());
+    other = key;
+    other.instructions = 2000;
+    EXPECT_FALSE(cache.lookup(other).has_value());
+    other = key;
+    other.warmupInstructions = 500;
+    EXPECT_FALSE(cache.lookup(other).has_value());
+    other = key;
+    other.hookId = "precompute";
+    EXPECT_FALSE(cache.lookup(other).has_value());
+    other = key;
+    other.config.robEntries += 1;
+    EXPECT_FALSE(cache.lookup(other).has_value());
+}
+
+TEST(RunCache, ClearResetsEntriesAndCounters)
+{
+    exec::RunCache cache;
+    exec::RunKey key;
+    key.workload = "w";
+    cache.store(key, 2.0);
+    ASSERT_TRUE(cache.lookup(key).has_value());
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_FALSE(cache.lookup(key).has_value());
+}
+
+// ----- ProcessorConfig hash/equality -----
+
+TEST(ProcessorConfigHash, EqualConfigsHashEqual)
+{
+    const sim::ProcessorConfig a =
+        methodology::uniformConfig(doe::Level::High);
+    const sim::ProcessorConfig b =
+        methodology::uniformConfig(doe::Level::High);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(ProcessorConfigHash, FieldChangesChangeHash)
+{
+    const sim::ProcessorConfig base =
+        methodology::uniformConfig(doe::Level::High);
+    sim::ProcessorConfig tweaked = base;
+    tweaked.robEntries += 1;
+    EXPECT_NE(base, tweaked);
+    EXPECT_NE(base.hash(), tweaked.hash());
+
+    tweaked = base;
+    tweaked.l2.latency += 1;
+    EXPECT_NE(base, tweaked);
+    EXPECT_NE(base.hash(), tweaked.hash());
+
+    tweaked = base;
+    tweaked.lsqRatio = 0.75;
+    EXPECT_NE(base, tweaked);
+    EXPECT_NE(base.hash(), tweaked.hash());
+
+    tweaked = base;
+    tweaked.l1iNextLinePrefetch = !base.l1iNextLinePrefetch;
+    EXPECT_NE(base, tweaked);
+    EXPECT_NE(base.hash(), tweaked.hash());
+}
+
+// ----- SimulationEngine -----
+
+TEST(SimulationEngine, MatchesSimulateOnce)
+{
+    const std::vector<trace::WorkloadProfile> workloads = {
+        trace::workloadByName("gzip"), trace::workloadByName("mcf")};
+    const std::vector<exec::SimJob> jobs = smallBatch(workloads);
+
+    exec::SimulationEngine engine(exec::EngineOptions{2, true});
+    const std::vector<double> responses = engine.run(jobs);
+    ASSERT_EQ(responses.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const double reference = methodology::simulateOnce(
+            *jobs[i].workload, jobs[i].config, jobs[i].instructions,
+            nullptr, jobs[i].warmupInstructions);
+        EXPECT_EQ(responses[i], reference) << "job " << i;
+    }
+}
+
+TEST(SimulationEngine, DeterministicAcrossThreadCounts)
+{
+    const std::vector<trace::WorkloadProfile> workloads = {
+        trace::workloadByName("gzip"), trace::workloadByName("mcf")};
+    const std::vector<exec::SimJob> jobs = smallBatch(workloads);
+
+    exec::SimulationEngine serial(exec::EngineOptions{1, true});
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw < 2)
+        hw = 8; // exercise the pool even on small CI boxes
+    exec::SimulationEngine parallel(exec::EngineOptions{hw, true});
+
+    EXPECT_EQ(serial.run(jobs), parallel.run(jobs));
+}
+
+TEST(SimulationEngine, CacheHitsReturnExactCachedValue)
+{
+    const std::vector<trace::WorkloadProfile> workloads = {
+        trace::workloadByName("gzip")};
+    const std::vector<exec::SimJob> jobs = smallBatch(workloads);
+
+    exec::SimulationEngine engine(exec::EngineOptions{2, true});
+    const std::vector<double> first = engine.run(jobs);
+    EXPECT_EQ(engine.progress().snapshot().cacheHits, 0u);
+
+    const std::vector<double> second = engine.run(jobs);
+    EXPECT_EQ(first, second); // exact values, straight from the cache
+
+    const exec::ProgressSnapshot snap = engine.progress().snapshot();
+    EXPECT_EQ(snap.cacheHits, jobs.size());
+    EXPECT_EQ(snap.runsTotal, 2 * jobs.size());
+    EXPECT_EQ(snap.runsCompleted, 2 * jobs.size());
+}
+
+TEST(SimulationEngine, CacheDisabledNeverHits)
+{
+    const std::vector<trace::WorkloadProfile> workloads = {
+        trace::workloadByName("gzip")};
+    const std::vector<exec::SimJob> jobs = smallBatch(workloads);
+
+    exec::SimulationEngine engine(exec::EngineOptions{1, false});
+    const std::vector<double> first = engine.run(jobs);
+    const std::vector<double> second = engine.run(jobs);
+    EXPECT_EQ(first, second); // deterministic even without the cache
+    EXPECT_EQ(engine.progress().snapshot().cacheHits, 0u);
+    EXPECT_EQ(engine.cache().size(), 0u);
+}
+
+TEST(SimulationEngine, HookedJobWithoutIdentityBypassesCache)
+{
+    struct NoopHook : sim::ExecutionHook
+    {
+        bool intercept(const trace::Instruction &) override
+        {
+            return false;
+        }
+    };
+
+    const std::vector<trace::WorkloadProfile> workloads = {
+        trace::workloadByName("gzip")};
+    std::vector<exec::SimJob> jobs = smallBatch(workloads);
+    for (exec::SimJob &job : jobs)
+        job.makeHook = []() { return std::make_unique<NoopHook>(); };
+
+    exec::SimulationEngine engine(exec::EngineOptions{1, true});
+    engine.run(jobs);
+    engine.run(jobs);
+    EXPECT_EQ(engine.progress().snapshot().cacheHits, 0u);
+    EXPECT_EQ(engine.cache().size(), 0u);
+
+    // The same jobs with a stable identity do participate.
+    for (exec::SimJob &job : jobs)
+        job.hookId = "noop";
+    engine.run(jobs);
+    engine.run(jobs);
+    EXPECT_EQ(engine.progress().snapshot().cacheHits, jobs.size());
+}
+
+TEST(SimulationEngine, ProgressCountsSimulatedInstructions)
+{
+    const std::vector<trace::WorkloadProfile> workloads = {
+        trace::workloadByName("gzip")};
+    std::vector<exec::SimJob> jobs = smallBatch(workloads, 2000);
+    for (exec::SimJob &job : jobs)
+        job.warmupInstructions = 500;
+
+    exec::SimulationEngine engine(exec::EngineOptions{1, true});
+    engine.run(jobs);
+    const exec::ProgressSnapshot snap = engine.progress().snapshot();
+    EXPECT_EQ(snap.simulatedInstructions, jobs.size() * 2500u);
+    EXPECT_GT(snap.wallSeconds, 0.0);
+    EXPECT_NE(snap.toString().find("cache hits"), std::string::npos);
+
+    engine.progress().reset();
+    EXPECT_EQ(engine.progress().snapshot().runsTotal, 0u);
+}
+
+TEST(SimulationEngine, FailureNamesTheJobLabel)
+{
+    const std::vector<trace::WorkloadProfile> workloads = {
+        trace::workloadByName("gzip")};
+    std::vector<exec::SimJob> jobs = smallBatch(workloads);
+    jobs[1].makeHook = []() -> std::unique_ptr<sim::ExecutionHook> {
+        throw std::runtime_error("broken hook");
+    };
+    jobs[1].label = "gzip, design row 1";
+
+    exec::SimulationEngine engine(exec::EngineOptions{2, true});
+    try {
+        engine.run(jobs);
+        FAIL() << "expected the batch to fail";
+    } catch (const std::runtime_error &e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("gzip, design row 1"),
+                  std::string::npos)
+            << message;
+        EXPECT_NE(message.find("broken hook"), std::string::npos)
+            << message;
+    }
+}
+
+TEST(SimulationEngine, EmptyBatchIsANoop)
+{
+    exec::SimulationEngine engine;
+    EXPECT_TRUE(engine.run({}).empty());
+    EXPECT_EQ(engine.progress().snapshot().runsCompleted, 0u);
+}

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "methodology/csv_export.hh"
 #include "methodology/pb_experiment.hh"
@@ -73,6 +74,44 @@ TEST(CsvExport, RankTableShape)
         methodology::rankTableToCsv(smallResult());
     EXPECT_EQ(countLines(csv), 44u);
     EXPECT_NE(csv.find(",sum"), std::string::npos);
+}
+
+TEST(CsvExport, ResponsesRoundTripAtFullPrecision)
+{
+    // Cycle responses above ~10^6 used to be truncated to the default
+    // 6 significant digits; every emitted value must now parse back
+    // bit-identically.
+    methodology::PbExperimentResult result = smallResult();
+    result.responses[0][0] = 12345678.90123456;  // > 10^6 cycles
+    result.responses[0][1] = 98765432109.87654;  // > 10^10 cycles
+    const std::string csv = methodology::responsesToCsv(result);
+
+    std::size_t row = 0;
+    std::size_t line_start = csv.find('\n') + 1; // skip header
+    while (line_start < csv.size() && row < result.design.numRows()) {
+        const std::size_t line_end = csv.find('\n', line_start);
+        const std::string line =
+            csv.substr(line_start, line_end - line_start);
+        const std::size_t last_comma = line.rfind(',');
+        ASSERT_NE(last_comma, std::string::npos);
+        const double parsed =
+            std::strtod(line.c_str() + last_comma + 1, nullptr);
+        EXPECT_EQ(parsed, result.responses[0][row])
+            << "row " << row << ": " << line;
+        line_start = line_end + 1;
+        ++row;
+    }
+    EXPECT_EQ(row, result.design.numRows());
+}
+
+TEST(CsvExport, EffectsRoundTripAtFullPrecision)
+{
+    methodology::PbExperimentResult result = smallResult();
+    result.effects[0][0] = -1234567.000000123;
+    const std::string csv = methodology::effectsToCsv(result);
+    EXPECT_NE(csv.find("-1234567.000000123"), std::string::npos);
+    // The old 6-digit rendering must be gone.
+    EXPECT_EQ(csv.find("-1.23457e+06"), std::string::npos);
 }
 
 TEST(CsvExport, DistanceMatrixRoundTripValues)

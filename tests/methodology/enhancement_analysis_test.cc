@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "methodology/enhancement_analysis.hh"
+#include "methodology/parameter_space.hh"
 #include "methodology/published_data.hh"
+#include "trace/workloads.hh"
 
 namespace doe = rigor::doe;
 namespace methodology = rigor::methodology;
@@ -83,6 +87,89 @@ TEST(EnhancementAnalysis, PublishedTablesHeadlineResult)
         methodology::compareRankTables(base, enhanced);
     EXPECT_EQ(cmp.biggestReliefAmongTop(base, 10).name, "Int ALUs");
     EXPECT_EQ(cmp.shift("Int ALUs").delta(), 19); // 118 -> 137
+}
+
+TEST(EnhancementAnalysis, DuplicateEnhancedFactorsRejected)
+{
+    // A duplicate name in the enhanced table must be an error, not a
+    // silent first-wins match.
+    const auto base = summaries({{"A", 10}, {"B", 20}});
+    const auto enhanced = summaries({{"A", 12}, {"A", 99}});
+    EXPECT_THROW(methodology::compareRankTables(base, enhanced),
+                 std::invalid_argument);
+}
+
+TEST(EnhancementAnalysis, PairedExperimentSharesOneEngine)
+{
+    struct NoopHook : rigor::sim::ExecutionHook
+    {
+        bool intercept(const rigor::trace::Instruction &) override
+        {
+            return false;
+        }
+    };
+
+    const std::vector<rigor::trace::WorkloadProfile> workloads = {
+        rigor::trace::workloadByName("gzip")};
+    methodology::PbExperimentOptions opts;
+    opts.instructionsPerRun = 4000;
+    opts.threads = 2;
+
+    const methodology::EnhancementExperimentResult result =
+        methodology::runEnhancementExperiment(
+            workloads, opts,
+            [](const rigor::trace::WorkloadProfile &)
+                -> std::unique_ptr<rigor::sim::ExecutionHook> {
+                return std::make_unique<NoopHook>();
+            },
+            "noop");
+
+    // Both legs ran: 88 base + 88 enhanced runs on one engine.
+    EXPECT_EQ(result.execution.runsTotal, 176u);
+    EXPECT_EQ(result.execution.runsCompleted, 176u);
+    EXPECT_EQ(result.base.responses[0].size(), 88u);
+    EXPECT_EQ(result.enhanced.responses[0].size(), 88u);
+    EXPECT_EQ(result.comparison.shifts.size(),
+              methodology::numFactors);
+    // A do-nothing hook leaves the responses identical, so every
+    // sum-of-ranks shift is zero.
+    for (const methodology::RankShift &s : result.comparison.shifts)
+        EXPECT_EQ(s.delta(), 0) << s.name;
+}
+
+TEST(EnhancementAnalysis, SharedEngineMakesBaseLegFree)
+{
+    const std::vector<rigor::trace::WorkloadProfile> workloads = {
+        rigor::trace::workloadByName("gzip")};
+    rigor::exec::SimulationEngine engine(
+        rigor::exec::EngineOptions{2, true});
+    methodology::PbExperimentOptions opts;
+    opts.instructionsPerRun = 4000;
+    opts.engine = &engine;
+
+    // An earlier base experiment on the same engine...
+    methodology::runPbExperiment(workloads, opts);
+    EXPECT_EQ(engine.progress().snapshot().cacheHits, 0u);
+
+    // ...makes the paired experiment's base leg pure cache hits.
+    methodology::runEnhancementExperiment(
+        workloads, opts,
+        [](const rigor::trace::WorkloadProfile &)
+            -> std::unique_ptr<rigor::sim::ExecutionHook> {
+            return nullptr;
+        },
+        "noop");
+    EXPECT_GE(engine.progress().snapshot().cacheHits, 88u);
+}
+
+TEST(EnhancementAnalysis, ExperimentRequiresHookFactory)
+{
+    const std::vector<rigor::trace::WorkloadProfile> workloads = {
+        rigor::trace::workloadByName("gzip")};
+    EXPECT_THROW(methodology::runEnhancementExperiment(
+                     workloads, methodology::PbExperimentOptions{},
+                     {}, "id"),
+                 std::invalid_argument);
 }
 
 TEST(EnhancementAnalysis, MismatchedFactorSetsRejected)

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <set>
+#include <thread>
 
 #include "enhance/precompute.hh"
+#include "exec/engine.hh"
 #include "methodology/parameter_space.hh"
 #include "methodology/pb_experiment.hh"
 #include "trace/workloads.hh"
@@ -83,10 +85,54 @@ TEST(PbExperiment, DeterministicAcrossThreadCounts)
     methodology::PbExperimentOptions serial = fastOptions();
     serial.threads = 1;
     methodology::PbExperimentOptions parallel = fastOptions();
-    parallel.threads = 8;
+    parallel.threads = std::max(
+        2u, std::thread::hardware_concurrency());
     const auto a = methodology::runPbExperiment(workloads, serial);
     const auto b = methodology::runPbExperiment(workloads, parallel);
     EXPECT_EQ(a.responses, b.responses);
+}
+
+TEST(PbExperiment, SharedEngineServesRepeatRunsFromCache)
+{
+    const auto workloads = twoWorkloads();
+    rigor::exec::SimulationEngine engine(
+        rigor::exec::EngineOptions{2, true});
+    methodology::PbExperimentOptions opts = fastOptions();
+    opts.engine = &engine;
+
+    const auto first = methodology::runPbExperiment(workloads, opts);
+    EXPECT_EQ(engine.progress().snapshot().cacheHits, 0u);
+
+    // The verbatim rerun — what the enhancement analysis does for its
+    // base leg — must be served entirely from the cache, bit-exact.
+    const auto second = methodology::runPbExperiment(workloads, opts);
+    EXPECT_EQ(first.responses, second.responses);
+    EXPECT_EQ(engine.progress().snapshot().cacheHits,
+              2 * 88u); // 2 workloads x 88 design rows
+}
+
+TEST(PbExperiment, FailureNamesBenchmarkAndDesignRow)
+{
+    const auto workloads = twoWorkloads();
+    methodology::PbExperimentOptions opts = fastOptions();
+    opts.hookFactory = [](const trace::WorkloadProfile &profile)
+        -> std::unique_ptr<rigor::sim::ExecutionHook> {
+        if (profile.name == "mcf")
+            throw std::runtime_error("bad configuration");
+        return nullptr;
+    };
+    try {
+        methodology::runPbExperiment(workloads, opts);
+        FAIL() << "expected the experiment to fail";
+    } catch (const std::runtime_error &e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("mcf"), std::string::npos) << message;
+        EXPECT_NE(message.find("design row"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("bad configuration"),
+                  std::string::npos)
+            << message;
+    }
 }
 
 TEST(PbExperiment, RankVectorsMatchRanks)

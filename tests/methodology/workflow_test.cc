@@ -85,6 +85,48 @@ TEST(Workflow, ReportMentionsAllSteps)
     EXPECT_NE(report.find("interaction"), std::string::npos);
 }
 
+TEST(Workflow, ExecutionCountersCoverBothPhases)
+{
+    const methodology::WorkflowResult &r = sharedRun();
+    // 88 screen runs x 2 workloads, plus 2^k factorial cells x 2
+    // workloads, all through the one shared engine.
+    const std::uint64_t expected =
+        88u * 2u + (std::uint64_t{1} << r.criticalFactors.size()) * 2u;
+    EXPECT_EQ(r.execution.runsTotal, expected);
+    EXPECT_EQ(r.execution.runsCompleted, expected);
+    EXPECT_GT(r.execution.simulatedInstructions, 0u);
+    EXPECT_GT(r.execution.wallSeconds, 0.0);
+    EXPECT_NE(sharedRun().toString().find("Execution:"),
+              std::string::npos);
+}
+
+TEST(Workflow, DeterministicAcrossThreadCounts)
+{
+    methodology::WorkflowOptions opts;
+    opts.instructionsPerRun = 5000;
+    opts.warmupInstructions = 0;
+    opts.maxCriticalParameters = 2;
+    const std::vector<trace::WorkloadProfile> workloads = {
+        trace::workloadByName("gzip")};
+
+    opts.threads = 1;
+    const methodology::WorkflowResult serial =
+        methodology::runRecommendedWorkflow(workloads, opts);
+    opts.threads = 8;
+    const methodology::WorkflowResult parallel =
+        methodology::runRecommendedWorkflow(workloads, opts);
+
+    EXPECT_EQ(serial.screening.responses,
+              parallel.screening.responses);
+    EXPECT_EQ(serial.criticalFactors, parallel.criticalFactors);
+    ASSERT_EQ(serial.sensitivity.rows.size(),
+              parallel.sensitivity.rows.size());
+    for (std::size_t i = 0; i < serial.sensitivity.rows.size(); ++i)
+        EXPECT_EQ(serial.sensitivity.rows[i].effect,
+                  parallel.sensitivity.rows[i].effect)
+            << "row " << i;
+}
+
 TEST(Workflow, ValidatesOptions)
 {
     methodology::WorkflowOptions opts;
