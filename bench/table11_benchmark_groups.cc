@@ -24,8 +24,8 @@ main()
 
     const double threshold = methodology::defaultSimilarityThreshold();
     std::printf("Table 11: Benchmarks Grouped by Their Effect on the "
-                "Processor (threshold %.1f = sqrt(4000))\n\n",
-                threshold);
+                "Processor (threshold %.1f = sqrt(%.0f))\n\n",
+                threshold, methodology::kSimilarityThresholdSquared);
 
     // ---- Published-rank reproduction ----
     const methodology::PublishedRankTable &t9 =

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build the asan preset and run the full tier-1 test suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer. Any heap error,
+# out-of-bounds access, or undefined behaviour (signed overflow,
+# misaligned load, invalid shift, ...) fails the run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+
+# Abort on the first report so a failure points at one stack trace;
+# -fno-sanitize-recover=all already makes UBSan fatal at compile time.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --preset asan -j "$(nproc)"
+
+echo "ASan/UBSan suites passed."

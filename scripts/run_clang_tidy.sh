@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Run clang-tidy (checks from .clang-tidy) over the library sources.
+# Requires a compile_commands.json, which the default preset exports.
+#
+#   scripts/run_clang_tidy.sh             # whole library + tools
+#   scripts/run_clang_tidy.sh src/stats   # one subtree
+#
+# Exits 0 with a notice when clang-tidy is not installed so it can sit
+# in pipelines next to compilers that do not ship it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "run_clang_tidy.sh: clang-tidy not found; skipping." >&2
+    exit 0
+fi
+
+if [ ! -f build/compile_commands.json ]; then
+    cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+fi
+
+targets=("$@")
+if [ "${#targets[@]}" -eq 0 ]; then
+    targets=(src tools)
+fi
+
+mapfile -t sources < <(find "${targets[@]}" -name '*.cc' | sort)
+clang-tidy -p build --quiet "${sources[@]}"
+
+echo "clang-tidy passed."

@@ -22,7 +22,7 @@ PbDesign.*:Foldover.*:Effects.*:Hadamard.*:GaloisField.*:
 PrimePower.*:DesignMatrix.*:DesignCost.*:OneAtATime.*:
 Classification.*:Ranking.*:RankTable.*:TextTable.*:
 ParameterSpace.*:PbExperiment.*:Workflow.*:EnhancementAnalysis.*:
-CsvExport.*:PublishedData.*
+CsvExport.*:PublishedData.*:Preflight.*
 EOF
 )"
 

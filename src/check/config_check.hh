@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Static analysis of processor configurations and the PB parameter
+ * space against the linked-parameter rules of the paper's Tables 6-8.
+ *
+ * The tables' "shaded" parameters are not free: LSQ entries are a
+ * ratio of the ROB, unpipelined units issue at their latency, the
+ * following-block memory latency is 2% of the first block, and the
+ * D-TLB mirrors the I-TLB's page size and miss latency. A
+ * configuration that silently breaks a link still simulates — it just
+ * no longer measures the machine the design claims to vary, so the
+ * effect attributed to a factor is partly another parameter's. These
+ * checks reject such configurations, and audit every Factor's
+ * low/high pair (level ordering, dummy inertness) before a run.
+ */
+
+#ifndef RIGOR_CHECK_CONFIG_CHECK_HH
+#define RIGOR_CHECK_CONFIG_CHECK_HH
+
+#include "check/diagnostic.hh"
+#include "methodology/parameter_space.hh"
+#include "sim/config.hh"
+
+namespace rigor::check
+{
+
+/**
+ * Check one configuration: core validity (power-of-two cache
+ * geometry, non-zero resources) plus the Tables 6-8 linked-parameter
+ * invariants (LSQ/ROB ratio in (0, 1], machine width 4, D-TLB
+ * mirroring the I-TLB, L2 blocks covering L1 blocks, issue intervals
+ * bounded by latencies). Returns true when this call reported no
+ * error.
+ */
+bool checkProcessorConfig(const sim::ProcessorConfig &config,
+                          DiagnosticSink &sink,
+                          const SourceContext &base = {});
+
+/**
+ * Check one factor's low/high level pair: both levels must yield
+ * valid configurations, a real factor's levels must differ with the
+ * low level on the performance-adverse side ("low < high" in the
+ * tables' resource ordering), and a dummy factor must be inert.
+ * Returns true when this call reported no error.
+ */
+bool checkFactorLevelPair(methodology::Factor factor,
+                          DiagnosticSink &sink,
+                          const SourceContext &base = {});
+
+/**
+ * Audit the entire built-in parameter space: every factor's level
+ * pair via checkFactorLevelPair(). Guards the compiled-in Tables 6-8
+ * against regressions and is cheap enough to run per experiment.
+ * Returns true when this call reported no error.
+ */
+bool checkParameterSpace(DiagnosticSink &sink,
+                         const SourceContext &base = {});
+
+} // namespace rigor::check
+
+#endif // RIGOR_CHECK_CONFIG_CHECK_HH

@@ -1,0 +1,200 @@
+#include "check/csv_lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "check/rule_ids.hh"
+
+namespace rigor::check
+{
+
+namespace
+{
+
+bool
+parseInt(const std::string &cell, int &out)
+{
+    std::string trimmed = cell;
+    trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+    const std::size_t last = trimmed.find_last_not_of(" \t\r");
+    trimmed.erase(last == std::string::npos ? 0 : last + 1);
+    if (trimmed.empty())
+        return false;
+    // std::from_chars rejects an explicit '+'; the exports and
+    // hand-written designs both use "+1".
+    const char *first = trimmed.data();
+    const char *last_ptr = trimmed.data() + trimmed.size();
+    if (*first == '+')
+        ++first;
+    if (first == last_ptr)
+        return false;
+    const std::from_chars_result res =
+        std::from_chars(first, last_ptr, out);
+    return res.ec == std::errc{} && res.ptr == last_ptr;
+}
+
+bool
+isIgnorableColumn(const std::string &header_cell)
+{
+    std::string lower = header_cell;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    if (lower == "run")
+        return true;
+    const std::string suffix = " cycles";
+    return lower.size() > suffix.size() &&
+           lower.compare(lower.size() - suffix.size(), suffix.size(),
+                         suffix) == 0;
+}
+
+} // namespace
+
+std::vector<std::string>
+splitCsvRecord(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char ch = line[i];
+        if (quoted) {
+            if (ch == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    current += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                current += ch;
+            }
+        } else if (ch == '"') {
+            quoted = true;
+        } else if (ch == ',') {
+            fields.push_back(std::move(current));
+            current.clear();
+        } else if (ch != '\r') {
+            current += ch;
+        }
+    }
+    fields.push_back(std::move(current));
+    return fields;
+}
+
+ParsedCsvDesign
+parseDesignCsv(const std::string &text, const std::string &filename,
+               DiagnosticSink &sink)
+{
+    ParsedCsvDesign parsed;
+
+    // Gather non-empty lines with their 1-based file positions.
+    std::vector<std::pair<std::size_t, std::string>> lines;
+    {
+        std::istringstream is(text);
+        std::string line;
+        std::size_t num = 0;
+        while (std::getline(is, line)) {
+            ++num;
+            if (line.find_first_not_of(" \t\r") != std::string::npos)
+                lines.emplace_back(num, line);
+        }
+    }
+    if (lines.empty()) {
+        sink.error(rules::kCsvNoRows, "no design rows in file",
+                   {filename, 0, {}});
+        return parsed;
+    }
+
+    // A header is any first line with a cell that is not an integer.
+    const std::vector<std::string> first =
+        splitCsvRecord(lines.front().second);
+    bool has_header = false;
+    for (const std::string &cell : first) {
+        int value = 0;
+        if (!parseInt(cell, value)) {
+            has_header = true;
+            break;
+        }
+    }
+
+    // Which columns carry design levels (vs run index / responses).
+    std::vector<bool> is_design(first.size(), true);
+    if (has_header) {
+        for (std::size_t c = 0; c < first.size(); ++c) {
+            is_design[c] = !isIgnorableColumn(first[c]);
+            if (is_design[c])
+                parsed.factorNames.push_back(first[c]);
+        }
+    }
+
+    const std::size_t start = has_header ? 1 : 0;
+    if (start >= lines.size()) {
+        sink.error(rules::kCsvNoRows,
+                   "header only, no design rows",
+                   {filename, lines.front().first, {}});
+        return parsed;
+    }
+    parsed.firstDataLine = lines[start].first;
+
+    for (std::size_t i = start; i < lines.size(); ++i) {
+        const auto &[line_num, line] = lines[i];
+        const std::vector<std::string> cells = splitCsvRecord(line);
+        if (cells.size() != first.size()) {
+            sink.error(rules::kCsvRaggedRow,
+                       "row has " + std::to_string(cells.size()) +
+                           " cells, expected " +
+                           std::to_string(first.size()),
+                       {filename, line_num, {}});
+            continue;
+        }
+        std::vector<int> row;
+        row.reserve(first.size());
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (!is_design[c])
+                continue;
+            int value = 0;
+            if (!parseInt(cells[c], value)) {
+                sink.error(rules::kCsvBadCell,
+                           "cell '" + cells[c] + "' in column " +
+                               std::to_string(c) +
+                               " is not an integer level",
+                           {filename, line_num, {}});
+                value = 0;
+            }
+            row.push_back(value);
+        }
+        parsed.signs.push_back(std::move(row));
+    }
+    if (parsed.signs.empty() || parsed.signs.front().empty())
+        sink.error(rules::kCsvNoRows,
+                   "no design level columns found",
+                   {filename, parsed.firstDataLine, {}});
+    return parsed;
+}
+
+bool
+lintDesignCsv(const std::string &text, const std::string &filename,
+              const DesignCheckOptions &options, DiagnosticSink &sink)
+{
+    const std::size_t before = sink.errorCount();
+    ParsedCsvDesign parsed = parseDesignCsv(text, filename, sink);
+    if (parsed.signs.empty() || parsed.signs.front().empty())
+        return false;
+
+    SourceContext base;
+    base.file = filename;
+    base.line = parsed.firstDataLine;
+    if (!checkSignMatrix(parsed.signs, sink, base))
+        return false;
+
+    const doe::DesignMatrix design =
+        doe::DesignMatrix::fromSigns(parsed.signs);
+    SourceContext whole_file;
+    whole_file.file = filename;
+    checkDesignMatrix(design, options, sink, whole_file);
+    return sink.errorCount() == before;
+}
+
+} // namespace rigor::check

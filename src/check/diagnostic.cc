@@ -1,0 +1,135 @@
+#include "check/diagnostic.hh"
+
+#include <sstream>
+
+namespace rigor::check
+{
+
+std::string
+toString(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note:
+        return "note";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Error:
+        return "error";
+    }
+    return "?";
+}
+
+std::string
+SourceContext::toString() const
+{
+    std::string out;
+    if (!file.empty()) {
+        out = file;
+        if (line != 0)
+            out += ':' + std::to_string(line);
+    }
+    if (!object.empty()) {
+        if (!out.empty())
+            out += ": ";
+        out += object;
+    }
+    return out;
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::string out = context.toString();
+    if (!out.empty())
+        out += ": ";
+    out += check::toString(severity) + ": " + message + " [" + ruleId +
+           "]";
+    return out;
+}
+
+void
+DiagnosticSink::report(Diagnostic diagnostic)
+{
+    if (diagnostic.severity == Severity::Error)
+        ++_errors;
+    else if (diagnostic.severity == Severity::Warning)
+        ++_warnings;
+    _diagnostics.push_back(std::move(diagnostic));
+}
+
+void
+DiagnosticSink::error(std::string rule_id, std::string message,
+                      SourceContext context)
+{
+    report({Severity::Error, std::move(rule_id), std::move(message),
+            std::move(context)});
+}
+
+void
+DiagnosticSink::warning(std::string rule_id, std::string message,
+                        SourceContext context)
+{
+    report({Severity::Warning, std::move(rule_id), std::move(message),
+            std::move(context)});
+}
+
+void
+DiagnosticSink::note(std::string rule_id, std::string message,
+                     SourceContext context)
+{
+    report({Severity::Note, std::move(rule_id), std::move(message),
+            std::move(context)});
+}
+
+bool
+DiagnosticSink::hasRule(const std::string &rule_id) const
+{
+    for (const Diagnostic &d : _diagnostics)
+        if (d.ruleId == rule_id)
+            return true;
+    return false;
+}
+
+std::string
+DiagnosticSink::toString() const
+{
+    std::ostringstream os;
+    for (const Diagnostic &d : _diagnostics)
+        os << d.toString() << '\n';
+    return os.str();
+}
+
+std::string
+DiagnosticSink::summary() const
+{
+    std::ostringstream os;
+    os << _errors << (_errors == 1 ? " error, " : " errors, ")
+       << _warnings << (_warnings == 1 ? " warning" : " warnings");
+    return os.str();
+}
+
+namespace
+{
+
+std::string
+preflightWhat(const std::string &who, const DiagnosticSink &sink)
+{
+    std::string what = who + ": pre-flight analysis rejected the "
+                             "experiment (" +
+                       sink.summary() + ")\n" + sink.toString();
+    // Trim the trailing newline so what() composes cleanly.
+    if (!what.empty() && what.back() == '\n')
+        what.pop_back();
+    return what;
+}
+
+} // namespace
+
+PreflightError::PreflightError(const std::string &who,
+                               DiagnosticSink sink)
+    : std::runtime_error(preflightWhat(who, sink)),
+      _sink(std::move(sink))
+{
+}
+
+} // namespace rigor::check

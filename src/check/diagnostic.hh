@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Shared diagnostics core of the rigor-lint static analysis layer.
+ *
+ * Every analyzer (design matrix, configuration/parameter space,
+ * workload profile) reports through the same vocabulary: a Diagnostic
+ * carries a severity, a stable dotted rule id (e.g.
+ * "design.orthogonality"), a human-readable message, and an optional
+ * source context (file:line for linted files, an object label for
+ * in-process checks). A DiagnosticSink collects them, counts
+ * severities, and renders clang-style one-line reports, so a broken
+ * experiment is rejected with *all* of its problems listed before a
+ * single cycle is simulated.
+ */
+
+#ifndef RIGOR_CHECK_DIAGNOSTIC_HH
+#define RIGOR_CHECK_DIAGNOSTIC_HH
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rigor::check
+{
+
+/** Diagnostic severity, ordered least to most severe. */
+enum class Severity
+{
+    /** Informational context attached to a preceding finding. */
+    Note,
+    /** Suspicious but not experiment-invalidating. */
+    Warning,
+    /** The experiment would produce statistically meaningless output. */
+    Error,
+};
+
+/** Display name ("note" / "warning" / "error"). */
+std::string toString(Severity severity);
+
+/**
+ * Where a finding points. All fields are optional; an in-process
+ * check typically sets only @c object ("design row 17",
+ * "workload 'gcc'"), while the file linter sets @c file and @c line.
+ */
+struct SourceContext
+{
+    /** Originating file, when linting a file on disk. */
+    std::string file;
+    /** 1-based line within @c file; 0 means no line information. */
+    std::size_t line = 0;
+    /** The checked object, e.g. "design column 3" or "workload 'art'". */
+    std::string object;
+
+    /** "file:line" / "file" / "object" prefix; empty when unset. */
+    std::string toString() const;
+
+    bool operator==(const SourceContext &) const = default;
+};
+
+/** One finding of one analyzer rule. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    /** Stable dotted id, e.g. "config.lsq-ratio"; rule_ids.hh lists all. */
+    std::string ruleId;
+    std::string message;
+    SourceContext context;
+
+    /** Clang-style rendering: "ctx: severity: message [rule.id]". */
+    std::string toString() const;
+};
+
+/**
+ * Ordered collector of diagnostics. Analyzers append; drivers decide
+ * afterwards whether the batch passes (no errors) and how to render
+ * the findings.
+ */
+class DiagnosticSink
+{
+  public:
+    /** Append a fully-formed diagnostic. */
+    void report(Diagnostic diagnostic);
+
+    /** Convenience appenders. */
+    void error(std::string rule_id, std::string message,
+               SourceContext context = {});
+    void warning(std::string rule_id, std::string message,
+                 SourceContext context = {});
+    void note(std::string rule_id, std::string message,
+              SourceContext context = {});
+
+    const std::vector<Diagnostic> &diagnostics() const
+    {
+        return _diagnostics;
+    }
+
+    std::size_t errorCount() const { return _errors; }
+    std::size_t warningCount() const { return _warnings; }
+
+    /** True when no error-severity diagnostic has been reported. */
+    bool passed() const { return _errors == 0; }
+
+    /** True when a diagnostic with the given rule id was reported. */
+    bool hasRule(const std::string &rule_id) const;
+
+    /** One rendered diagnostic per line (empty string when clean). */
+    std::string toString() const;
+
+    /** "3 errors, 1 warning" summary line. */
+    std::string summary() const;
+
+  private:
+    std::vector<Diagnostic> _diagnostics;
+    std::size_t _errors = 0;
+    std::size_t _warnings = 0;
+};
+
+/**
+ * Thrown by the mandatory experiment pre-flight when an analyzer
+ * reports errors; carries the full diagnostic list so callers can
+ * render or inspect individual rule ids.
+ */
+class PreflightError : public std::runtime_error
+{
+  public:
+    PreflightError(const std::string &who, DiagnosticSink sink);
+
+    const DiagnosticSink &sink() const { return _sink; }
+    const std::vector<Diagnostic> &diagnostics() const
+    {
+        return _sink.diagnostics();
+    }
+
+  private:
+    DiagnosticSink _sink;
+};
+
+} // namespace rigor::check
+
+#endif // RIGOR_CHECK_DIAGNOSTIC_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The stable rule-id vocabulary of the rigor-lint analyzers.
+ *
+ * Rule ids are dotted, namespaced by analyzer, and never recycled:
+ * tests, CI greps, and suppression lists key on them. Keep this file
+ * in sync with the rule table in EXPERIMENTS.md.
+ */
+
+#ifndef RIGOR_CHECK_RULE_IDS_HH
+#define RIGOR_CHECK_RULE_IDS_HH
+
+namespace rigor::check::rules
+{
+
+// ----- Design-matrix analysis (design_check) -----
+
+/** Matrix has no rows or no columns. */
+inline constexpr const char *kDesignEmpty = "design.empty";
+/** Rows differ in length. */
+inline constexpr const char *kDesignRagged = "design.ragged-rows";
+/** An entry is not +1 or -1. */
+inline constexpr const char *kDesignEntryNotUnit =
+    "design.entry-not-unit";
+/** Run count is not a multiple of four (PB requirement). */
+inline constexpr const char *kDesignRunsNotMultipleOfFour =
+    "design.runs-multiple-of-four";
+/** More factors than a PB design of this run count supports. */
+inline constexpr const char *kDesignTooManyFactors =
+    "design.factor-capacity";
+/** Column count differs from the declared factor count. */
+inline constexpr const char *kDesignFactorCount = "design.factor-count";
+/** A column has unequal +1/-1 counts. */
+inline constexpr const char *kDesignColumnBalance =
+    "design.column-balance";
+/** Two columns have a non-zero sign dot product. */
+inline constexpr const char *kDesignOrthogonality =
+    "design.orthogonality";
+/** Two columns are identical (perfectly aliased factors). */
+inline constexpr const char *kDesignDuplicateColumn =
+    "design.duplicate-column";
+/** A row in the second half is not the sign-flip of its mirror. */
+inline constexpr const char *kDesignFoldoverComplement =
+    "design.foldover-complement";
+/** A folded design must have an even run count. */
+inline constexpr const char *kDesignFoldoverOddRuns =
+    "design.foldover-odd-runs";
+
+// ----- Configuration / parameter-space analysis (config_check) -----
+
+/** ProcessorConfig::validate() rejected the configuration. */
+inline constexpr const char *kConfigInvalid = "config.invalid";
+/** LSQ/ROB ratio outside (0, 1] (Table 6 shading). */
+inline constexpr const char *kConfigLsqRatio = "config.lsq-ratio";
+/** Machine width differs from the paper's fixed width of 4. */
+inline constexpr const char *kConfigMachineWidth =
+    "config.machine-width";
+/** D-TLB page size / miss latency do not mirror the I-TLB (Table 8). */
+inline constexpr const char *kConfigDtlbMirror = "config.dtlb-mirror";
+/** Cache size/block/set geometry is not power-of-two. */
+inline constexpr const char *kConfigCacheGeometry =
+    "config.cache-geometry";
+/** L2 block smaller than an L1 block. */
+inline constexpr const char *kConfigL2BlockCoversL1 =
+    "config.l2-block-covers-l1";
+/** A pipelined unit's issue interval exceeds its latency. */
+inline constexpr const char *kConfigThroughputExceedsLatency =
+    "config.throughput-exceeds-latency";
+/** A factor's low/high levels produce identical configurations. */
+inline constexpr const char *kSpaceLevelPairEqual =
+    "space.level-pair-equal";
+/** A factor's low level is not the performance-adverse side. */
+inline constexpr const char *kSpaceLevelOrder = "space.level-order";
+/** A dummy factor changed the configuration. */
+inline constexpr const char *kSpaceDummyNotInert =
+    "space.dummy-not-inert";
+
+// ----- Workload-profile analysis (workload_check) -----
+
+/** WorkloadProfile::validate() rejected the profile. */
+inline constexpr const char *kWorkloadInvalid = "workload.invalid";
+/** Instruction-mix probability mass exceeds 1 or a fraction is
+ *  outside [0, 1]. */
+inline constexpr const char *kWorkloadMixMass = "workload.mix-mass";
+/** Memory access-pattern fractions exceed probability mass 1. */
+inline constexpr const char *kWorkloadPatternMass =
+    "workload.pattern-mass";
+/** FP benchmark with zero FP instruction mass (or the converse). */
+inline constexpr const char *kWorkloadFpMix = "workload.fp-mix";
+/** No loads or stores: memory-hierarchy factors are unestimable. */
+inline constexpr const char *kWorkloadNoMemoryOps =
+    "workload.no-memory-ops";
+/** Duplicate workload name within one experiment. */
+inline constexpr const char *kWorkloadDuplicateName =
+    "workload.duplicate-name";
+
+// ----- Run-length / warm-up sanity (workload_check) -----
+
+/** Zero measured instructions. */
+inline constexpr const char *kRunNoInstructions =
+    "run.no-instructions";
+/** Warm-up is an order of magnitude longer than the measured window. */
+inline constexpr const char *kRunWarmupDominates =
+    "run.warmup-dominates";
+/** Measured window too short to traverse the hot code even once. */
+inline constexpr const char *kRunWindowBelowHotCode =
+    "run.window-below-hot-code";
+
+// ----- File linting (csv_lint / spec_lint) -----
+
+/** CSV cell that should be a +1/-1 level failed to parse. */
+inline constexpr const char *kCsvBadCell = "csv.bad-cell";
+/** CSV data row has a different cell count than the header/first row. */
+inline constexpr const char *kCsvRaggedRow = "csv.ragged-row";
+/** CSV file contains no design rows. */
+inline constexpr const char *kCsvNoRows = "csv.no-rows";
+/** Unknown key in an experiment spec. */
+inline constexpr const char *kSpecUnknownKey = "spec.unknown-key";
+/** Spec value failed to parse for its key's type. */
+inline constexpr const char *kSpecBadValue = "spec.bad-value";
+/** Spec line is not "key = value". */
+inline constexpr const char *kSpecSyntax = "spec.syntax";
+/** Spec names an unknown built-in workload. */
+inline constexpr const char *kSpecUnknownWorkload =
+    "spec.unknown-workload";
+
+} // namespace rigor::check::rules
+
+#endif // RIGOR_CHECK_RULE_IDS_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Linting of standalone experiment spec files.
+ *
+ * A spec is a plain-text "key = value" description of one simulation
+ * recipe — processor-configuration overrides, a workload profile
+ * (built-in by name, field overrides, or both), and run lengths:
+ *
+ *     # mcf-like memory-bound study
+ *     workload = mcf
+ *     workload.fracLoad = 0.38
+ *     config.robEntries = 64
+ *     config.lsqRatio = 0.25
+ *     run.instructions = 200000
+ *     run.warmup = 20000
+ *
+ * parseExperimentSpec() reads the file with per-line diagnostics
+ * (unknown keys, unparsable values) and lintExperimentSpec() then
+ * runs the configuration and workload analyzers over the resulting
+ * objects, so an invalid recipe is rejected before it reaches any
+ * experiment driver.
+ */
+
+#ifndef RIGOR_CHECK_SPEC_LINT_HH
+#define RIGOR_CHECK_SPEC_LINT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "check/diagnostic.hh"
+#include "sim/config.hh"
+#include "trace/workload_profile.hh"
+
+namespace rigor::check
+{
+
+/** One parsed experiment recipe. */
+struct ExperimentSpec
+{
+    sim::ProcessorConfig config;
+    trace::WorkloadProfile workload;
+    /** True when any workload key appeared (the profile is meant). */
+    bool hasWorkload = false;
+    std::uint64_t instructions = 200000;
+    std::uint64_t warmup = 0;
+};
+
+/**
+ * Parse spec text. '#' starts a comment; blank lines are ignored;
+ * every other line must be "key = value". Problems are reported per
+ * line under spec.* rules; parsing continues past them so one pass
+ * reports every mistake.
+ */
+ExperimentSpec parseExperimentSpec(const std::string &text,
+                                   const std::string &filename,
+                                   DiagnosticSink &sink);
+
+/**
+ * Parse and fully analyze a spec: configuration invariants, workload
+ * probability mass, and run-length sanity. Returns true when no
+ * error was reported.
+ */
+bool lintExperimentSpec(const std::string &text,
+                        const std::string &filename,
+                        DiagnosticSink &sink);
+
+} // namespace rigor::check
+
+#endif // RIGOR_CHECK_SPEC_LINT_HH

@@ -1,0 +1,170 @@
+#include "check/workload_check.hh"
+
+#include <string>
+#include <unordered_set>
+
+#include "check/rule_ids.hh"
+
+namespace rigor::check
+{
+
+namespace
+{
+
+SourceContext
+profileContext(const SourceContext &base,
+               const trace::WorkloadProfile &profile)
+{
+    SourceContext ctx = base;
+    const std::string label = "workload '" + profile.name + "'";
+    ctx.object =
+        ctx.object.empty() ? label : ctx.object + ": " + label;
+    return ctx;
+}
+
+} // namespace
+
+bool
+checkWorkloadProfile(const trace::WorkloadProfile &profile,
+                     DiagnosticSink &sink, const SourceContext &base)
+{
+    const std::size_t before = sink.errorCount();
+    const SourceContext ctx = profileContext(base, profile);
+
+    // ----- Instruction-mix probability mass -----
+    const struct
+    {
+        const char *name;
+        double value;
+    } fractions[] = {
+        {"fracLoad", profile.fracLoad},
+        {"fracStore", profile.fracStore},
+        {"fracIntMult", profile.fracIntMult},
+        {"fracIntDiv", profile.fracIntDiv},
+        {"fracFpAlu", profile.fracFpAlu},
+        {"fracFpMult", profile.fracFpMult},
+        {"fracFpDiv", profile.fracFpDiv},
+        {"fracFpSqrt", profile.fracFpSqrt},
+    };
+    double mass = 0.0;
+    bool fraction_bad = false;
+    for (const auto &f : fractions) {
+        if (f.value < 0.0 || f.value > 1.0) {
+            sink.error(rules::kWorkloadMixMass,
+                       std::string(f.name) + " = " +
+                           std::to_string(f.value) +
+                           " is outside [0, 1]",
+                       ctx);
+            fraction_bad = true;
+        }
+        mass += f.value;
+    }
+    if (!fraction_bad && mass > 1.0)
+        sink.error(rules::kWorkloadMixMass,
+                   "instruction-mix fractions sum to " +
+                       std::to_string(mass) +
+                       " > 1; no probability mass remains for the "
+                       "integer ALU remainder class",
+                   ctx);
+
+    if (profile.fracPointerChase < 0.0 || profile.fracStrided < 0.0 ||
+        profile.fracPointerChase + profile.fracStrided > 1.0)
+        sink.error(rules::kWorkloadPatternMass,
+                   "memory access-pattern fractions (pointer-chase " +
+                       std::to_string(profile.fracPointerChase) +
+                       " + strided " +
+                       std::to_string(profile.fracStrided) +
+                       ") exceed probability mass 1",
+                   ctx);
+
+    // ----- Per-class mix consistency -----
+    const double fp_mass = profile.fracFpAlu + profile.fracFpMult +
+                           profile.fracFpDiv + profile.fracFpSqrt;
+    if (profile.isFloatingPoint && fp_mass <= 0.0)
+        sink.error(rules::kWorkloadFpMix,
+                   "profile is flagged floating-point but its FP "
+                   "instruction classes all have zero mass; the FP "
+                   "unit factors would be unestimable",
+                   ctx);
+    if (!profile.isFloatingPoint && fp_mass > 0.0)
+        sink.warning(rules::kWorkloadFpMix,
+                     "profile is flagged integer but carries FP "
+                     "instruction mass " + std::to_string(fp_mass),
+                     ctx);
+    if (profile.fracLoad + profile.fracStore <= 0.0)
+        sink.warning(rules::kWorkloadNoMemoryOps,
+                     "profile has no loads or stores; the data-side "
+                     "memory-hierarchy factors are unestimable",
+                     ctx);
+
+    // ----- Everything else validate() covers (footprints, control
+    //       flow, value locality). Only consulted when the specific
+    //       rules are quiet so one violation is not reported twice.
+    if (sink.errorCount() == before) {
+        try {
+            profile.validate();
+        } catch (const std::invalid_argument &e) {
+            sink.error(rules::kWorkloadInvalid, e.what(), ctx);
+        }
+    }
+    return sink.errorCount() == before;
+}
+
+bool
+checkWorkloads(std::span<const trace::WorkloadProfile> profiles,
+               DiagnosticSink &sink, const SourceContext &base)
+{
+    const std::size_t before = sink.errorCount();
+    std::unordered_set<std::string> seen;
+    for (const trace::WorkloadProfile &profile : profiles) {
+        checkWorkloadProfile(profile, sink, base);
+        if (!seen.insert(profile.name).second)
+            sink.error(rules::kWorkloadDuplicateName,
+                       "duplicate workload; the benchmark would be "
+                       "double-weighted in the cross-suite rank "
+                       "aggregation",
+                       profileContext(base, profile));
+    }
+    return sink.errorCount() == before;
+}
+
+bool
+checkRunLengths(std::uint64_t instructions,
+                std::uint64_t warmup_instructions,
+                const trace::WorkloadProfile &profile,
+                DiagnosticSink &sink, const SourceContext &base)
+{
+    const std::size_t before = sink.errorCount();
+    const SourceContext ctx = profileContext(base, profile);
+
+    if (instructions == 0) {
+        sink.error(rules::kRunNoInstructions,
+                   "measured window is zero instructions", ctx);
+        return false;
+    }
+    if (warmup_instructions > 10 * instructions)
+        sink.warning(rules::kRunWarmupDominates,
+                     "warm-up (" +
+                         std::to_string(warmup_instructions) +
+                         " instructions) exceeds 10x the measured "
+                         "window (" + std::to_string(instructions) +
+                         "); most simulation time measures nothing",
+                     ctx);
+
+    // A fixed-width ISA places roughly one instruction per 4 bytes;
+    // a window shorter than one pass over the hot code can only see
+    // cold-start behavior, whatever the warm-up did for the caches.
+    const std::uint64_t hot_instrs = profile.hotCodeBytes / 4;
+    if (instructions < hot_instrs)
+        sink.warning(rules::kRunWindowBelowHotCode,
+                     "measured window (" +
+                         std::to_string(instructions) +
+                         " instructions) cannot traverse the hot "
+                         "code once (~" + std::to_string(hot_instrs) +
+                         " instructions); I-side effects reflect "
+                         "cold start",
+                     ctx);
+    return sink.errorCount() == before;
+}
+
+} // namespace rigor::check

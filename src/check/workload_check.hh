@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Static analysis of workload profiles and run lengths.
+ *
+ * The PB ranking measures each workload's *relative* stress on
+ * processor components, so a profile whose instruction-mix
+ * probability mass is inconsistent, or whose measured window cannot
+ * even traverse its own hot working set, produces ranks that reflect
+ * the generator's arithmetic rather than the workload. These checks
+ * reject such profiles before simulation, alongside warm-up vs
+ * trace-length sanity.
+ */
+
+#ifndef RIGOR_CHECK_WORKLOAD_CHECK_HH
+#define RIGOR_CHECK_WORKLOAD_CHECK_HH
+
+#include <cstdint>
+#include <span>
+
+#include "check/diagnostic.hh"
+#include "trace/workload_profile.hh"
+
+namespace rigor::check
+{
+
+/**
+ * Check one profile: probability mass of the instruction mix and
+ * memory access patterns, per-class mix consistency with the
+ * floating-point flag, and everything WorkloadProfile::validate()
+ * covers. Returns true when this call reported no error.
+ */
+bool checkWorkloadProfile(const trace::WorkloadProfile &profile,
+                          DiagnosticSink &sink,
+                          const SourceContext &base = {});
+
+/**
+ * Check a whole suite: every profile, plus duplicate-name detection
+ * (duplicate workloads silently double-weight one benchmark in the
+ * cross-suite rank aggregation). Returns true when this call
+ * reported no error.
+ */
+bool checkWorkloads(std::span<const trace::WorkloadProfile> profiles,
+                    DiagnosticSink &sink,
+                    const SourceContext &base = {});
+
+/**
+ * Trace-length vs warm-up sanity for one run recipe: non-zero
+ * measured window, warm-up not drowning the measurement, and a
+ * window long enough to traverse @p profile's hot code at least
+ * once. Returns true when this call reported no error.
+ */
+bool checkRunLengths(std::uint64_t instructions,
+                     std::uint64_t warmup_instructions,
+                     const trace::WorkloadProfile &profile,
+                     DiagnosticSink &sink,
+                     const SourceContext &base = {});
+
+} // namespace rigor::check
+
+#endif // RIGOR_CHECK_WORKLOAD_CHECK_HH

@@ -148,6 +148,7 @@ std::vector<std::uint32_t>
 GaloisField::squares() const
 {
     std::vector<std::uint32_t> out;
+    out.reserve((_q - 1) / 2); // exactly half the nonzero elements
     for (std::uint32_t a = 1; a < _q; ++a)
         if (chi(a) == 1)
             out.push_back(a);

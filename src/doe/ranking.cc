@@ -35,8 +35,10 @@ aggregateRanks(std::span<const std::string> factor_names,
 
     const std::size_t num_factors = factor_names.size();
     std::vector<FactorRankSummary> summaries(num_factors);
-    for (std::size_t f = 0; f < num_factors; ++f)
+    for (std::size_t f = 0; f < num_factors; ++f) {
         summaries[f].name = factor_names[f];
+        summaries[f].ranks.reserve(effects_per_benchmark.size());
+    }
 
     for (const std::vector<double> &effects : effects_per_benchmark) {
         if (effects.size() != num_factors)

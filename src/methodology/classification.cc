@@ -10,7 +10,7 @@ namespace rigor::methodology
 double
 defaultSimilarityThreshold()
 {
-    return std::sqrt(4000.0);
+    return std::sqrt(kSimilarityThresholdSquared);
 }
 
 std::string

@@ -22,7 +22,17 @@
 namespace rigor::methodology
 {
 
-/** The paper's worked-example similarity threshold: sqrt(4000). */
+/**
+ * The paper's worked-example similarity cutoff, stated as a squared
+ * Euclidean distance: two benchmarks are similar when the distance
+ * between their rank vectors is below sqrt(4000) ~ 63.2. This is the
+ * single source for that number — Table 11 tooling, tests, and docs
+ * all derive from it.
+ */
+inline constexpr double kSimilarityThresholdSquared = 4000.0;
+
+/** The paper's worked-example similarity threshold:
+ *  sqrt(kSimilarityThresholdSquared). */
 double defaultSimilarityThreshold();
 
 /** Result of the classification step. */

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "check/preflight.hh"
+
 namespace rigor::methodology
 {
 
@@ -112,6 +114,19 @@ runEnhancementExperiment(
     if (!hook_factory)
         throw std::invalid_argument(
             "runEnhancementExperiment: hook_factory is required");
+
+    // Pre-flight the shared ingredients (workloads, run lengths,
+    // parameter space) up front so a bad recipe is rejected before
+    // the engine is even constructed; each leg's runPbExperiment
+    // additionally proves its design matrix.
+    if (!options.skipPreflight) {
+        check::ExperimentPlan plan;
+        plan.workloads = workloads;
+        plan.auditParameterSpace = true;
+        plan.instructionsPerRun = options.instructionsPerRun;
+        plan.warmupInstructions = options.warmupInstructions;
+        check::preflightOrThrow(plan, "runEnhancementExperiment");
+    }
 
     // Both legs share one engine: the pool, the run cache (a base leg
     // already simulated through options.engine is free), and the

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "check/preflight.hh"
 #include "doe/effects.hh"
 #include "doe/foldover.hh"
 #include "doe/pb_design.hh"
@@ -86,8 +87,26 @@ runPbExperiment(std::span<const trace::WorkloadProfile> workloads,
             "runPbExperiment: instructionsPerRun must be non-zero");
 
     PbExperimentResult result;
-    doe::DesignMatrix base = doe::pbDesignForFactors(numFactors);
+    doe::DesignMatrix base = options.design
+                                 ? *options.design
+                                 : doe::pbDesignForFactors(numFactors);
     result.design = options.foldover ? doe::foldover(base) : base;
+
+    // Mandatory pre-flight: prove the design is a balanced
+    // orthogonal ±1 (foldover) matrix, audit the Tables 6-8
+    // parameter space, and vet every workload profile and the run
+    // lengths — before a single cycle is simulated.
+    if (!options.skipPreflight) {
+        check::ExperimentPlan plan;
+        plan.design = &result.design;
+        plan.expectedFactors = numFactors;
+        plan.designIsFolded = options.foldover;
+        plan.workloads = workloads;
+        plan.auditParameterSpace = true;
+        plan.instructionsPerRun = options.instructionsPerRun;
+        plan.warmupInstructions = options.warmupInstructions;
+        check::preflightOrThrow(plan, "runPbExperiment");
+    }
 
     const std::size_t num_benches = workloads.size();
     const std::size_t num_runs = result.design.numRows();

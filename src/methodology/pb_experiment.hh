@@ -52,6 +52,23 @@ struct PbExperimentOptions
     unsigned threads = 0;
     /** Use the foldover design (2X runs) as the paper does. */
     bool foldover = true;
+    /**
+     * Optional user-supplied base design (not owned; must outlive
+     * the call). When set it replaces the generated X = 44 PB
+     * design and must carry exactly one column per factor; foldover
+     * is still applied when `foldover` is true. The pre-flight
+     * analysis proves it is a balanced orthogonal ±1 design before
+     * anything is simulated.
+     */
+    const doe::DesignMatrix *design = nullptr;
+    /**
+     * Escape hatch: skip the mandatory pre-flight static analysis
+     * (design matrix, Tables 6-8 parameter space, workload
+     * profiles, run lengths). Only for deliberately out-of-spec
+     * studies; the resulting rank tables carry no statistical
+     * guarantee.
+     */
+    bool skipPreflight = false;
     /** Optional enhancement (instruction precomputation etc.). */
     HookFactory hookFactory;
     /**

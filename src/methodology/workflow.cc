@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/preflight.hh"
 #include "doe/ranking.hh"
 #include "stats/yates.hh"
 
@@ -73,6 +74,7 @@ runRecommendedWorkflow(
     screen_opts.instructionsPerRun = options.instructionsPerRun;
     screen_opts.warmupInstructions = options.warmupInstructions;
     screen_opts.engine = &engine;
+    screen_opts.skipPreflight = options.skipPreflight;
     result.screening = runPbExperiment(workloads, screen_opts);
 
     // Critical set: up to the largest sum-of-ranks gap, capped, and
@@ -128,6 +130,21 @@ runRecommendedWorkflow(
             jobs.push_back(std::move(job));
         }
     }
+    // Step-3 pre-flight: every factorial cell's configuration must
+    // satisfy the Tables 6-8 invariants before the batch runs (the
+    // screen already vetted the workloads and run lengths).
+    if (!options.skipPreflight) {
+        check::ExperimentPlan plan;
+        plan.configs.reserve(jobs.size());
+        for (const exec::SimJob &job : jobs)
+            plan.configs.push_back(&job.config);
+        plan.instructionsPerRun = options.instructionsPerRun;
+        plan.warmupInstructions = options.warmupInstructions;
+        plan.workloads = workloads;
+        check::preflightOrThrow(plan,
+                                "runRecommendedWorkflow (step 3)");
+    }
+
     const std::vector<double> cells = engine.run(jobs);
 
     std::vector<double> responses;

@@ -48,6 +48,12 @@ struct WorkflowOptions
      * be smaller when the sum-of-ranks gap comes earlier.
      */
     std::size_t maxCriticalParameters = 4;
+    /**
+     * Escape hatch: skip the mandatory pre-flight static analysis
+     * of the PB screen and the step-3 factorial (see
+     * PbExperimentOptions::skipPreflight).
+     */
+    bool skipPreflight = false;
 };
 
 /** Direction recommendation for one critical parameter. */

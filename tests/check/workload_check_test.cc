@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/rule_ids.hh"
+#include "check/workload_check.hh"
+#include "trace/workloads.hh"
+
+namespace check = rigor::check;
+namespace rules = rigor::check::rules;
+namespace trace = rigor::trace;
+
+TEST(WorkloadCheck, AllShippedProfilesPass)
+{
+    check::DiagnosticSink sink;
+    EXPECT_TRUE(
+        check::checkWorkloads(trace::spec2000Workloads(), sink));
+    EXPECT_EQ(sink.errorCount(), 0u) << sink.toString();
+}
+
+TEST(WorkloadCheck, MixMassAboveOneRejected)
+{
+    trace::WorkloadProfile profile = trace::workloadByName("gzip");
+    profile.fracLoad = 0.7;
+    profile.fracStore = 0.5;
+    check::DiagnosticSink sink;
+    EXPECT_FALSE(check::checkWorkloadProfile(profile, sink));
+    EXPECT_TRUE(sink.hasRule(rules::kWorkloadMixMass));
+}
+
+TEST(WorkloadCheck, FractionOutsideUnitIntervalRejected)
+{
+    trace::WorkloadProfile profile = trace::workloadByName("gzip");
+    profile.fracIntDiv = -0.1;
+    check::DiagnosticSink sink;
+    EXPECT_FALSE(check::checkWorkloadProfile(profile, sink));
+    EXPECT_TRUE(sink.hasRule(rules::kWorkloadMixMass));
+}
+
+TEST(WorkloadCheck, PatternMassAboveOneRejected)
+{
+    trace::WorkloadProfile profile = trace::workloadByName("mcf");
+    profile.fracPointerChase = 0.8;
+    profile.fracStrided = 0.5;
+    check::DiagnosticSink sink;
+    EXPECT_FALSE(check::checkWorkloadProfile(profile, sink));
+    EXPECT_TRUE(sink.hasRule(rules::kWorkloadPatternMass));
+}
+
+TEST(WorkloadCheck, FpFlagWithoutFpMassRejected)
+{
+    trace::WorkloadProfile profile = trace::workloadByName("gzip");
+    profile.isFloatingPoint = true;
+    profile.fracFpAlu = 0.0;
+    profile.fracFpMult = 0.0;
+    profile.fracFpDiv = 0.0;
+    profile.fracFpSqrt = 0.0;
+    check::DiagnosticSink sink;
+    EXPECT_FALSE(check::checkWorkloadProfile(profile, sink));
+    EXPECT_TRUE(sink.hasRule(rules::kWorkloadFpMix));
+}
+
+TEST(WorkloadCheck, IntegerProfileWithFpMassOnlyWarns)
+{
+    trace::WorkloadProfile profile = trace::workloadByName("gzip");
+    profile.isFloatingPoint = false;
+    profile.fracFpAlu = 0.05;
+    check::DiagnosticSink sink;
+    EXPECT_TRUE(check::checkWorkloadProfile(profile, sink));
+    EXPECT_TRUE(sink.hasRule(rules::kWorkloadFpMix));
+    EXPECT_EQ(sink.errorCount(), 0u);
+    EXPECT_GE(sink.warningCount(), 1u);
+}
+
+TEST(WorkloadCheck, DuplicateNamesRejected)
+{
+    const std::vector<trace::WorkloadProfile> suite = {
+        trace::workloadByName("gzip"),
+        trace::workloadByName("mcf"),
+        trace::workloadByName("gzip"),
+    };
+    check::DiagnosticSink sink;
+    EXPECT_FALSE(check::checkWorkloads(suite, sink));
+    EXPECT_TRUE(sink.hasRule(rules::kWorkloadDuplicateName));
+}
+
+TEST(WorkloadCheck, ZeroInstructionWindowRejected)
+{
+    check::DiagnosticSink sink;
+    EXPECT_FALSE(check::checkRunLengths(
+        0, 0, trace::workloadByName("gzip"), sink));
+    EXPECT_TRUE(sink.hasRule(rules::kRunNoInstructions));
+}
+
+TEST(WorkloadCheck, DominatingWarmupWarns)
+{
+    check::DiagnosticSink sink;
+    EXPECT_TRUE(check::checkRunLengths(
+        1000, 100000, trace::workloadByName("gzip"), sink));
+    EXPECT_TRUE(sink.hasRule(rules::kRunWarmupDominates));
+    EXPECT_EQ(sink.errorCount(), 0u);
+}
+
+TEST(WorkloadCheck, WindowShorterThanHotCodeWarns)
+{
+    trace::WorkloadProfile profile = trace::workloadByName("gzip");
+    profile.hotCodeBytes = 1 << 20; // ~262144 hot instructions
+    check::DiagnosticSink sink;
+    EXPECT_TRUE(check::checkRunLengths(1000, 0, profile, sink));
+    EXPECT_TRUE(sink.hasRule(rules::kRunWindowBelowHotCode));
+    EXPECT_EQ(sink.errorCount(), 0u);
+}

@@ -8,8 +8,10 @@ namespace methodology = rigor::methodology;
 
 TEST(Classification, DefaultThresholdIsRootOf4000)
 {
-    EXPECT_NEAR(methodology::defaultSimilarityThreshold(),
-                std::sqrt(4000.0), 1e-12);
+    EXPECT_DOUBLE_EQ(methodology::kSimilarityThresholdSquared, 4000.0);
+    EXPECT_NEAR(
+        methodology::defaultSimilarityThreshold(),
+        std::sqrt(methodology::kSimilarityThresholdSquared), 1e-12);
     EXPECT_NEAR(methodology::defaultSimilarityThreshold(), 63.2, 0.05);
 }
 

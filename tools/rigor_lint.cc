@@ -1,0 +1,183 @@
+/**
+ * @file
+ * rigor_lint — standalone static analysis of experiment inputs.
+ *
+ * Lints exported CSV design matrices and "key = value" experiment
+ * spec files with the same analyzers the in-process pre-flight runs,
+ * printing clang-style diagnostics and exiting non-zero when any
+ * error (or, under --Werror, warning) is found:
+ *
+ *     rigor_lint design.csv                 # ±1 / balance / orthogonality
+ *     rigor_lint --foldover design.csv      # + exact foldover complement
+ *     rigor_lint --factors 43 design.csv    # + column-count check
+ *     rigor_lint experiment.spec            # config / workload / run lint
+ *     rigor_lint --audit-parameter-space    # Tables 6-8 self-check
+ *
+ * Files ending in .csv are linted as designs; anything else as a
+ * spec. Use --design / --spec before a file to force its kind.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/config_check.hh"
+#include "check/csv_lint.hh"
+#include "check/diagnostic.hh"
+#include "check/spec_lint.hh"
+
+namespace
+{
+
+using rigor::check::DesignCheckOptions;
+using rigor::check::Diagnostic;
+using rigor::check::DiagnosticSink;
+using rigor::check::Severity;
+
+enum class FileKind
+{
+    Auto,
+    Design,
+    Spec,
+};
+
+struct CliOptions
+{
+    DesignCheckOptions design;
+    bool auditParameterSpace = false;
+    bool warningsAsErrors = false;
+    bool quiet = false;
+    /** (kind, path) pairs in command-line order. */
+    std::vector<std::pair<FileKind, std::string>> files;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options] <file>...\n"
+        "\n"
+        "Lint exported CSV design matrices (*.csv) and experiment\n"
+        "spec files before any simulation spends cycles on them.\n"
+        "\n"
+        "options:\n"
+        "  --design               treat the next file as a CSV design\n"
+        "  --spec                 treat the next file as an experiment spec\n"
+        "  --foldover             require the exact foldover complement\n"
+        "  --no-pb                drop the Plackett-Burman shape checks\n"
+        "  --factors N            require exactly N factor columns\n"
+        "  --audit-parameter-space  lint the built-in Tables 6-8 space\n"
+        "  --Werror               treat warnings as errors\n"
+        "  --quiet                print only errors\n"
+        "  --help                 show this help\n",
+        argv0);
+    return 2;
+}
+
+bool
+parseArgs(int argc, char **argv, CliOptions &options)
+{
+    FileKind next_kind = FileKind::Auto;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--design") {
+            next_kind = FileKind::Design;
+        } else if (arg == "--spec") {
+            next_kind = FileKind::Spec;
+        } else if (arg == "--foldover") {
+            options.design.requireFoldover = true;
+        } else if (arg == "--no-pb") {
+            options.design.requirePlackettBurman = false;
+        } else if (arg == "--factors") {
+            if (i + 1 >= argc)
+                return false;
+            options.design.expectedFactors =
+                static_cast<std::size_t>(std::atol(argv[++i]));
+        } else if (arg == "--audit-parameter-space") {
+            options.auditParameterSpace = true;
+        } else if (arg == "--Werror") {
+            options.warningsAsErrors = true;
+        } else if (arg == "--quiet") {
+            options.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return false;
+        } else if (!arg.empty() && arg.front() == '-') {
+            std::fprintf(stderr, "rigor_lint: unknown option %s\n",
+                         arg.c_str());
+            return false;
+        } else {
+            options.files.emplace_back(next_kind, arg);
+            next_kind = FileKind::Auto;
+        }
+    }
+    return options.auditParameterSpace || !options.files.empty();
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions options;
+    if (!parseArgs(argc, argv, options))
+        return usage(argv[0]);
+
+    DiagnosticSink sink;
+
+    if (options.auditParameterSpace)
+        rigor::check::checkParameterSpace(sink);
+
+    for (const auto &[kind, path] : options.files) {
+        std::string text;
+        if (!readFile(path, text)) {
+            sink.error("lint.unreadable-file",
+                       "cannot read file", {path, 0, {}});
+            continue;
+        }
+        const bool as_design =
+            kind == FileKind::Design ||
+            (kind == FileKind::Auto && endsWith(path, ".csv"));
+        if (as_design)
+            rigor::check::lintDesignCsv(text, path, options.design,
+                                        sink);
+        else
+            rigor::check::lintExperimentSpec(text, path, sink);
+    }
+
+    for (const Diagnostic &d : sink.diagnostics()) {
+        if (options.quiet && d.severity != Severity::Error)
+            continue;
+        std::fprintf(stderr, "%s\n", d.toString().c_str());
+    }
+    if (!options.quiet || sink.errorCount() > 0)
+        std::fprintf(stderr, "rigor_lint: %s\n",
+                     sink.summary().c_str());
+
+    const bool failed =
+        sink.errorCount() > 0 ||
+        (options.warningsAsErrors && sink.warningCount() > 0);
+    return failed ? 1 : 0;
+}
