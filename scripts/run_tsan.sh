@@ -22,7 +22,10 @@ PbDesign.*:Foldover.*:Effects.*:Hadamard.*:GaloisField.*:
 PrimePower.*:DesignMatrix.*:DesignCost.*:OneAtATime.*:
 Classification.*:Ranking.*:RankTable.*:TextTable.*:
 ParameterSpace.*:PbExperiment.*:Workflow.*:EnhancementAnalysis.*:
-CsvExport.*:PublishedData.*:Preflight.*
+CsvExport.*:PublishedData.*:Preflight.*:
+FaultPolicy.*:AttemptContext.*:JobFailure.*:FaultTolerance.*:
+FaultInjector.*:ResultJournal.*:CampaignCheck.*:CampaignResume.*:
+CampaignDegradation.*
 EOF
 )"
 

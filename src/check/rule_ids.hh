@@ -106,6 +106,32 @@ inline constexpr const char *kRunWarmupDominates =
 inline constexpr const char *kRunWindowBelowHotCode =
     "run.window-below-hot-code";
 
+// ----- Campaign fault-tolerance degradation (campaign_check) -----
+
+/** A (benchmark, design row) cell failed terminally and was
+ *  quarantined (retries exhausted or non-retryable failure). */
+inline constexpr const char *kCampaignCellQuarantined =
+    "campaign.cell-quarantined";
+/** A quarantined row's foldover mirror is intact: the pair's
+ *  main-effect/interaction separation is broken for that benchmark. */
+inline constexpr const char *kCampaignFoldoverPairBroken =
+    "campaign.foldover-pair-broken";
+/** Degradation dropped a whole benchmark from the rank aggregation;
+ *  Table 9 sums no longer cover the full suite. */
+inline constexpr const char *kCampaignBenchmarkDropped =
+    "campaign.benchmark-dropped";
+/** Abort mode: a benchmark's response column is incomplete and the
+ *  policy forbids dropping it. */
+inline constexpr const char *kCampaignBenchmarkIncomplete =
+    "campaign.benchmark-incomplete";
+/** Degradation would drop every benchmark: no rank table remains. */
+inline constexpr const char *kCampaignNoCompleteBenchmarks =
+    "campaign.no-complete-benchmarks";
+/** Paired legs (base/enhanced) dropped different benchmark sets; the
+ *  comparison is restricted to the intersection. */
+inline constexpr const char *kCampaignPairedDropMismatch =
+    "campaign.paired-drop-mismatch";
+
 // ----- File linting (csv_lint / spec_lint) -----
 
 /** CSV cell that should be a +1/-1 level failed to parse. */

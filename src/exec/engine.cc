@@ -1,11 +1,13 @@
 #include "exec/engine.hh"
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "exec/journal.hh"
 #include "exec/sim_job_queue.hh"
 #include "trace/generator.hh"
 
@@ -24,11 +26,56 @@ resolveThreads(unsigned requested)
     return hw == 0 ? 4 : hw;
 }
 
+/**
+ * The cooperative watchdog: polls the attempt deadline between
+ * instructions (every kPollInterval), so a wedged simulation throws
+ * DeadlineExceeded within a few thousand instructions of the budget
+ * expiring instead of hanging the worker forever.
+ */
+class DeadlineGuardedSource : public trace::TraceSource
+{
+  public:
+    DeadlineGuardedSource(trace::TraceSource &inner,
+                          const AttemptContext &ctx)
+        : _inner(inner), _ctx(ctx)
+    {
+    }
+
+    bool
+    next(trace::Instruction &out) override
+    {
+        if ((++_count & (kPollInterval - 1)) == 0)
+            _ctx.checkDeadline();
+        return _inner.next(out);
+    }
+
+    void
+    reset() override
+    {
+        _inner.reset();
+        _count = 0;
+    }
+
+    std::uint64_t length() const override { return _inner.length(); }
+
+  private:
+    static constexpr std::uint64_t kPollInterval = 4096;
+
+    trace::TraceSource &_inner;
+    const AttemptContext &_ctx;
+    std::uint64_t _count = 0;
+};
+
 } // namespace
 
 SimulationEngine::SimulationEngine(const EngineOptions &options)
     : _threads(resolveThreads(options.threads)),
-      _cacheEnabled(options.cacheEnabled)
+      _cacheEnabled(options.cacheEnabled),
+      _simulate(options.simulate
+                    ? options.simulate
+                    : [](const SimJob &job, const AttemptContext &ctx) {
+                          return simulateJob(job, ctx);
+                      })
 {
 }
 
@@ -47,42 +94,154 @@ SimulationEngine::simulateJob(const SimJob &job)
 }
 
 double
-SimulationEngine::runOne(const SimJob &job)
+SimulationEngine::simulateJob(const SimJob &job,
+                              const AttemptContext &ctx)
+{
+    if (!ctx.hasDeadline())
+        return simulateJob(job);
+    std::unique_ptr<sim::ExecutionHook> hook;
+    if (job.makeHook)
+        hook = job.makeHook();
+    trace::SyntheticTraceGenerator gen(
+        *job.workload, job.instructions + job.warmupInstructions);
+    DeadlineGuardedSource guarded(gen, ctx);
+    sim::SuperscalarCore core(job.config, hook.get());
+    const sim::CoreStats stats =
+        core.run(guarded, job.warmupInstructions);
+    return static_cast<double>(stats.measuredCycles());
+}
+
+SimulationEngine::RunOutcome
+SimulationEngine::runOne(const SimJob &job, std::size_t index,
+                         const FaultPolicy &policy)
 {
     const bool use_cache = _cacheEnabled && job.cacheable();
+    const bool journaled = _journal != nullptr && job.cacheable();
     RunKey key;
-    if (use_cache) {
+    if (use_cache || journaled) {
         key.workload = job.workload->name;
         key.config = job.config;
         key.instructions = job.instructions;
         key.warmupInstructions = job.warmupInstructions;
         key.hookId = job.hookId;
+    }
+
+    RunOutcome outcome;
+    if (use_cache) {
         if (const std::optional<double> cached = _cache.lookup(key)) {
             _progress.addCacheHit();
             _progress.addCompleted();
-            return *cached;
+            outcome.ok = true;
+            outcome.response = *cached;
+            return outcome;
+        }
+    }
+    if (journaled) {
+        if (const std::optional<double> replayed =
+                _journal->lookup(key)) {
+            if (use_cache)
+                _cache.store(key, *replayed);
+            _progress.addJournalHit();
+            _progress.addCompleted();
+            outcome.ok = true;
+            outcome.response = *replayed;
+            return outcome;
         }
     }
 
-    const double response = simulateJob(job);
-    if (use_cache)
-        _cache.store(key, response);
-    _progress.addSimulatedInstructions(job.instructions +
-                                       job.warmupInstructions);
-    _progress.addCompleted();
-    return response;
+    const auto job_start = std::chrono::steady_clock::now();
+    JobFailure &failure = outcome.failure;
+    failure.jobIndex = index;
+    failure.label = job.label;
+
+    const unsigned max_attempts = policy.attempts();
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        AttemptContext ctx;
+        ctx.jobIndex = index;
+        ctx.attempt = attempt;
+        ctx.deadlineBudget = policy.attemptDeadline;
+        if (ctx.hasDeadline())
+            ctx.deadline = std::chrono::steady_clock::now() +
+                           policy.attemptDeadline;
+
+        bool retryable = false;
+        try {
+            const double response = _simulate(job, ctx);
+            if (journaled)
+                _journal->append(key, response);
+            if (use_cache)
+                _cache.store(key, response);
+            _progress.addSimulatedInstructions(
+                job.instructions + job.warmupInstructions);
+            _progress.addCompleted();
+            outcome.ok = true;
+            outcome.response = response;
+            return outcome;
+        } catch (const BatchAbort &) {
+            throw; // infrastructure failure: cancel the whole batch
+        } catch (const TransientFault &e) {
+            failure.kind = FailureKind::Transient;
+            failure.message = e.what();
+            retryable = true;
+        } catch (const DeadlineExceeded &e) {
+            failure.kind = FailureKind::Timeout;
+            failure.message = e.what();
+            retryable = true;
+        } catch (const std::exception &e) {
+            // A deterministic simulator rethrows the same error on
+            // every retry; don't burn attempts on it.
+            failure.kind = FailureKind::Permanent;
+            failure.message = e.what();
+        }
+        failure.attempts = attempt;
+        if (!retryable || attempt == max_attempts)
+            break;
+        _progress.addRetry();
+        const std::chrono::milliseconds backoff =
+            policy.backoffFor(attempt);
+        if (backoff.count() > 0)
+            std::this_thread::sleep_for(backoff);
+    }
+
+    failure.elapsedSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - job_start)
+            .count();
+    _progress.addFailed();
+    return outcome;
 }
 
 std::vector<double>
 SimulationEngine::run(std::span<const SimJob> jobs)
 {
+    return std::move(run(jobs, FaultPolicy{}).responses);
+}
+
+BatchResult
+SimulationEngine::run(std::span<const SimJob> jobs,
+                      const FaultPolicy &policy)
+{
+    if (_running.exchange(true))
+        throw std::logic_error(
+            "SimulationEngine::run: a batch is already in progress "
+            "(the engine is not reentrant; use one engine per "
+            "concurrent batch)");
+    struct RunningGuard
+    {
+        std::atomic<bool> &flag;
+        ~RunningGuard() { flag.store(false); }
+    } guard{_running};
+
     const auto start = std::chrono::steady_clock::now();
     _progress.addSubmitted(jobs.size());
 
-    std::vector<double> responses(jobs.size(), 0.0);
+    BatchResult result;
+    result.responses.assign(
+        jobs.size(), std::numeric_limits<double>::quiet_NaN());
 
-    std::atomic<bool> failed{false};
-    std::string failure_message;
+    std::atomic<bool> cancelled{false};
+    std::exception_ptr abort_error;
+    std::vector<JobFailure> failures;
     std::mutex failure_mutex;
 
     const unsigned num_threads = static_cast<unsigned>(
@@ -92,16 +251,32 @@ SimulationEngine::run(std::span<const SimJob> jobs)
     const auto worker = [&](unsigned id) {
         std::size_t index;
         while (queue.pop(id, index)) {
-            if (failed.load(std::memory_order_relaxed))
+            if (cancelled.load(std::memory_order_relaxed))
                 return;
-            const SimJob &job = jobs[index];
+            RunOutcome outcome;
             try {
-                responses[index] = runOne(job);
-            } catch (const std::exception &e) {
+                outcome = runOne(jobs[index], index, policy);
+            } catch (const BatchAbort &) {
                 const std::scoped_lock lock(failure_mutex);
-                if (!failed.exchange(true))
-                    failure_message = "job '" + job.label +
-                                      "' failed: " + e.what();
+                if (!abort_error)
+                    abort_error = std::current_exception();
+                cancelled.store(true, std::memory_order_relaxed);
+                return;
+            }
+            if (outcome.ok) {
+                // Once the batch is cancelled no further result slot
+                // is written; the batch's responses are abandoned.
+                if (!cancelled.load(std::memory_order_relaxed))
+                    result.responses[index] = outcome.response;
+                continue;
+            }
+            {
+                const std::scoped_lock lock(failure_mutex);
+                failures.push_back(std::move(outcome.failure));
+            }
+            if (!policy.collectFailures) {
+                cancelled.store(true, std::memory_order_relaxed);
+                return;
             }
         }
     };
@@ -122,10 +297,18 @@ SimulationEngine::run(std::span<const SimJob> jobs)
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
             .count()));
 
-    if (failed.load())
+    if (abort_error)
+        std::rethrow_exception(abort_error);
+
+    std::sort(failures.begin(), failures.end(),
+              [](const JobFailure &a, const JobFailure &b) {
+                  return a.jobIndex < b.jobIndex;
+              });
+    if (!policy.collectFailures && !failures.empty())
         throw std::runtime_error("SimulationEngine: " +
-                                 failure_message);
-    return responses;
+                                 failures.front().toString());
+    result.failures = std::move(failures);
+    return result;
 }
 
 } // namespace rigor::exec

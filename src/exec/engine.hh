@@ -15,14 +15,27 @@
  * are bit-identical regardless of thread count or scheduling order
  * (the simulator itself is deterministic).
  *
- * Failure: the first failing job cancels the batch; the rethrown
- * error names the job's label (benchmark and design row) so a bad
- * configuration is diagnosable.
+ * Fault tolerance: each batch runs under a FaultPolicy — bounded
+ * retries with exponential backoff for transient faults, a
+ * cooperative per-attempt deadline that converts hung simulations
+ * into diagnosable timeouts, and an optional collect-all-failures
+ * mode that quarantines failed jobs (NaN response + JobFailure
+ * record) instead of cancelling the batch. The default policy is the
+ * historical fail-fast behavior: the first failing job cancels the
+ * batch and the rethrown error names the job's label plus its
+ * attempt count and elapsed wall time.
+ *
+ * Durability: an attached ResultJournal persists every completed
+ * cacheable run (fsync per record), and is consulted like a
+ * second-level cache — an interrupted campaign resumed against the
+ * same journal replays completed runs from disk instead of
+ * re-simulating them.
  */
 
 #ifndef RIGOR_EXEC_ENGINE_HH
 #define RIGOR_EXEC_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -30,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/fault_policy.hh"
 #include "exec/progress.hh"
 #include "exec/run_cache.hh"
 #include "sim/core.hh"
@@ -37,6 +51,8 @@
 
 namespace rigor::exec
 {
+
+class ResultJournal;
 
 /** One independent simulation in a batch. */
 struct SimJob
@@ -66,13 +82,34 @@ struct SimJob
     bool cacheable() const { return !makeHook || !hookId.empty(); }
 };
 
+/**
+ * Executes one attempt of one job. Replaceable via EngineOptions for
+ * fault injection and lightweight test stubs; implementations should
+ * poll ctx.checkDeadline() if they run long. Must be thread-safe.
+ */
+using SimulateFn =
+    std::function<double(const SimJob &job, const AttemptContext &ctx)>;
+
 /** Engine construction knobs. */
 struct EngineOptions
 {
+    EngineOptions() = default;
+    EngineOptions(unsigned num_threads, bool cache_enabled,
+                  SimulateFn simulate_fn = {})
+        : threads(num_threads), cacheEnabled(cache_enabled),
+          simulate(std::move(simulate_fn))
+    {
+    }
+
     /** Worker threads; 0 = hardware concurrency (min 4 fallback). */
     unsigned threads = 0;
     /** Memoize pure runs across batches. */
     bool cacheEnabled = true;
+    /**
+     * Attempt executor; empty = the real deadline-guarded simulator
+     * (SimulationEngine::simulateJob with cooperative watchdog).
+     */
+    SimulateFn simulate;
 };
 
 /** Reusable batch executor; share one per experiment to share the
@@ -83,11 +120,27 @@ class SimulationEngine
     explicit SimulationEngine(const EngineOptions &options = {});
 
     /**
-     * Run every job and return the responses (measured cycles) in job
-     * order. Throws std::runtime_error naming the failing job's label
-     * if any simulation fails. Not reentrant: one batch at a time.
+     * Run every job fail-fast (default FaultPolicy) and return the
+     * responses (measured cycles) in job order. Throws
+     * std::runtime_error naming the failing job's label, attempt
+     * count, and elapsed time if any simulation fails.
      */
     std::vector<double> run(std::span<const SimJob> jobs);
+
+    /**
+     * Run every job under @p policy. With policy.collectFailures the
+     * batch always completes: quarantined jobs come back as NaN
+     * responses plus JobFailure records. Without it, the first
+     * permanently failed job (retries exhausted) cancels the batch
+     * and throws. BatchAbort (journal I/O failure, crash drill)
+     * always cancels and propagates regardless of the policy.
+     *
+     * Not reentrant: one batch at a time. A nested or concurrent
+     * run() call throws std::logic_error instead of silently
+     * corrupting the progress counters.
+     */
+    BatchResult run(std::span<const SimJob> jobs,
+                    const FaultPolicy &policy);
 
     /** Resolved worker-thread count. */
     unsigned threads() const { return _threads; }
@@ -99,19 +152,50 @@ class SimulationEngine
     const ProgressReporter &progress() const { return _progress; }
 
     /**
+     * Attach (or detach, with nullptr) a crash-safe result journal.
+     * Not owned; must outlive every subsequent run(). Journaled runs
+     * are replayed like cache hits on later batches — including
+     * after a process restart against the same journal file.
+     */
+    void setJournal(ResultJournal *journal) { _journal = journal; }
+    ResultJournal *journal() const { return _journal; }
+
+    /**
      * Execute one job unconditionally (no cache, no counters) — the
      * single-run primitive the batch path and simulateOnce share.
      */
     static double simulateJob(const SimJob &job);
 
+    /**
+     * Deadline-guarded variant: polls ctx.checkDeadline() from the
+     * trace source every few thousand instructions, so a wedged run
+     * surfaces as DeadlineExceeded. This is the engine's default
+     * SimulateFn and the inner executor fault injectors wrap.
+     */
+    static double simulateJob(const SimJob &job,
+                              const AttemptContext &ctx);
+
   private:
-    /** Run one job through cache + simulation + counters. */
-    double runOne(const SimJob &job);
+    /** Outcome of one job under the policy (internal). */
+    struct RunOutcome
+    {
+        bool ok = false;
+        double response = 0.0;
+        JobFailure failure;
+    };
+
+    /** Run one job through journal + cache + retry loop + counters. */
+    RunOutcome runOne(const SimJob &job, std::size_t index,
+                      const FaultPolicy &policy);
 
     unsigned _threads;
     bool _cacheEnabled;
+    SimulateFn _simulate;
     RunCache _cache;
     ProgressReporter _progress;
+    ResultJournal *_journal = nullptr;
+    /** Reentrancy guard: run() in progress. */
+    std::atomic<bool> _running{false};
 };
 
 } // namespace rigor::exec

@@ -1,0 +1,53 @@
+#include "exec/fault_policy.hh"
+
+#include <cstdio>
+
+namespace rigor::exec
+{
+
+std::string
+toString(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::Transient:
+        return "transient";
+      case FailureKind::Permanent:
+        return "permanent";
+      case FailureKind::Timeout:
+        return "timeout";
+    }
+    return "?";
+}
+
+std::chrono::milliseconds
+FaultPolicy::backoffFor(unsigned k) const
+{
+    if (backoffBase.count() <= 0 || k == 0)
+        return std::chrono::milliseconds{0};
+    // Cap the shift so a misconfigured attempt count cannot overflow;
+    // 2^20 * base is already far beyond any sane campaign backoff.
+    const unsigned shift = k - 1 > 20 ? 20 : k - 1;
+    return backoffBase * (1u << shift);
+}
+
+void
+AttemptContext::checkDeadline() const
+{
+    if (expired())
+        throw DeadlineExceeded(
+            "attempt deadline of " +
+            std::to_string(deadlineBudget.count()) + " ms exceeded");
+}
+
+std::string
+JobFailure::toString() const
+{
+    char elapsed[32];
+    std::snprintf(elapsed, sizeof(elapsed), "%.3f", elapsedSeconds);
+    return "job '" + label + "' failed (" + exec::toString(kind) +
+           ") after " + std::to_string(attempts) +
+           (attempts == 1 ? " attempt" : " attempts") + " in " +
+           elapsed + " s: " + message;
+}
+
+} // namespace rigor::exec

@@ -1,0 +1,206 @@
+#include "exec/journal.hh"
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace rigor::exec
+{
+
+namespace
+{
+
+constexpr const char *kHeader = "rigor-journal v1";
+
+/** Shortest round-trip rendering (mirrors the CSV exporter). */
+std::string
+formatResponse(double value)
+{
+    char buffer[64];
+    const std::to_chars_result res =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    return std::string(buffer, res.ptr);
+}
+
+bool
+hasWhitespace(const std::string &s)
+{
+    return s.find_first_of(" \t\n\r") != std::string::npos;
+}
+
+} // namespace
+
+std::string
+ResultJournal::recordKey(const RunKey &key)
+{
+    std::ostringstream os;
+    os << std::hex << key.config.hash() << std::dec << '|'
+       << key.instructions << '|' << key.warmupInstructions << '|'
+       << key.workload << '|' << key.hookId;
+    return os.str();
+}
+
+ResultJournal::ResultJournal(std::string path)
+    : _path(std::move(path)),
+      _appendsUntilCrash(std::numeric_limits<std::size_t>::max())
+{
+    std::string existing;
+    {
+        std::ifstream in(_path, std::ios::binary);
+        if (in) {
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            existing = buffer.str();
+        }
+    }
+    if (!existing.empty())
+        loadExisting(existing);
+
+    _fd = ::open(_path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+    if (_fd < 0)
+        throw std::runtime_error("ResultJournal: cannot open '" +
+                                 _path + "': " + std::strerror(errno));
+    if (existing.empty()) {
+        const std::string header = std::string(kHeader) + '\n';
+        if (::write(_fd, header.data(), header.size()) !=
+            static_cast<ssize_t>(header.size())) {
+            ::close(_fd);
+            throw std::runtime_error(
+                "ResultJournal: cannot write header to '" + _path +
+                "'");
+        }
+        ::fsync(_fd);
+    }
+}
+
+ResultJournal::~ResultJournal()
+{
+    if (_fd >= 0)
+        ::close(_fd);
+}
+
+void
+ResultJournal::loadExisting(const std::string &text)
+{
+    std::size_t pos = 0;
+    bool first = true;
+    while (pos < text.size()) {
+        const std::size_t newline = text.find('\n', pos);
+        if (newline == std::string::npos) {
+            // Un-terminated final line: the write a crash interrupted.
+            ++_tornRecords;
+            break;
+        }
+        const std::string line = text.substr(pos, newline - pos);
+        pos = newline + 1;
+
+        if (first) {
+            first = false;
+            if (line != kHeader)
+                throw std::runtime_error(
+                    "ResultJournal: '" + _path +
+                    "' is not a rigor journal (bad header)");
+            continue;
+        }
+        if (line.empty())
+            continue;
+
+        // r <key> <response>, where <key> is the composed identity.
+        std::istringstream fields(line);
+        std::string tag, key, response_text;
+        if (!(fields >> tag >> key >> response_text) || tag != "r") {
+            ++_tornRecords;
+            continue;
+        }
+        double response = 0.0;
+        const std::from_chars_result parsed = std::from_chars(
+            response_text.data(),
+            response_text.data() + response_text.size(), response);
+        if (parsed.ec != std::errc{} ||
+            parsed.ptr != response_text.data() + response_text.size()) {
+            ++_tornRecords;
+            continue;
+        }
+        if (_records.try_emplace(std::move(key), response).second)
+            ++_loadedRecords;
+    }
+}
+
+std::size_t
+ResultJournal::size() const
+{
+    const std::scoped_lock lock(_mutex);
+    return _records.size();
+}
+
+std::optional<double>
+ResultJournal::lookup(const RunKey &key) const
+{
+    const std::scoped_lock lock(_mutex);
+    const auto it = _records.find(recordKey(key));
+    if (it == _records.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+ResultJournal::append(const RunKey &key, double response)
+{
+    if (hasWhitespace(key.workload) || hasWhitespace(key.hookId))
+        throw std::invalid_argument(
+            "ResultJournal::append: workload/hook identity must not "
+            "contain whitespace");
+
+    const std::scoped_lock lock(_mutex);
+    const std::string composed = recordKey(key);
+    if (_records.contains(composed))
+        return; // first record wins, matching the RunCache
+
+    const std::string line =
+        "r " + composed + ' ' + formatResponse(response) + '\n';
+
+    if (_appendsUntilCrash == 0) {
+        // Crash drill: leave the torn on-disk state a real mid-write
+        // crash would — a record prefix with no terminating newline —
+        // then die. Only the first firing writes; later appends of a
+        // "dead" journal just keep throwing.
+        if (!_crashFired) {
+            _crashFired = true;
+            const std::size_t torn = line.size() / 2;
+            (void)!::write(_fd, line.data(), torn);
+            ::fsync(_fd);
+        }
+        throw SimulatedCrash(
+            "ResultJournal: simulated crash while appending to '" +
+            _path + "'");
+    }
+
+    if (::write(_fd, line.data(), line.size()) !=
+        static_cast<ssize_t>(line.size()))
+        throw BatchAbort("ResultJournal: write to '" + _path +
+                         "' failed: " + std::strerror(errno));
+    if (::fsync(_fd) != 0)
+        throw BatchAbort("ResultJournal: fsync of '" + _path +
+                         "' failed: " + std::strerror(errno));
+
+    _records.emplace(composed, response);
+    if (_appendsUntilCrash !=
+        std::numeric_limits<std::size_t>::max())
+        --_appendsUntilCrash;
+}
+
+void
+ResultJournal::simulateCrashAfter(std::size_t appends)
+{
+    const std::scoped_lock lock(_mutex);
+    _appendsUntilCrash = appends;
+}
+
+} // namespace rigor::exec

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Crash-safe append-only journal of completed simulation runs.
+ *
+ * A campaign that dies halfway — OOM kill, power cut, ctrl-C — must
+ * not lose its completed cycles: the paper's methodology needs
+ * *complete* PB columns, so partial results are only useful if they
+ * can be resumed exactly. ResultJournal persists one record per
+ * completed run, keyed by the run's cache identity (workload, config
+ * hash, run length, warm-up, hook id — the same RunKey the RunCache
+ * uses), appended atomically and fsync'd per record. Reopening the
+ * journal replays every intact record; a torn final record (the
+ * write the crash interrupted) is detected and ignored, so a resumed
+ * campaign re-simulates only the jobs the journal does not cover and
+ * reproduces the uninterrupted result bit for bit (the engine's
+ * responses are written by job index, independent of which jobs came
+ * from disk).
+ *
+ * The journal binds to the build that wrote it: record identity uses
+ * ProcessorConfig::hash(), which is stable across processes of one
+ * toolchain but not a cross-version interchange format. That is the
+ * right trade for crash recovery (same binary, restarted); exchange
+ * formats are the CSV exporters' job.
+ */
+
+#ifndef RIGOR_EXEC_JOURNAL_HH
+#define RIGOR_EXEC_JOURNAL_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "exec/fault_policy.hh"
+#include "exec/run_cache.hh"
+
+namespace rigor::exec
+{
+
+/**
+ * Thrown by the journal's crash drill (simulateCrashAfter): models a
+ * process dying mid-append. Derives from BatchAbort so the engine
+ * cancels the batch and propagates it instead of quarantining the
+ * job that happened to be appending.
+ */
+class SimulatedCrash : public BatchAbort
+{
+    using BatchAbort::BatchAbort;
+};
+
+/** Append-only, fsync-per-record result journal. */
+class ResultJournal
+{
+  public:
+    /**
+     * Open @p path for appending, creating it (with a version
+     * header) if absent, and replay every intact existing record.
+     * Throws std::runtime_error when the file cannot be opened or
+     * carries a foreign header.
+     */
+    explicit ResultJournal(std::string path);
+    ~ResultJournal();
+
+    ResultJournal(const ResultJournal &) = delete;
+    ResultJournal &operator=(const ResultJournal &) = delete;
+
+    const std::string &path() const { return _path; }
+
+    /** Records replayed from disk when the journal was opened. */
+    std::size_t loadedRecords() const { return _loadedRecords; }
+    /** Torn/corrupt trailing records skipped while loading. */
+    std::size_t tornRecords() const { return _tornRecords; }
+    /** Records currently held (loaded + appended this process). */
+    std::size_t size() const;
+
+    /** Replayed response for a run, or nullopt when not journaled. */
+    std::optional<double> lookup(const RunKey &key) const;
+
+    /**
+     * Persist one completed run: single write() of the full record,
+     * then fsync, so a crash leaves at most one torn trailing line.
+     * Duplicate keys are ignored (first record wins, matching the
+     * RunCache). Throws BatchAbort on I/O failure and SimulatedCrash
+     * when the crash drill fires.
+     */
+    void append(const RunKey &key, double response);
+
+    /**
+     * Crash drill: after @p appends more successful appends, every
+     * further append writes a deliberately torn record prefix (no
+     * terminating newline) and throws SimulatedCrash — the on-disk
+     * state a real mid-write crash leaves behind. Tests use this to
+     * prove kill-and-resume works end to end.
+     */
+    void simulateCrashAfter(std::size_t appends);
+
+  private:
+    /** Stable composed identity of one run (not std::hash based). */
+    static std::string recordKey(const RunKey &key);
+
+    void loadExisting(const std::string &text);
+
+    std::string _path;
+    int _fd = -1;
+    mutable std::mutex _mutex;
+    std::unordered_map<std::string, double> _records;
+    std::size_t _loadedRecords = 0;
+    std::size_t _tornRecords = 0;
+    /** Crash drill: appends remaining before the simulated crash;
+     *  SIZE_MAX = disabled, 0 = crashing on every append. */
+    std::size_t _appendsUntilCrash;
+    /** The drill already wrote its torn record prefix. */
+    bool _crashFired = false;
+};
+
+} // namespace rigor::exec
+
+#endif // RIGOR_EXEC_JOURNAL_HH

@@ -10,8 +10,15 @@ ProgressSnapshot::toString() const
 {
     std::ostringstream os;
     os << runsCompleted << "/" << runsTotal << " runs, " << cacheHits
-       << " cache hits, " << simulatedInstructions
-       << " instructions simulated, " << wallSeconds << " s wall";
+       << " cache hits, ";
+    if (journalHits != 0)
+        os << journalHits << " journal replays, ";
+    if (retries != 0)
+        os << retries << " retries, ";
+    if (failedJobs != 0)
+        os << failedJobs << " failed, ";
+    os << simulatedInstructions << " instructions simulated, "
+       << wallSeconds << " s wall";
     return os.str();
 }
 
@@ -22,6 +29,9 @@ ProgressReporter::snapshot() const
     s.runsTotal = _runsTotal.load(std::memory_order_relaxed);
     s.runsCompleted = _runsCompleted.load(std::memory_order_relaxed);
     s.cacheHits = _cacheHits.load(std::memory_order_relaxed);
+    s.journalHits = _journalHits.load(std::memory_order_relaxed);
+    s.retries = _retries.load(std::memory_order_relaxed);
+    s.failedJobs = _failedJobs.load(std::memory_order_relaxed);
     s.simulatedInstructions =
         _simulatedInstructions.load(std::memory_order_relaxed);
     s.wallSeconds =
@@ -37,6 +47,9 @@ ProgressReporter::reset()
     _runsTotal.store(0, std::memory_order_relaxed);
     _runsCompleted.store(0, std::memory_order_relaxed);
     _cacheHits.store(0, std::memory_order_relaxed);
+    _journalHits.store(0, std::memory_order_relaxed);
+    _retries.store(0, std::memory_order_relaxed);
+    _failedJobs.store(0, std::memory_order_relaxed);
     _simulatedInstructions.store(0, std::memory_order_relaxed);
     _wallNanos.store(0, std::memory_order_relaxed);
 }

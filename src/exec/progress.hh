@@ -28,6 +28,13 @@ struct ProgressSnapshot
     std::uint64_t runsCompleted = 0;
     /** Jobs satisfied by the RunCache without simulating. */
     std::uint64_t cacheHits = 0;
+    /** Jobs replayed from a crash-safe ResultJournal (resume). */
+    std::uint64_t journalHits = 0;
+    /** Extra attempts made after transient/timeout failures. */
+    std::uint64_t retries = 0;
+    /** Jobs that ended in a terminal failure (quarantined or
+     *  batch-cancelling, depending on the FaultPolicy). */
+    std::uint64_t failedJobs = 0;
     /** Dynamic instructions actually simulated (warm-up included;
      *  cache hits contribute nothing). */
     std::uint64_t simulatedInstructions = 0;
@@ -57,6 +64,21 @@ class ProgressReporter
         _cacheHits.fetch_add(1, std::memory_order_relaxed);
     }
 
+    void addJournalHit()
+    {
+        _journalHits.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void addRetry()
+    {
+        _retries.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void addFailed()
+    {
+        _failedJobs.fetch_add(1, std::memory_order_relaxed);
+    }
+
     void addSimulatedInstructions(std::uint64_t instructions)
     {
         _simulatedInstructions.fetch_add(instructions,
@@ -77,6 +99,9 @@ class ProgressReporter
     std::atomic<std::uint64_t> _runsTotal{0};
     std::atomic<std::uint64_t> _runsCompleted{0};
     std::atomic<std::uint64_t> _cacheHits{0};
+    std::atomic<std::uint64_t> _journalHits{0};
+    std::atomic<std::uint64_t> _retries{0};
+    std::atomic<std::uint64_t> _failedJobs{0};
     std::atomic<std::uint64_t> _simulatedInstructions{0};
     std::atomic<std::uint64_t> _wallNanos{0};
 };

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cstdlib>
 #include <iomanip>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "check/preflight.hh"
+#include "check/rule_ids.hh"
 
 namespace rigor::methodology
 {
@@ -149,6 +151,40 @@ runEnhancementExperiment(
     enhanced_opts.hookId = hook_id;
     enhanced_opts.engine = &engine;
     result.enhanced = runPbExperiment(workloads, enhanced_opts);
+
+    // Fault degradation may have dropped different benchmarks from
+    // the two legs; a sum-of-ranks delta is only meaningful over a
+    // common population, so re-filter both legs to the intersection
+    // of survivors before comparing.
+    const std::set<std::string> base_drop(
+        result.base.droppedBenchmarks.begin(),
+        result.base.droppedBenchmarks.end());
+    const std::set<std::string> enh_drop(
+        result.enhanced.droppedBenchmarks.begin(),
+        result.enhanced.droppedBenchmarks.end());
+    if (base_drop != enh_drop) {
+        std::set<std::string> union_drop = base_drop;
+        union_drop.insert(enh_drop.begin(), enh_drop.end());
+        result.validity.warning(
+            check::rules::kCampaignPairedDropMismatch,
+            "the base and enhanced legs dropped different benchmark "
+            "sets; the comparison is restricted to the " +
+                std::to_string(workloads.size() - union_drop.size()) +
+                " benchmark(s) both legs completed");
+        const std::vector<std::string> union_list(union_drop.begin(),
+                                                  union_drop.end());
+        if (union_list.size() >= workloads.size()) {
+            result.validity.error(
+                check::rules::kCampaignNoCompleteBenchmarks,
+                "no benchmark completed in both legs; the paired "
+                "comparison has no common population");
+            throw check::CampaignError("runEnhancementExperiment",
+                                       std::move(result.validity));
+        }
+        result.base.dropBenchmarks(union_list);
+        result.enhanced.dropBenchmarks(union_list);
+    }
+    result.droppedBenchmarks = result.base.droppedBenchmarks;
 
     result.comparison = compareRankTables(result.base.summaries,
                                           result.enhanced.summaries);

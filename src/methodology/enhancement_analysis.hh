@@ -81,6 +81,18 @@ struct EnhancementExperimentResult
     /** Engine counters across both runs (cache hits show how much of
      *  the pair was shared). */
     exec::ProgressSnapshot execution;
+    /**
+     * Union of the benchmarks dropped by fault degradation in either
+     * leg. A sum-of-ranks comparison is only meaningful over a
+     * common benchmark population, so when the legs dropped
+     * different sets, both are re-filtered to the intersection of
+     * survivors before comparing (warning
+     * campaign.paired-drop-mismatch in `validity`).
+     */
+    std::vector<std::string> droppedBenchmarks;
+    /** Paired-campaign reconciliation diagnostics (per-leg trails
+     *  live in base.validity / enhanced.validity). */
+    check::DiagnosticSink validity;
 };
 
 /**

@@ -1,11 +1,14 @@
 #include "methodology/pb_experiment.hh"
 
+#include <algorithm>
+#include <set>
 #include <stdexcept>
 
 #include "check/preflight.hh"
 #include "doe/effects.hh"
 #include "doe/foldover.hh"
 #include "doe/pb_design.hh"
+#include "exec/journal.hh"
 #include "methodology/parameter_space.hh"
 #include "trace/generator.hh"
 
@@ -22,6 +25,56 @@ PbExperimentResult::rankVectors() const
         vectors.push_back(std::move(v));
     }
     return vectors;
+}
+
+void
+PbExperimentResult::dropBenchmarks(std::span<const std::string> names)
+{
+    const std::set<std::string> doomed(names.begin(), names.end());
+    if (doomed.empty())
+        return;
+
+    std::size_t kept = 0;
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        if (doomed.count(benchmarks[b])) {
+            droppedBenchmarks.push_back(benchmarks[b]);
+            continue;
+        }
+        if (kept != b) {
+            benchmarks[kept] = std::move(benchmarks[b]);
+            if (b < responses.size())
+                responses[kept] = std::move(responses[b]);
+            if (b < effects.size())
+                effects[kept] = std::move(effects[b]);
+            if (b < ranks.size())
+                ranks[kept] = std::move(ranks[b]);
+        }
+        ++kept;
+    }
+    if (kept == benchmarks.size())
+        return; // nothing matched
+    if (kept == 0)
+        throw std::invalid_argument(
+            "PbExperimentResult::dropBenchmarks: dropping every "
+            "benchmark leaves nothing to aggregate");
+
+    benchmarks.resize(kept);
+    if (responses.size() > kept)
+        responses.resize(kept);
+    if (effects.size() > kept)
+        effects.resize(kept);
+    if (ranks.size() > kept)
+        ranks.resize(kept);
+    std::sort(droppedBenchmarks.begin(), droppedBenchmarks.end());
+    droppedBenchmarks.erase(std::unique(droppedBenchmarks.begin(),
+                                        droppedBenchmarks.end()),
+                            droppedBenchmarks.end());
+    // Pre-effects callers (the experiment driver itself) drop before
+    // anything is aggregated; nothing to recompute yet.
+    if (!effects.empty())
+        summaries = doe::aggregateRanks(factorNames(), effects);
+    else
+        summaries.clear();
 }
 
 double
@@ -125,9 +178,26 @@ runPbExperiment(std::span<const trace::WorkloadProfile> workloads,
     exec::SimulationEngine &engine =
         options.engine ? *options.engine : local_engine;
 
-    std::vector<double> flat;
+    // Attach the experiment's journal for the duration of the batch;
+    // a shared engine gets its previous journal back afterwards even
+    // when the batch throws.
+    struct JournalRestore
+    {
+        exec::SimulationEngine &engine;
+        exec::ResultJournal *previous;
+        ~JournalRestore() { engine.setJournal(previous); }
+    } journal_restore{engine, engine.journal()};
+    if (options.journal)
+        engine.setJournal(options.journal);
+
+    exec::BatchResult batch;
     try {
-        flat = engine.run(jobs);
+        batch = engine.run(jobs, options.faultPolicy);
+    } catch (const exec::BatchAbort &) {
+        // Infrastructure failure (journal I/O error, crash drill):
+        // propagate unwrapped so a campaign driver can recognize it
+        // and resume against the journal.
+        throw;
     } catch (const std::exception &e) {
         throw std::runtime_error(
             std::string("runPbExperiment: simulation failed: ") +
@@ -139,13 +209,49 @@ runPbExperiment(std::span<const trace::WorkloadProfile> workloads,
     for (std::size_t bench = 0; bench < num_benches; ++bench)
         for (std::size_t run = 0; run < num_runs; ++run)
             result.responses[bench][run] =
-                flat[bench * num_runs + run];
+                batch.responses[bench * num_runs + run];
+
+    // Quarantined cells (collect-failures mode) are not
+    // statistically free: arbitrate drop-vs-abort before any effect
+    // is computed, so an incomplete response column never reaches
+    // the rank aggregation.
+    std::vector<std::string> drop;
+    if (!batch.complete()) {
+        std::vector<check::QuarantinedCell> cells;
+        cells.reserve(batch.failures.size());
+        for (const exec::JobFailure &f : batch.failures) {
+            check::QuarantinedCell cell;
+            cell.benchmark = result.benchmarks[f.jobIndex / num_runs];
+            cell.row = f.jobIndex % num_runs;
+            cell.attempts = f.attempts;
+            cell.kind = exec::toString(f.kind);
+            cell.message = f.message;
+            cells.push_back(std::move(cell));
+        }
+        check::CampaignAssessment assessment =
+            check::assessCampaignValidity(
+                result.benchmarks, num_runs, options.foldover, cells,
+                options.degradation);
+        result.validity = assessment.sink;
+        if (!assessment.passed())
+            throw check::CampaignError("runPbExperiment",
+                                       std::move(assessment.sink));
+        drop = std::move(assessment.dropBenchmarks);
+    }
+
+    if (!drop.empty()) {
+        result.dropBenchmarks(drop);
+    }
 
     // Effects and per-benchmark ranks over the 43 real+dummy factors
-    // (the design has exactly 43 columns for X = 44).
-    result.effects.reserve(num_benches);
-    result.ranks.reserve(num_benches);
-    for (std::size_t b = 0; b < num_benches; ++b) {
+    // (the design has exactly 43 columns for X = 44), computed only
+    // for surviving benchmarks — their columns are complete.
+    const std::size_t survivors = result.benchmarks.size();
+    result.effects.clear();
+    result.ranks.clear();
+    result.effects.reserve(survivors);
+    result.ranks.reserve(survivors);
+    for (std::size_t b = 0; b < survivors; ++b) {
         std::vector<double> all_effects =
             doe::computeEffects(result.design, result.responses[b]);
         all_effects.resize(numFactors);

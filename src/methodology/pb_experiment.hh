@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "check/campaign_check.hh"
 #include "doe/design_matrix.hh"
 #include "doe/ranking.hh"
 #include "exec/engine.hh"
@@ -86,6 +87,31 @@ struct PbExperimentOptions
      * `threads` workers is used.
      */
     exec::SimulationEngine *engine = nullptr;
+    /**
+     * Per-job fault policy: bounded retries with exponential backoff
+     * for transient faults, a cooperative per-attempt deadline that
+     * converts hung simulations into diagnosable timeouts, and —
+     * with collectFailures — quarantine instead of fail-fast. The
+     * default is the historical fail-fast single attempt.
+     */
+    exec::FaultPolicy faultPolicy;
+    /**
+     * Optional crash-safe result journal (not owned; must outlive
+     * the call). Attached to the engine for the duration of this
+     * experiment: every completed run is persisted with an fsync,
+     * and a rerun against the same journal replays completed runs
+     * from disk instead of re-simulating them (campaign resume).
+     */
+    exec::ResultJournal *journal = nullptr;
+    /**
+     * What to do when quarantined cells leave a benchmark's response
+     * column incomplete (only reachable with
+     * faultPolicy.collectFailures): refuse to degrade (Abort, the
+     * default — throws check::CampaignError), or drop affected
+     * benchmarks whole and label the reduced rank table.
+     */
+    check::DegradationMode degradation =
+        check::DegradationMode::Abort;
 };
 
 /** Everything the experiment produced. */
@@ -103,12 +129,33 @@ struct PbExperimentResult
     std::vector<std::vector<unsigned>> ranks;
     /** Cross-benchmark aggregation, sorted ascending by rank sum. */
     std::vector<doe::FactorRankSummary> summaries;
+    /**
+     * Benchmarks removed whole by fault degradation
+     * (DegradationMode::DropBenchmark); empty on a clean campaign.
+     * Dropped benchmarks appear in none of the vectors above, so the
+     * rank sums cover exactly `benchmarks`.
+     */
+    std::vector<std::string> droppedBenchmarks;
+    /**
+     * Degradation diagnostic trail (campaign.* rules): quarantined
+     * cells, broken foldover pairs, dropped benchmarks. Empty when
+     * every simulation completed.
+     */
+    check::DiagnosticSink validity;
 
     /**
      * Rank vectors in benchmark-major layout (one 43-element vector
      * per benchmark) for the classification step.
      */
     std::vector<std::vector<double>> rankVectors() const;
+
+    /**
+     * Remove benchmarks by name and recompute the cross-benchmark
+     * aggregation (summaries) over the survivors. Removed names move
+     * to droppedBenchmarks. Unknown names are ignored. Throws
+     * std::invalid_argument when nothing would survive.
+     */
+    void dropBenchmarks(std::span<const std::string> names);
 };
 
 /**

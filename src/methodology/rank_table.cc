@@ -39,6 +39,25 @@ formatRankTable(std::span<const doe::FactorRankSummary> summaries,
     return os.str();
 }
 
+std::string
+formatRankTable(std::span<const doe::FactorRankSummary> summaries,
+                std::span<const std::string> benchmark_names,
+                std::span<const std::string> dropped_benchmarks)
+{
+    std::string out = formatRankTable(summaries, benchmark_names);
+    if (dropped_benchmarks.empty())
+        return out;
+    out += "Dropped (quarantined failures):";
+    for (const std::string &b : dropped_benchmarks)
+        out += ' ' + b;
+    out += " -- rank sums cover " +
+           std::to_string(benchmark_names.size()) + " of " +
+           std::to_string(benchmark_names.size() +
+                          dropped_benchmarks.size()) +
+           " benchmarks\n";
+    return out;
+}
+
 std::vector<double>
 sumOfRanksInOrder(std::span<const doe::FactorRankSummary> summaries,
                   std::span<const std::string> factor_order)

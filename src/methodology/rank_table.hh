@@ -25,6 +25,17 @@ std::string formatRankTable(
     std::span<const std::string> benchmark_names);
 
 /**
+ * As above, but for a degraded campaign: when @p dropped_benchmarks
+ * is non-empty, a trailing label line names the dropped benchmarks
+ * and states how many benchmarks the rank sums actually cover, so a
+ * reduced Table 9 can never be mistaken for a full-suite one.
+ */
+std::string formatRankTable(
+    std::span<const doe::FactorRankSummary> summaries,
+    std::span<const std::string> benchmark_names,
+    std::span<const std::string> dropped_benchmarks);
+
+/**
  * Sum-of-ranks of each factor in @p summaries, reordered to match
  * @p factor_order (name-keyed). Throws when a name is missing.
  * Used to compare a measured table against the published one.

@@ -1,11 +1,13 @@
 #include "methodology/workflow.hh"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
 #include "check/preflight.hh"
 #include "doe/ranking.hh"
+#include "exec/journal.hh"
 #include "stats/yates.hh"
 
 namespace rigor::methodology
@@ -46,6 +48,19 @@ WorkflowResult::toString() const
     if (!largestInteraction.empty())
         os << "Largest interaction: " << largestInteraction << " ("
            << 100.0 * largestInteractionShare << "% of variation)\n";
+    if (!screening.droppedBenchmarks.empty()) {
+        os << "Degraded: screen dropped";
+        for (const std::string &b : screening.droppedBenchmarks)
+            os << " " << b;
+        os << " (quarantined failures; rank sums cover "
+           << screening.benchmarks.size() << " benchmarks)\n";
+    }
+    if (!factorialDroppedWorkloads.empty()) {
+        os << "Degraded: factorial averaging dropped";
+        for (const std::string &w : factorialDroppedWorkloads)
+            os << " " << w;
+        os << " (quarantined failures)\n";
+    }
     os << "Execution: " << execution.toString() << "\n";
     return os.str();
 }
@@ -66,8 +81,13 @@ runRecommendedWorkflow(
     // One engine for both simulation phases: the screen's pool is
     // reused by the step-3 factorial, and any configuration the
     // factorial shares with the screen is served from the run cache.
-    exec::SimulationEngine engine(
-        exec::EngineOptions{options.threads, true});
+    // A journal attached here makes every completed run of either
+    // phase durable across process restarts.
+    exec::EngineOptions engine_opts;
+    engine_opts.threads = options.threads;
+    engine_opts.simulate = options.simulate;
+    exec::SimulationEngine engine(engine_opts);
+    engine.setJournal(options.journal);
 
     // ----- Step 1: PB screening -----
     PbExperimentOptions screen_opts;
@@ -75,6 +95,8 @@ runRecommendedWorkflow(
     screen_opts.warmupInstructions = options.warmupInstructions;
     screen_opts.engine = &engine;
     screen_opts.skipPreflight = options.skipPreflight;
+    screen_opts.faultPolicy = options.faultPolicy;
+    screen_opts.degradation = options.degradation;
     result.screening = runPbExperiment(workloads, screen_opts);
 
     // Critical set: up to the largest sum-of-ranks gap, capped, and
@@ -145,16 +167,66 @@ runRecommendedWorkflow(
                                 "runRecommendedWorkflow (step 3)");
     }
 
-    const std::vector<double> cells = engine.run(jobs);
+    exec::BatchResult cell_batch;
+    try {
+        cell_batch = engine.run(jobs, options.faultPolicy);
+    } catch (const exec::BatchAbort &) {
+        throw; // resume-able infrastructure failure: keep the type
+    }
+    const std::vector<double> &cells = cell_batch.responses;
+
+    // Quarantined factorial cells: a workload missing from one cell
+    // would skew that cell's average against its neighbors, so the
+    // whole workload is dropped from every cell (or the workflow
+    // aborts), arbitrated through the campaign analyzer.
+    std::set<std::size_t> dropped_w;
+    if (!cell_batch.complete()) {
+        std::vector<std::string> workload_names;
+        workload_names.reserve(workloads.size());
+        for (const trace::WorkloadProfile &w : workloads)
+            workload_names.push_back(w.name);
+        std::vector<check::QuarantinedCell> quarantined;
+        quarantined.reserve(cell_batch.failures.size());
+        for (const exec::JobFailure &f : cell_batch.failures) {
+            check::QuarantinedCell cell;
+            cell.benchmark =
+                workload_names[f.jobIndex % workloads.size()];
+            cell.row = f.jobIndex / workloads.size();
+            cell.attempts = f.attempts;
+            cell.kind = exec::toString(f.kind);
+            cell.message = f.message;
+            quarantined.push_back(std::move(cell));
+        }
+        check::CampaignAssessment assessment =
+            check::assessFactorialValidity(workload_names, num_cells,
+                                           quarantined,
+                                           options.degradation);
+        result.factorialValidity = assessment.sink;
+        if (!assessment.passed())
+            throw check::CampaignError(
+                "runRecommendedWorkflow (step 3)",
+                std::move(assessment.sink));
+        result.factorialDroppedWorkloads =
+            std::move(assessment.dropBenchmarks);
+        for (std::size_t w = 0; w < workload_names.size(); ++w)
+            for (const std::string &name :
+                 result.factorialDroppedWorkloads)
+                if (workload_names[w] == name)
+                    dropped_w.insert(w);
+    }
+    const std::size_t surviving =
+        workloads.size() - dropped_w.size();
 
     std::vector<double> responses;
     responses.reserve(num_cells);
     for (std::size_t t = 0; t < num_cells; ++t) {
         double total = 0.0;
-        for (std::size_t w = 0; w < workloads.size(); ++w)
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            if (dropped_w.count(w))
+                continue;
             total += cells[t * workloads.size() + w];
-        responses.push_back(total /
-                            static_cast<double>(workloads.size()));
+        }
+        responses.push_back(total / static_cast<double>(surviving));
     }
     result.sensitivity = stats::analyzeFactorial(names, responses);
 

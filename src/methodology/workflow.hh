@@ -54,6 +54,28 @@ struct WorkflowOptions
      * PbExperimentOptions::skipPreflight).
      */
     bool skipPreflight = false;
+    /**
+     * Per-job fault policy applied to both simulation phases
+     * (retries, backoff, attempt deadline, collect-failures). The
+     * default is the historical fail-fast single attempt.
+     */
+    exec::FaultPolicy faultPolicy;
+    /**
+     * Optional crash-safe result journal (not owned) shared by both
+     * phases; an interrupted workflow rerun against the same journal
+     * replays completed runs from disk.
+     */
+    exec::ResultJournal *journal = nullptr;
+    /** Degradation arbitration when cells are quarantined. */
+    check::DegradationMode degradation =
+        check::DegradationMode::Abort;
+    /**
+     * Attempt executor override for the workflow's internal engine;
+     * empty = the real deadline-guarded simulator. This is how fault
+     * drills target the workflow (wrap with a FaultInjector) and how
+     * tests stub the simulator out.
+     */
+    exec::SimulateFn simulate;
 };
 
 /** Direction recommendation for one critical parameter. */
@@ -87,6 +109,12 @@ struct WorkflowResult
     /** Execution-engine counters over both simulation phases (runs,
      *  cache hits, simulated instructions, wall time). */
     exec::ProgressSnapshot execution;
+    /** Workloads dropped from the step-3 factorial averaging by
+     *  fault degradation (the screen's drops are in
+     *  screening.droppedBenchmarks). */
+    std::vector<std::string> factorialDroppedWorkloads;
+    /** Step-3 degradation diagnostic trail (campaign.* rules). */
+    check::DiagnosticSink factorialValidity;
 
     /** Human-readable multi-section report. */
     std::string toString() const;

@@ -95,6 +95,59 @@ TEST(SimJobQueue, EmptyQueueIsDrained)
     EXPECT_FALSE(queue.pop(2, job));
 }
 
+TEST(SimJobQueue, CancelledBatchLeavesUndrainedJobsSafely)
+{
+    // The engine's fail-fast path makes every worker stop popping
+    // mid-batch and the queue is destroyed with jobs still enqueued:
+    // concurrent pops racing the cancel flag and the teardown must be
+    // clean (this is the scenario the tsan preset races).
+    constexpr std::size_t num_jobs = 2000;
+    constexpr unsigned num_workers = 4;
+    exec::SimJobQueue queue(num_jobs, num_workers);
+    std::atomic<bool> cancel{false};
+    std::atomic<std::size_t> delivered{0};
+    std::vector<std::thread> pool;
+    for (unsigned w = 0; w < num_workers; ++w) {
+        pool.emplace_back([&queue, &cancel, &delivered, w]() {
+            std::size_t job;
+            while (!cancel.load(std::memory_order_acquire) &&
+                   queue.pop(w, job)) {
+                // One worker "fails" early and cancels the batch.
+                if (delivered.fetch_add(1) == 40)
+                    cancel.store(true, std::memory_order_release);
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    EXPECT_GE(delivered.load(), 41u);
+    EXPECT_LT(delivered.load(), num_jobs)
+        << "cancellation must leave the tail of the batch undrained";
+}
+
+TEST(SimJobQueue, SurvivorsDrainAnAbandonedWorkersShard)
+{
+    // A worker that aborts before its first pop (the BatchAbort path)
+    // abandons its dealt range; the survivors must steal and finish
+    // every job it left behind.
+    constexpr std::size_t num_jobs = 256;
+    constexpr unsigned num_workers = 4;
+    exec::SimJobQueue queue(num_jobs, num_workers);
+    std::vector<std::atomic<int>> delivered(num_jobs);
+    std::vector<std::thread> pool;
+    for (unsigned w = 1; w < num_workers; ++w) { // worker 0 never pops
+        pool.emplace_back([&queue, &delivered, w]() {
+            std::size_t job;
+            while (queue.pop(w, job))
+                delivered[job].fetch_add(1);
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    for (std::size_t j = 0; j < num_jobs; ++j)
+        EXPECT_EQ(delivered[j].load(), 1) << "job " << j;
+}
+
 // ----- RunCache -----
 
 TEST(RunCache, StoreThenLookupReturnsExactValue)

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "doe/design_matrix.hh"
+#include "exec/engine.hh"
+#include "exec/journal.hh"
+#include "methodology/parameter_space.hh"
+#include "trace/workloads.hh"
+
+namespace doe = rigor::doe;
+namespace exec = rigor::exec;
+namespace methodology = rigor::methodology;
+namespace trace = rigor::trace;
+
+namespace
+{
+
+/** Fresh per-test journal path under gtest's temp directory. */
+std::string
+journalPath(const std::string &name)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+exec::RunKey
+keyFor(const std::string &workload, unsigned rob_entries,
+       std::uint64_t instructions = 1000)
+{
+    exec::RunKey key;
+    key.workload = workload;
+    key.config = methodology::uniformConfig(doe::Level::Low);
+    key.config.robEntries = rob_entries;
+    key.instructions = instructions;
+    return key;
+}
+
+/** A small batch of real jobs over distinct configurations. */
+std::vector<exec::SimJob>
+realBatch(const trace::WorkloadProfile &workload, std::size_t count)
+{
+    std::vector<exec::SimJob> jobs;
+    for (std::size_t i = 0; i < count; ++i) {
+        exec::SimJob job;
+        job.workload = &workload;
+        job.config = methodology::uniformConfig(doe::Level::Low);
+        job.config.robEntries = static_cast<unsigned>(16 + 2 * i);
+        job.instructions = 2000;
+        job.label = workload.name + ", design row " + std::to_string(i);
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(ResultJournal, RoundTripsResponsesBitExactly)
+{
+    const std::string path = journalPath("journal_roundtrip");
+    const std::vector<double> values = {
+        1.0, 1.0 / 3.0, 1234567890123.25, -0.0, 5e-324, 1e17 + 1};
+    {
+        exec::ResultJournal journal(path);
+        for (std::size_t i = 0; i < values.size(); ++i)
+            journal.append(keyFor("gzip", 16 + unsigned(i)),
+                           values[i]);
+        EXPECT_EQ(journal.size(), values.size());
+    }
+    exec::ResultJournal reopened(path);
+    EXPECT_EQ(reopened.loadedRecords(), values.size());
+    EXPECT_EQ(reopened.tornRecords(), 0u);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const std::optional<double> hit =
+            reopened.lookup(keyFor("gzip", 16 + unsigned(i)));
+        ASSERT_TRUE(hit.has_value()) << "value " << i;
+        EXPECT_EQ(*hit, values[i]) << "bit-exact round trip";
+    }
+    EXPECT_FALSE(reopened.lookup(keyFor("mcf", 16)).has_value());
+}
+
+TEST(ResultJournal, FirstRecordWinsOnDuplicateKeys)
+{
+    const std::string path = journalPath("journal_dup");
+    exec::ResultJournal journal(path);
+    journal.append(keyFor("gzip", 16), 111.0);
+    journal.append(keyFor("gzip", 16), 222.0);
+    EXPECT_EQ(journal.size(), 1u);
+    EXPECT_EQ(*journal.lookup(keyFor("gzip", 16)), 111.0);
+}
+
+TEST(ResultJournal, ToleratesTornFinalRecord)
+{
+    const std::string path = journalPath("journal_torn");
+    {
+        exec::ResultJournal journal(path);
+        journal.append(keyFor("gzip", 16), 1.0);
+        journal.append(keyFor("gzip", 18), 2.0);
+    }
+    {
+        // The on-disk state a mid-write crash leaves: a trailing
+        // record prefix with no newline.
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        out << "r deadbeef|1000|0|gzip| 3.";
+    }
+    exec::ResultJournal reopened(path);
+    EXPECT_EQ(reopened.loadedRecords(), 2u);
+    EXPECT_EQ(reopened.tornRecords(), 1u);
+    EXPECT_EQ(*reopened.lookup(keyFor("gzip", 16)), 1.0);
+    EXPECT_EQ(*reopened.lookup(keyFor("gzip", 18)), 2.0);
+
+    // Appending after recovery still works and the file stays sane.
+    reopened.append(keyFor("gzip", 20), 3.0);
+    exec::ResultJournal third(path);
+    // The torn prefix turns the next record's line into garbage; only
+    // that one line is sacrificed, later records load fine.
+    EXPECT_EQ(third.loadedRecords(), 2u);
+    EXPECT_EQ(third.tornRecords(), 1u);
+}
+
+TEST(ResultJournal, RejectsForeignFilesAndBadIdentities)
+{
+    const std::string path = journalPath("journal_foreign");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "not a journal\n";
+    }
+    EXPECT_THROW(exec::ResultJournal{path}, std::runtime_error);
+
+    exec::ResultJournal journal(journalPath("journal_badkey"));
+    EXPECT_THROW(journal.append(keyFor("two words", 16), 1.0),
+                 std::invalid_argument);
+}
+
+TEST(ResultJournal, CrashDrillPersistsExactlyTheCompletedAppends)
+{
+    const std::string path = journalPath("journal_crash");
+    {
+        exec::ResultJournal journal(path);
+        journal.simulateCrashAfter(2);
+        journal.append(keyFor("gzip", 16), 1.0);
+        journal.append(keyFor("gzip", 18), 2.0);
+        EXPECT_THROW(journal.append(keyFor("gzip", 20), 3.0),
+                     exec::SimulatedCrash);
+        // A "dead" journal keeps throwing; no further state changes.
+        EXPECT_THROW(journal.append(keyFor("gzip", 22), 4.0),
+                     exec::SimulatedCrash);
+    }
+    exec::ResultJournal reopened(path);
+    EXPECT_EQ(reopened.loadedRecords(), 2u);
+    EXPECT_EQ(reopened.tornRecords(), 1u); // the interrupted write
+    EXPECT_TRUE(reopened.lookup(keyFor("gzip", 16)).has_value());
+    EXPECT_FALSE(reopened.lookup(keyFor("gzip", 20)).has_value());
+}
+
+// ----- Engine integration: journal as second-level cache -----
+
+TEST(ResultJournal, EngineReplaysJournaledRunsBitIdentically)
+{
+    const std::string path = journalPath("journal_engine");
+    const trace::WorkloadProfile &w = trace::workloadByName("gzip");
+    const std::vector<exec::SimJob> jobs = realBatch(w, 6);
+
+    std::vector<double> live;
+    {
+        exec::ResultJournal journal(path);
+        exec::SimulationEngine engine(exec::EngineOptions{2, true});
+        engine.setJournal(&journal);
+        live = engine.run(jobs);
+        EXPECT_EQ(journal.size(), jobs.size());
+        EXPECT_EQ(engine.progress().snapshot().journalHits, 0u);
+    }
+
+    // A fresh process: new engine, new cache, same journal file.
+    exec::ResultJournal journal(path);
+    EXPECT_EQ(journal.loadedRecords(), jobs.size());
+    exec::SimulationEngine engine(exec::EngineOptions{2, true});
+    engine.setJournal(&journal);
+    const std::vector<double> replayed = engine.run(jobs);
+
+    EXPECT_EQ(replayed, live) << "journal replay must be bit-identical";
+    const exec::ProgressSnapshot snap = engine.progress().snapshot();
+    EXPECT_EQ(snap.journalHits, jobs.size());
+    EXPECT_EQ(snap.simulatedInstructions, 0u)
+        << "a fully journaled batch re-simulates nothing";
+
+    // Replayed results were promoted into the run cache: a second
+    // batch is served by the cache, not the journal.
+    engine.run(jobs);
+    const exec::ProgressSnapshot again = engine.progress().snapshot();
+    EXPECT_EQ(again.journalHits, jobs.size());
+    EXPECT_EQ(again.cacheHits, jobs.size());
+}
+
+TEST(ResultJournal, PartialJournalResumesOnlyRemainingJobs)
+{
+    const std::string path = journalPath("journal_partial");
+    const trace::WorkloadProfile &w = trace::workloadByName("gzip");
+    const std::vector<exec::SimJob> jobs = realBatch(w, 6);
+
+    // Journal only the first half (simulating an interrupted run).
+    {
+        exec::ResultJournal journal(path);
+        exec::SimulationEngine engine(exec::EngineOptions{1, true});
+        engine.setJournal(&journal);
+        const std::vector<exec::SimJob> half(jobs.begin(),
+                                             jobs.begin() + 3);
+        engine.run(half);
+    }
+
+    exec::ResultJournal journal(path);
+    exec::SimulationEngine engine(exec::EngineOptions{1, true});
+    engine.setJournal(&journal);
+    engine.run(jobs);
+    const exec::ProgressSnapshot snap = engine.progress().snapshot();
+    EXPECT_EQ(snap.journalHits, 3u);
+    EXPECT_EQ(snap.simulatedInstructions, 3u * 2000u)
+        << "only the unjournaled half simulates";
+    EXPECT_EQ(journal.size(), jobs.size())
+        << "newly simulated runs were appended for the next resume";
+}

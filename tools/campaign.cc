@@ -1,0 +1,410 @@
+/**
+ * @file
+ * campaign — fault-tolerant Plackett-Burman experiment campaigns.
+ *
+ * Runs the paper's Table 9 screening experiment under an explicit
+ * FaultPolicy (bounded retries, exponential backoff, per-attempt
+ * deadlines), with optional crash-safe journaling so an interrupted
+ * campaign resumes from disk, plus a deterministic fault-injection
+ * harness for drills:
+ *
+ *     campaign --workloads gzip,mcf --instructions 20000
+ *     campaign --journal run.journal --retries 2 --backoff-ms 10
+ *     campaign --journal run.journal            # resume: replays
+ *     campaign --collect --degrade drop-benchmark
+ *     campaign --inject 5:1:transient --retries 1
+ *     campaign --inject-label "mcf:":1:hang --deadline-ms 50
+ *     campaign --journal run.journal --crash-after 40   # crash drill
+ *
+ * Exit codes: 0 success (possibly degraded, with warnings printed),
+ * 1 campaign failure, 2 usage error, 3 simulated crash (resume with
+ * the same --journal).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/campaign_check.hh"
+#include "exec/fault_injection.hh"
+#include "exec/journal.hh"
+#include "methodology/pb_experiment.hh"
+#include "methodology/rank_table.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using rigor::check::DegradationMode;
+using rigor::exec::FaultKind;
+
+struct CliOptions
+{
+    std::vector<std::string> workloads;
+    std::uint64_t instructions = 20000;
+    std::uint64_t warmup = 0;
+    unsigned threads = 0;
+    bool foldover = true;
+    unsigned retries = 0;
+    unsigned backoffMs = 0;
+    unsigned deadlineMs = 0;
+    bool collect = false;
+    DegradationMode degrade = DegradationMode::Abort;
+    std::string journalPath;
+    std::size_t crashAfter = 0; // 0 = no crash drill
+    bool haveCrashAfter = false;
+    struct IndexFault
+    {
+        std::size_t job;
+        unsigned attempt;
+        FaultKind kind;
+    };
+    struct LabelFault
+    {
+        std::string substring;
+        unsigned attempt;
+        FaultKind kind;
+    };
+    std::vector<IndexFault> inject;
+    std::vector<LabelFault> injectLabel;
+    double randomRate = 0.0;
+    std::uint64_t randomSeed = 0;
+    bool haveRandom = false;
+    bool quiet = false;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "\n"
+        "Run the 43-factor Plackett-Burman screening campaign with\n"
+        "fault tolerance, crash-safe journaling, and fault drills.\n"
+        "\n"
+        "options:\n"
+        "  --workloads a,b,c      benchmarks to run (default: all 13)\n"
+        "  --instructions N       measured instructions per run\n"
+        "  --warmup N             warm-up instructions per run\n"
+        "  --threads N            worker threads (0 = hardware)\n"
+        "  --no-foldover          44-run base design instead of 88\n"
+        "  --retries N            extra attempts per job (default 0)\n"
+        "  --backoff-ms N         base backoff, doubled per retry\n"
+        "  --deadline-ms N        per-attempt deadline (0 = none)\n"
+        "  --collect              quarantine failures, don't fail fast\n"
+        "  --degrade MODE         abort | drop-benchmark (with --collect)\n"
+        "  --journal PATH         crash-safe journal; rerun to resume\n"
+        "  --crash-after N        crash drill: die after N appends\n"
+        "  --inject J:A:KIND      fault job J, attempt A\n"
+        "                         (KIND: transient|permanent|hang)\n"
+        "  --inject-label S:A:KIND  fault jobs whose label contains S\n"
+        "  --inject-random R:SEED   seeded transient storm at rate R\n"
+        "  --quiet                suppress the rank table\n"
+        "  --help                 show this help\n",
+        argv0);
+    return 2;
+}
+
+bool
+splitList(const std::string &csv, std::vector<std::string> &out)
+{
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::string item =
+            csv.substr(start, comma == std::string::npos
+                                  ? std::string::npos
+                                  : comma - start);
+        if (item.empty())
+            return false;
+        out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return !out.empty();
+}
+
+bool
+parseKind(const std::string &text, FaultKind &kind)
+{
+    if (text == "transient")
+        kind = FaultKind::Transient;
+    else if (text == "permanent")
+        kind = FaultKind::Permanent;
+    else if (text == "hang")
+        kind = FaultKind::Hang;
+    else
+        return false;
+    return true;
+}
+
+/** Parse "head:attempt:kind", splitting on the LAST two colons so
+ *  the head (a label substring) may itself contain colons. */
+bool
+parseFaultSpec(const std::string &spec, std::string &head,
+               unsigned &attempt, FaultKind &kind)
+{
+    const std::size_t last = spec.rfind(':');
+    if (last == std::string::npos || last == 0)
+        return false;
+    const std::size_t mid = spec.rfind(':', last - 1);
+    if (mid == std::string::npos)
+        return false;
+    head = spec.substr(0, mid);
+    const std::string attempt_text =
+        spec.substr(mid + 1, last - mid - 1);
+    if (head.empty() || attempt_text.empty())
+        return false;
+    char *end = nullptr;
+    attempt =
+        static_cast<unsigned>(std::strtoul(attempt_text.c_str(), &end, 10));
+    if (end == nullptr || *end != '\0' || attempt == 0)
+        return false;
+    return parseKind(spec.substr(last + 1), kind);
+}
+
+bool
+parseArgs(int argc, char **argv, CliOptions &options)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "campaign: %s needs an argument\n", what);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--workloads") {
+            const char *v = next("--workloads");
+            if (v == nullptr || !splitList(v, options.workloads))
+                return false;
+        } else if (arg == "--instructions") {
+            const char *v = next("--instructions");
+            if (v == nullptr)
+                return false;
+            options.instructions = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--warmup") {
+            const char *v = next("--warmup");
+            if (v == nullptr)
+                return false;
+            options.warmup = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--threads") {
+            const char *v = next("--threads");
+            if (v == nullptr)
+                return false;
+            options.threads =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--no-foldover") {
+            options.foldover = false;
+        } else if (arg == "--retries") {
+            const char *v = next("--retries");
+            if (v == nullptr)
+                return false;
+            options.retries =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--backoff-ms") {
+            const char *v = next("--backoff-ms");
+            if (v == nullptr)
+                return false;
+            options.backoffMs =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--deadline-ms") {
+            const char *v = next("--deadline-ms");
+            if (v == nullptr)
+                return false;
+            options.deadlineMs =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--collect") {
+            options.collect = true;
+        } else if (arg == "--degrade") {
+            const char *v = next("--degrade");
+            if (v == nullptr)
+                return false;
+            const std::string mode = v;
+            if (mode == "abort") {
+                options.degrade = DegradationMode::Abort;
+            } else if (mode == "drop-benchmark") {
+                options.degrade = DegradationMode::DropBenchmark;
+            } else {
+                std::fprintf(stderr,
+                             "campaign: unknown --degrade mode %s\n",
+                             mode.c_str());
+                return false;
+            }
+        } else if (arg == "--journal") {
+            const char *v = next("--journal");
+            if (v == nullptr)
+                return false;
+            options.journalPath = v;
+        } else if (arg == "--crash-after") {
+            const char *v = next("--crash-after");
+            if (v == nullptr)
+                return false;
+            options.crashAfter = std::strtoull(v, nullptr, 10);
+            options.haveCrashAfter = true;
+        } else if (arg == "--inject") {
+            const char *v = next("--inject");
+            if (v == nullptr)
+                return false;
+            std::string head;
+            CliOptions::IndexFault fault{};
+            if (!parseFaultSpec(v, head, fault.attempt, fault.kind))
+                return false;
+            char *end = nullptr;
+            fault.job = std::strtoull(head.c_str(), &end, 10);
+            if (end == nullptr || *end != '\0')
+                return false;
+            options.inject.push_back(fault);
+        } else if (arg == "--inject-label") {
+            const char *v = next("--inject-label");
+            if (v == nullptr)
+                return false;
+            CliOptions::LabelFault fault{};
+            if (!parseFaultSpec(v, fault.substring, fault.attempt,
+                                fault.kind))
+                return false;
+            options.injectLabel.push_back(std::move(fault));
+        } else if (arg == "--inject-random") {
+            const char *v = next("--inject-random");
+            if (v == nullptr)
+                return false;
+            const std::string spec = v;
+            const std::size_t colon = spec.find(':');
+            if (colon == std::string::npos)
+                return false;
+            options.randomRate =
+                std::strtod(spec.substr(0, colon).c_str(), nullptr);
+            options.randomSeed = std::strtoull(
+                spec.substr(colon + 1).c_str(), nullptr, 10);
+            options.haveRandom = true;
+        } else if (arg == "--quiet") {
+            options.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return false;
+        } else {
+            std::fprintf(stderr, "campaign: unknown option %s\n",
+                         arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli;
+    if (!parseArgs(argc, argv, cli))
+        return usage(argv[0]);
+
+    try {
+        // Resolve the benchmark suite.
+        std::vector<rigor::trace::WorkloadProfile> workloads;
+        if (cli.workloads.empty()) {
+            const auto all = rigor::trace::spec2000Workloads();
+            workloads.assign(all.begin(), all.end());
+        } else {
+            for (const std::string &name : cli.workloads)
+                workloads.push_back(
+                    rigor::trace::workloadByName(name));
+        }
+
+        rigor::exec::FaultPolicy policy;
+        policy.maxAttempts = cli.retries + 1;
+        policy.backoffBase = std::chrono::milliseconds(cli.backoffMs);
+        policy.attemptDeadline =
+            std::chrono::milliseconds(cli.deadlineMs);
+        policy.collectFailures = cli.collect;
+
+        // The fault-injection plan (empty = the real simulator).
+        rigor::exec::FaultInjector injector;
+        for (const CliOptions::IndexFault &f : cli.inject)
+            injector.addFault(f.job, f.attempt, f.kind);
+        for (const CliOptions::LabelFault &f : cli.injectLabel)
+            injector.addLabelFault(f.substring, f.attempt, f.kind);
+        if (cli.haveRandom) {
+            const std::size_t rows = cli.foldover ? 88 : 44;
+            injector.planRandomTransients(workloads.size() * rows,
+                                          policy.attempts(),
+                                          cli.randomRate,
+                                          cli.randomSeed);
+        }
+
+        rigor::exec::EngineOptions engine_opts;
+        engine_opts.threads = cli.threads;
+        if (injector.plannedFaults() != 0)
+            engine_opts.simulate = injector.wrap();
+        rigor::exec::SimulationEngine engine(engine_opts);
+
+        std::unique_ptr<rigor::exec::ResultJournal> journal;
+        if (!cli.journalPath.empty()) {
+            journal = std::make_unique<rigor::exec::ResultJournal>(
+                cli.journalPath);
+            if (journal->loadedRecords() != 0)
+                std::fprintf(
+                    stderr,
+                    "campaign: resuming against %s (%zu completed "
+                    "runs on disk%s)\n",
+                    cli.journalPath.c_str(),
+                    journal->loadedRecords(),
+                    journal->tornRecords() != 0
+                        ? ", torn final record discarded"
+                        : "");
+            if (cli.haveCrashAfter)
+                journal->simulateCrashAfter(cli.crashAfter);
+        } else if (cli.haveCrashAfter) {
+            std::fprintf(stderr,
+                         "campaign: --crash-after needs --journal\n");
+            return 2;
+        }
+
+        rigor::methodology::PbExperimentOptions opts;
+        opts.instructionsPerRun = cli.instructions;
+        opts.warmupInstructions = cli.warmup;
+        opts.foldover = cli.foldover;
+        opts.engine = &engine;
+        opts.faultPolicy = policy;
+        opts.journal = journal.get();
+        opts.degradation = cli.degrade;
+
+        const rigor::methodology::PbExperimentResult result =
+            rigor::methodology::runPbExperiment(workloads, opts);
+
+        // Degradation trail first, table second: a reduced Table 9
+        // is always preceded and suffixed by what it is missing.
+        if (!result.validity.diagnostics().empty())
+            std::fprintf(stderr, "%s",
+                         result.validity.toString().c_str());
+        if (!cli.quiet)
+            std::fprintf(
+                stdout, "%s",
+                rigor::methodology::formatRankTable(
+                    result.summaries, result.benchmarks,
+                    result.droppedBenchmarks)
+                    .c_str());
+        std::fprintf(
+            stderr, "campaign: %s\n",
+            engine.progress().snapshot().toString().c_str());
+        return 0;
+    } catch (const rigor::exec::SimulatedCrash &e) {
+        std::fprintf(stderr,
+                     "campaign: simulated crash: %s\n"
+                     "campaign: rerun with the same --journal to "
+                     "resume\n",
+                     e.what());
+        return 3;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "campaign: %s\n", e.what());
+        return 1;
+    }
+}
