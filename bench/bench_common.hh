@@ -13,6 +13,7 @@
 
 #include "exec/engine.hh"
 #include "methodology/pb_experiment.hh"
+#include "obs/bench_report.hh"
 #include "trace/workloads.hh"
 
 namespace rigor::bench
@@ -65,8 +66,40 @@ fullExperimentOptions()
     // A full-length warm-up lets the sequential/strided sweeps cover
     // cache-resident working sets before measurement begins.
     opts.warmupInstructions = opts.instructionsPerRun;
-    opts.engine = &sharedEngine();
+    opts.campaign.engine = &sharedEngine();
     return opts;
+}
+
+/**
+ * Write a machine-readable BENCH_<pr>.json throughput report from the
+ * shared engine's counters (used by the CI perf-smoke job).
+ */
+inline void
+writeBenchReportFromEngine(const std::string &path,
+                           const std::string &name,
+                           const exec::ProgressSnapshot &progress)
+{
+    obs::BenchReport report;
+    report.name = name;
+    report.wallSeconds = progress.wallSeconds;
+    report.runsTotal = progress.runsTotal;
+    report.runsCompleted = progress.runsCompleted;
+    report.runsPerSecond =
+        progress.wallSeconds > 0.0
+            ? static_cast<double>(progress.runsCompleted) /
+                  progress.wallSeconds
+            : 0.0;
+    report.simulatedInstructions = progress.simulatedInstructions;
+    report.mips = progress.wallSeconds > 0.0
+                      ? static_cast<double>(
+                            progress.simulatedInstructions) /
+                            progress.wallSeconds / 1e6
+                      : 0.0;
+    report.threads = sharedEngine().threads();
+    report.cacheHits = progress.cacheHits;
+    report.journalHits = progress.journalHits;
+    obs::writeBenchReport(path, report);
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
 }
 
 /**

@@ -198,7 +198,7 @@ BM_RecommendedWorkflowThreadScaling(benchmark::State &state)
     opts.instructionsPerRun = 2000;
     opts.warmupInstructions = 0;
     opts.maxCriticalParameters = 3;
-    opts.threads = static_cast<unsigned>(state.range(0));
+    opts.campaign.threads = static_cast<unsigned>(state.range(0));
     const std::vector<trace::WorkloadProfile> workloads = {
         trace::workloadByName("gzip"),
         trace::workloadByName("mcf"),

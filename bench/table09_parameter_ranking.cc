@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.hh"
 #include "doe/ranking.hh"
@@ -74,5 +75,12 @@ main()
                 pos_of("Dummy Factor #1"));
     std::printf("  Dummy Factor #2:        %zu (37)\n",
                 pos_of("Dummy Factor #2"));
+
+    // Machine-readable throughput record for the CI perf-smoke job
+    // (RIGOR_BENCH_OUT=BENCH_4.json).
+    if (const char *out = std::getenv("RIGOR_BENCH_OUT"))
+        rigor::bench::writeBenchReportFromEngine(
+            out, "table09_parameter_ranking",
+            rigor::bench::sharedEngine().progress().snapshot());
     return 0;
 }

@@ -25,7 +25,9 @@ ParameterSpace.*:PbExperiment.*:Workflow.*:EnhancementAnalysis.*:
 CsvExport.*:PublishedData.*:Preflight.*:
 FaultPolicy.*:AttemptContext.*:JobFailure.*:FaultTolerance.*:
 FaultInjector.*:ResultJournal.*:CampaignCheck.*:CampaignResume.*:
-CampaignDegradation.*
+CampaignDegradation.*:
+Metrics.*:TraceWriter.*:TraceSpan.*:CampaignManifest.*:
+CampaignOptions.*
 EOF
 )"
 

@@ -9,10 +9,26 @@
 
 #include "exec/journal.hh"
 #include "exec/sim_job_queue.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_span.hh"
 #include "trace/generator.hh"
 
 namespace rigor::exec
 {
+
+std::string
+toString(RunSource source)
+{
+    switch (source) {
+    case RunSource::Simulated:
+        return "simulated";
+    case RunSource::CacheHit:
+        return "cache";
+    case RunSource::JournalReplay:
+        return "journal";
+    }
+    return "unknown";
+}
 
 namespace
 {
@@ -79,6 +95,37 @@ SimulationEngine::SimulationEngine(const EngineOptions &options)
 {
 }
 
+void
+SimulationEngine::setMetrics(obs::MetricsRegistry *metrics)
+{
+    _metrics = metrics;
+    _instruments = Instruments{};
+    if (metrics == nullptr)
+        return;
+    _instruments.completed = &metrics->counter("engine.runs.completed");
+    _instruments.simulated = &metrics->counter("engine.runs.simulated");
+    _instruments.cacheHits =
+        &metrics->counter("engine.runs.cache_hits");
+    _instruments.journalHits =
+        &metrics->counter("engine.runs.journal_replays");
+    _instruments.retries = &metrics->counter("engine.retries");
+    _instruments.failed = &metrics->counter("engine.runs.failed");
+    _instruments.batches = &metrics->counter("engine.batches");
+    _instruments.steals = &metrics->counter("engine.queue.steals");
+    static constexpr double kWallBounds[] = {1e-4, 1e-3, 1e-2, 0.1,
+                                             1.0,  10.0, 60.0};
+    _instruments.runWallSeconds =
+        &metrics->histogram("engine.run.wall_seconds", kWallBounds);
+    static constexpr double kMipsBounds[] = {1.0,   2.0,   5.0,
+                                             10.0,  20.0,  50.0,
+                                             100.0, 200.0, 500.0};
+    _instruments.mips = &metrics->histogram("sim.run.mips", kMipsBounds);
+    _instruments.busyFraction =
+        &metrics->gauge("engine.workers.busy_fraction");
+    _instruments.queueDepth =
+        &metrics->gauge("engine.queue.initial_depth");
+}
+
 double
 SimulationEngine::simulateJob(const SimJob &job)
 {
@@ -117,8 +164,10 @@ SimulationEngine::runOne(const SimJob &job, std::size_t index,
 {
     const bool use_cache = _cacheEnabled && job.cacheable();
     const bool journaled = _journal != nullptr && job.cacheable();
+    const bool keyed =
+        (use_cache || journaled || _observer) && job.cacheable();
     RunKey key;
-    if (use_cache || journaled) {
+    if (keyed) {
         key.workload = job.workload->name;
         key.config = job.config;
         key.instructions = job.instructions;
@@ -127,11 +176,18 @@ SimulationEngine::runOne(const SimJob &job, std::size_t index,
     }
 
     RunOutcome outcome;
+    if (_observer && keyed)
+        outcome.runKey = key.toString();
     if (use_cache) {
         if (const std::optional<double> cached = _cache.lookup(key)) {
             _progress.addCacheHit();
             _progress.addCompleted();
+            if (_instruments.cacheHits) {
+                _instruments.cacheHits->add();
+                _instruments.completed->add();
+            }
             outcome.ok = true;
+            outcome.source = RunSource::CacheHit;
             outcome.response = *cached;
             return outcome;
         }
@@ -143,7 +199,12 @@ SimulationEngine::runOne(const SimJob &job, std::size_t index,
                 _cache.store(key, *replayed);
             _progress.addJournalHit();
             _progress.addCompleted();
+            if (_instruments.journalHits) {
+                _instruments.journalHits->add();
+                _instruments.completed->add();
+            }
             outcome.ok = true;
+            outcome.source = RunSource::JournalReplay;
             outcome.response = *replayed;
             return outcome;
         }
@@ -175,7 +236,23 @@ SimulationEngine::runOne(const SimJob &job, std::size_t index,
                 job.instructions + job.warmupInstructions);
             _progress.addCompleted();
             outcome.ok = true;
+            outcome.source = RunSource::Simulated;
+            outcome.attempts = attempt;
             outcome.response = response;
+            if (_instruments.simulated) {
+                _instruments.simulated->add();
+                _instruments.completed->add();
+                const double wall =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - job_start)
+                        .count();
+                _instruments.runWallSeconds->observe(wall);
+                if (wall > 0.0)
+                    _instruments.mips->observe(
+                        static_cast<double>(job.instructions +
+                                            job.warmupInstructions) /
+                        wall / 1e6);
+            }
             return outcome;
         } catch (const BatchAbort &) {
             throw; // infrastructure failure: cancel the whole batch
@@ -197,6 +274,8 @@ SimulationEngine::runOne(const SimJob &job, std::size_t index,
         if (!retryable || attempt == max_attempts)
             break;
         _progress.addRetry();
+        if (_instruments.retries)
+            _instruments.retries->add();
         const std::chrono::milliseconds backoff =
             policy.backoffFor(attempt);
         if (backoff.count() > 0)
@@ -208,6 +287,9 @@ SimulationEngine::runOne(const SimJob &job, std::size_t index,
             std::chrono::steady_clock::now() - job_start)
             .count();
     _progress.addFailed();
+    if (_instruments.failed)
+        _instruments.failed->add();
+    outcome.attempts = failure.attempts;
     return outcome;
 }
 
@@ -233,6 +315,8 @@ SimulationEngine::run(std::span<const SimJob> jobs,
     } guard{_running};
 
     const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t trace_start =
+        _trace != nullptr ? _trace->nowMicros() : 0;
     _progress.addSubmitted(jobs.size());
 
     BatchResult result;
@@ -248,11 +332,16 @@ SimulationEngine::run(std::span<const SimJob> jobs,
         std::min<std::size_t>(_threads, jobs.size()));
 
     SimJobQueue queue(jobs.size(), std::max(1u, num_threads));
+    /** Per-worker wall time spent inside runOne (busy fraction). */
+    std::vector<double> busy_seconds(std::max(1u, num_threads), 0.0);
     const auto worker = [&](unsigned id) {
         std::size_t index;
         while (queue.pop(id, index)) {
             if (cancelled.load(std::memory_order_relaxed))
                 return;
+            const auto job_begin = std::chrono::steady_clock::now();
+            const std::uint64_t span_begin =
+                _trace != nullptr ? _trace->nowMicros() : 0;
             RunOutcome outcome;
             try {
                 outcome = runOne(jobs[index], index, policy);
@@ -262,6 +351,36 @@ SimulationEngine::run(std::span<const SimJob> jobs,
                     abort_error = std::current_exception();
                 cancelled.store(true, std::memory_order_relaxed);
                 return;
+            }
+            const double job_wall =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - job_begin)
+                    .count();
+            busy_seconds[id] += job_wall;
+            if (_trace != nullptr) {
+                obs::TraceWriter::Args args;
+                args.emplace_back("source", toString(outcome.source));
+                args.emplace_back("attempts",
+                                  std::to_string(outcome.attempts));
+                _trace->addCompleteEvent(
+                    jobs[index].label, "job", span_begin,
+                    _trace->nowMicros() - span_begin, id + 1,
+                    std::move(args));
+            }
+            if (_observer) {
+                JobEvent event;
+                event.jobIndex = index;
+                event.job = &jobs[index];
+                event.source = outcome.source;
+                event.ok = outcome.ok;
+                event.attempts = outcome.attempts;
+                event.wallSeconds = job_wall;
+                event.response =
+                    outcome.ok
+                        ? outcome.response
+                        : std::numeric_limits<double>::quiet_NaN();
+                event.runKey = outcome.runKey;
+                _observer(event);
             }
             if (outcome.ok) {
                 // Once the batch is cancelled no further result slot
@@ -296,6 +415,31 @@ SimulationEngine::run(std::span<const SimJob> jobs,
     _progress.addWallNanos(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
             .count()));
+
+    if (_instruments.batches) {
+        _instruments.batches->add();
+        _instruments.steals->add(queue.steals());
+        _instruments.queueDepth->set(
+            static_cast<double>(queue.initialDepth()));
+        const double wall =
+            std::chrono::duration<double>(elapsed).count();
+        double busy_total = 0.0;
+        for (const double b : busy_seconds)
+            busy_total += b;
+        if (wall > 0.0 && num_threads > 0)
+            _instruments.busyFraction->set(
+                busy_total / (wall * num_threads));
+    }
+    if (_trace != nullptr) {
+        obs::TraceWriter::Args args;
+        args.emplace_back("jobs", std::to_string(jobs.size()));
+        args.emplace_back("workers",
+                          std::to_string(std::max(1u, num_threads)));
+        args.emplace_back("steals", std::to_string(queue.steals()));
+        _trace->addCompleteEvent(
+            "engine.batch", "engine", trace_start,
+            _trace->nowMicros() - trace_start, 0, std::move(args));
+    }
 
     if (abort_error)
         std::rethrow_exception(abort_error);

@@ -49,6 +49,15 @@
 #include "sim/core.hh"
 #include "trace/workload_profile.hh"
 
+namespace rigor::obs
+{
+class MetricsRegistry;
+class TraceWriter;
+class Counter;
+class Gauge;
+class Histogram;
+} // namespace rigor::obs
+
 namespace rigor::exec
 {
 
@@ -89,6 +98,47 @@ struct SimJob
  */
 using SimulateFn =
     std::function<double(const SimJob &job, const AttemptContext &ctx)>;
+
+/** Where one completed job's response came from. */
+enum class RunSource
+{
+    /** Actually simulated this batch. */
+    Simulated,
+    /** Served from the in-memory RunCache. */
+    CacheHit,
+    /** Replayed from the crash-safe ResultJournal (resume). */
+    JournalReplay,
+};
+
+/** Display name ("simulated" / "cache" / "journal"). */
+std::string toString(RunSource source);
+
+/**
+ * One job's terminal outcome, delivered to the engine's job observer
+ * from the worker thread that finished it (observers must be
+ * thread-safe). This is the manifest's per-cell feed and the campaign
+ * CLI's replay progress line.
+ */
+struct JobEvent
+{
+    std::size_t jobIndex = 0;
+    /** The job; valid only for the duration of the callback. */
+    const SimJob *job = nullptr;
+    RunSource source = RunSource::Simulated;
+    /** False when the job terminally failed (quarantine/fail-fast). */
+    bool ok = false;
+    /** Attempts made; 0 for cache hits and journal replays. */
+    unsigned attempts = 0;
+    /** Wall time of this job on its worker (lookup + attempts). */
+    double wallSeconds = 0.0;
+    /** Response cycles; NaN when !ok. */
+    double response = 0.0;
+    /** Run-cache key (config hash first); empty if uncacheable. */
+    std::string runKey;
+};
+
+/** Per-job completion callback; must be thread-safe. */
+using JobObserver = std::function<void(const JobEvent &)>;
 
 /** Engine construction knobs. */
 struct EngineOptions
@@ -161,6 +211,38 @@ class SimulationEngine
     ResultJournal *journal() const { return _journal; }
 
     /**
+     * Attach (or detach, with nullptr) a metrics registry. The engine
+     * resolves its instruments once here — per-event recording on the
+     * worker fast path is pure relaxed atomics. Counters:
+     * engine.runs.{completed,simulated,cache_hits,journal_replays,
+     * failed}, engine.retries, engine.batches, engine.queue.steals.
+     * Histograms: engine.run.wall_seconds, sim.run.mips. Gauges:
+     * engine.workers.busy_fraction, engine.queue.initial_depth.
+     * Not owned; must outlive every subsequent run().
+     */
+    void setMetrics(obs::MetricsRegistry *metrics);
+    obs::MetricsRegistry *metrics() const { return _metrics; }
+
+    /**
+     * Attach (or detach) a Chrome trace sink: one "batch" span on
+     * lane 0 per run() call, one span per job on its worker's lane
+     * (tid = worker + 1). Not owned; must outlive every run().
+     */
+    void setTraceWriter(obs::TraceWriter *trace) { _trace = trace; }
+    obs::TraceWriter *traceWriter() const { return _trace; }
+
+    /**
+     * Attach (or detach, with {}) a per-job completion observer,
+     * invoked from worker threads as each job finishes (cache hit,
+     * journal replay, simulated, or terminally failed).
+     */
+    void setJobObserver(JobObserver observer)
+    {
+        _observer = std::move(observer);
+    }
+    const JobObserver &jobObserver() const { return _observer; }
+
+    /**
      * Execute one job unconditionally (no cache, no counters) — the
      * single-run primitive the batch path and simulateOnce share.
      */
@@ -181,7 +263,30 @@ class SimulationEngine
     {
         bool ok = false;
         double response = 0.0;
+        RunSource source = RunSource::Simulated;
+        /** Attempts made (0 for cache/journal hits). */
+        unsigned attempts = 0;
+        /** Composed cache identity; empty if uncacheable. */
+        std::string runKey;
         JobFailure failure;
+    };
+
+    /** Metric instruments resolved once per setMetrics() call, so
+     *  the worker fast path never touches the registry lock. */
+    struct Instruments
+    {
+        obs::Counter *completed = nullptr;
+        obs::Counter *simulated = nullptr;
+        obs::Counter *cacheHits = nullptr;
+        obs::Counter *journalHits = nullptr;
+        obs::Counter *retries = nullptr;
+        obs::Counter *failed = nullptr;
+        obs::Counter *batches = nullptr;
+        obs::Counter *steals = nullptr;
+        obs::Histogram *runWallSeconds = nullptr;
+        obs::Histogram *mips = nullptr;
+        obs::Gauge *busyFraction = nullptr;
+        obs::Gauge *queueDepth = nullptr;
     };
 
     /** Run one job through journal + cache + retry loop + counters. */
@@ -194,6 +299,10 @@ class SimulationEngine
     RunCache _cache;
     ProgressReporter _progress;
     ResultJournal *_journal = nullptr;
+    obs::MetricsRegistry *_metrics = nullptr;
+    obs::TraceWriter *_trace = nullptr;
+    JobObserver _observer;
+    Instruments _instruments;
     /** Reentrancy guard: run() in progress. */
     std::atomic<bool> _running{false};
 };

@@ -40,11 +40,7 @@ hasWhitespace(const std::string &s)
 std::string
 ResultJournal::recordKey(const RunKey &key)
 {
-    std::ostringstream os;
-    os << std::hex << key.config.hash() << std::dec << '|'
-       << key.instructions << '|' << key.warmupInstructions << '|'
-       << key.workload << '|' << key.hookId;
-    return os.str();
+    return key.toString();
 }
 
 ResultJournal::ResultJournal(std::string path)

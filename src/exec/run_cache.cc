@@ -1,6 +1,7 @@
 #include "exec/run_cache.hh"
 
 #include <functional>
+#include <sstream>
 
 namespace rigor::exec
 {
@@ -17,6 +18,16 @@ RunKey::hash() const
     mix(std::hash<std::uint64_t>{}(warmupInstructions));
     mix(std::hash<std::string>{}(hookId));
     return seed;
+}
+
+std::string
+RunKey::toString() const
+{
+    std::ostringstream os;
+    os << std::hex << config.hash() << std::dec << '|' << instructions
+       << '|' << warmupInstructions << '|' << workload << '|'
+       << hookId;
+    return os.str();
 }
 
 std::optional<double>

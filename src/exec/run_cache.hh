@@ -45,6 +45,15 @@ struct RunKey
     bool operator==(const RunKey &) const = default;
 
     std::size_t hash() const;
+
+    /**
+     * Stable composed identity: "confighash|instructions|warmup|
+     * workload|hookid" with the configuration hash in hex. This is
+     * the journal's on-disk record key and the manifest's per-cell
+     * `key` field, so a replayed run can be traced back to the exact
+     * configuration that produced it.
+     */
+    std::string toString() const;
 };
 
 /** Thread-safe memo table from RunKey to measured cycles. */

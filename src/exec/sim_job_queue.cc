@@ -6,6 +6,7 @@ namespace rigor::exec
 {
 
 SimJobQueue::SimJobQueue(std::size_t num_jobs, unsigned num_workers)
+    : _initialDepth(num_jobs)
 {
     const unsigned shards = std::max(1u, num_workers);
     _shards.reserve(shards);
@@ -91,6 +92,7 @@ SimJobQueue::steal(unsigned thief, std::vector<std::size_t> &loot)
             target.jobs.end());
         target.approxSize.store(target.jobs.size(),
                                 std::memory_order_relaxed);
+        _steals.fetch_add(1, std::memory_order_relaxed);
         return true;
     }
 }

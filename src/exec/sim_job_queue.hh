@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -45,6 +46,15 @@ class SimJobQueue
      */
     bool pop(unsigned worker, std::size_t &job);
 
+    /** Successful steal operations so far (observability). */
+    std::uint64_t steals() const
+    {
+        return _steals.load(std::memory_order_relaxed);
+    }
+
+    /** Jobs the queue was seeded with (initial depth). */
+    std::size_t initialDepth() const { return _initialDepth; }
+
   private:
     struct Shard
     {
@@ -58,6 +68,8 @@ class SimJobQueue
     bool steal(unsigned thief, std::vector<std::size_t> &loot);
 
     std::vector<std::unique_ptr<Shard>> _shards;
+    std::atomic<std::uint64_t> _steals{0};
+    std::size_t _initialDepth = 0;
 };
 
 } // namespace rigor::exec

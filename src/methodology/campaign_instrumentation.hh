@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Shared driver-side observability plumbing (internal).
+ *
+ * Every experiment driver does the same instrumentation dance: attach
+ * the campaign's sinks (journal, metrics, trace, per-job observer) to
+ * whichever engine runs the batch — restoring whatever a shared engine
+ * had before, even on throw — wrap each phase in a TraceSpan plus a
+ * manifest "phase" record, digest the design for the manifest's
+ * campaign record, and map engine JobEvents onto manifest cells. These
+ * helpers keep that dance in one place so the drivers stay about the
+ * methodology.
+ */
+
+#ifndef RIGOR_METHODOLOGY_CAMPAIGN_INSTRUMENTATION_HH
+#define RIGOR_METHODOLOGY_CAMPAIGN_INSTRUMENTATION_HH
+
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "doe/design_matrix.hh"
+#include "exec/campaign_options.hh"
+#include "exec/engine.hh"
+#include "obs/json.hh"
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_span.hh"
+
+namespace rigor::methodology::detail
+{
+
+/** FNV-1a digest (hex) of a design matrix's dimensions and signs. */
+inline std::string
+designDigest(const doe::DesignMatrix &design)
+{
+    std::string serialized;
+    serialized.reserve(design.numRows() * (design.numColumns() + 1) +
+                       16);
+    serialized += std::to_string(design.numRows());
+    serialized += 'x';
+    serialized += std::to_string(design.numColumns());
+    serialized += ':';
+    for (std::size_t r = 0; r < design.numRows(); ++r)
+        for (std::size_t c = 0; c < design.numColumns(); ++c)
+            serialized += design.sign(r, c) > 0 ? '+' : '-';
+    return obs::digestHex(obs::fnv1a(serialized));
+}
+
+/**
+ * RAII: attach the campaign's sinks to @p engine, restoring the
+ * engine's previous sinks on destruction (throw-safe — a shared
+ * engine leaves with exactly the journal/metrics/trace/observer it
+ * arrived with).
+ */
+class EngineSinkScope
+{
+  public:
+    EngineSinkScope(exec::SimulationEngine &engine,
+                    const exec::CampaignOptions &campaign,
+                    exec::JobObserver observer = {})
+        : _engine(engine), _previousJournal(engine.journal()),
+          _previousMetrics(engine.metrics()),
+          _previousTrace(engine.traceWriter()),
+          _previousObserver(engine.jobObserver())
+    {
+        if (campaign.journal)
+            _engine.setJournal(campaign.journal);
+        if (campaign.metrics)
+            _engine.setMetrics(campaign.metrics);
+        if (campaign.trace)
+            _engine.setTraceWriter(campaign.trace);
+        if (observer) {
+            // Chain rather than replace: a caller-attached observer
+            // (e.g. the campaign CLI's replay progress printer) keeps
+            // seeing events alongside the driver's manifest feed.
+            if (_previousObserver) {
+                _engine.setJobObserver(
+                    [previous = _previousObserver,
+                     added = std::move(observer)](
+                        const exec::JobEvent &event) {
+                        previous(event);
+                        added(event);
+                    });
+            } else {
+                _engine.setJobObserver(std::move(observer));
+            }
+        }
+    }
+
+    ~EngineSinkScope()
+    {
+        _engine.setJournal(_previousJournal);
+        _engine.setMetrics(_previousMetrics);
+        _engine.setTraceWriter(_previousTrace);
+        _engine.setJobObserver(std::move(_previousObserver));
+    }
+
+    EngineSinkScope(const EngineSinkScope &) = delete;
+    EngineSinkScope &operator=(const EngineSinkScope &) = delete;
+
+  private:
+    exec::SimulationEngine &_engine;
+    exec::ResultJournal *_previousJournal;
+    obs::MetricsRegistry *_previousMetrics;
+    obs::TraceWriter *_previousTrace;
+    exec::JobObserver _previousObserver;
+};
+
+/**
+ * RAII driver phase: a TraceSpan on lane 0 plus a manifest "phase"
+ * record with the phase's wall time, both no-ops when the respective
+ * sink is null.
+ */
+class PhaseScope
+{
+  public:
+    PhaseScope(const exec::CampaignOptions &campaign, std::string name)
+        : _manifest(campaign.manifest), _name(std::move(name)),
+          _span(campaign.trace, _name),
+          _start(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~PhaseScope()
+    {
+        if (!_manifest)
+            return;
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - _start;
+        _manifest->addPhase(_name, wall.count());
+    }
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+
+    obs::TraceSpan &span() { return _span; }
+
+  private:
+    obs::CampaignManifest *_manifest;
+    std::string _name;
+    obs::TraceSpan _span;
+    std::chrono::steady_clock::time_point _start;
+};
+
+/**
+ * JobObserver that appends one manifest cell per finished job,
+ * mapping the benchmark-major job index back onto (benchmark, design
+ * row). Returns an empty observer when the manifest is null, so the
+ * engine skips the callback entirely.
+ */
+inline exec::JobObserver
+manifestCellObserver(obs::CampaignManifest *manifest,
+                     std::vector<std::string> benchmarks,
+                     std::size_t num_runs)
+{
+    if (!manifest || num_runs == 0)
+        return {};
+    return [manifest, benchmarks = std::move(benchmarks),
+            num_runs](const exec::JobEvent &event) {
+        obs::CellRecord cell;
+        const std::size_t bench = event.jobIndex / num_runs;
+        cell.benchmark = bench < benchmarks.size()
+                             ? benchmarks[bench]
+                             : std::to_string(bench);
+        cell.row = event.jobIndex % num_runs;
+        cell.runKey = event.runKey;
+        cell.source =
+            event.ok ? exec::toString(event.source) : "failed";
+        cell.attempts = event.attempts;
+        cell.wallSeconds = event.wallSeconds;
+        cell.response = event.response;
+        manifest->addCell(cell);
+    };
+}
+
+/**
+ * Manifest summary from the engine's progress delta across the
+ * campaign (snapshot-before vs snapshot-after, so a shared engine's
+ * earlier campaigns don't leak in).
+ */
+inline obs::SummaryRecord
+summaryFromProgress(const exec::ProgressSnapshot &before,
+                    const exec::ProgressSnapshot &after,
+                    double wall_seconds)
+{
+    obs::SummaryRecord summary;
+    summary.runsTotal = after.runsTotal - before.runsTotal;
+    summary.runsCompleted =
+        after.runsCompleted - before.runsCompleted;
+    summary.cacheHits = after.cacheHits - before.cacheHits;
+    summary.journalHits = after.journalHits - before.journalHits;
+    summary.retries = after.retries - before.retries;
+    summary.failedJobs = after.failedJobs - before.failedJobs;
+    summary.simulatedInstructions =
+        after.simulatedInstructions - before.simulatedInstructions;
+    summary.wallSeconds = wall_seconds;
+    return summary;
+}
+
+} // namespace rigor::methodology::detail
+
+#endif // RIGOR_METHODOLOGY_CAMPAIGN_INSTRUMENTATION_HH

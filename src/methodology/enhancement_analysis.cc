@@ -10,6 +10,7 @@
 
 #include "check/preflight.hh"
 #include "check/rule_ids.hh"
+#include "methodology/campaign_instrumentation.hh"
 
 namespace rigor::methodology
 {
@@ -117,11 +118,13 @@ runEnhancementExperiment(
         throw std::invalid_argument(
             "runEnhancementExperiment: hook_factory is required");
 
+    const exec::CampaignOptions &campaign = options.campaign;
+
     // Pre-flight the shared ingredients (workloads, run lengths,
     // parameter space) up front so a bad recipe is rejected before
     // the engine is even constructed; each leg's runPbExperiment
     // additionally proves its design matrix.
-    if (!options.skipPreflight) {
+    if (!campaign.skipPreflight) {
         check::ExperimentPlan plan;
         plan.workloads = workloads;
         plan.auditParameterSpace = true;
@@ -131,26 +134,34 @@ runEnhancementExperiment(
     }
 
     // Both legs share one engine: the pool, the run cache (a base leg
-    // already simulated through options.engine is free), and the
+    // already simulated through campaign.engine is free), and the
     // progress counters.
     exec::SimulationEngine local_engine(
-        exec::EngineOptions{options.threads, true});
+        exec::EngineOptions{campaign.threads, true});
     exec::SimulationEngine &engine =
-        options.engine ? *options.engine : local_engine;
+        campaign.engine ? *campaign.engine : local_engine;
 
     EnhancementExperimentResult result;
 
-    PbExperimentOptions base_opts = options;
-    base_opts.hookFactory = {};
-    base_opts.hookId.clear();
-    base_opts.engine = &engine;
-    result.base = runPbExperiment(workloads, base_opts);
+    {
+        detail::PhaseScope phase(campaign, "base_leg");
+        PbExperimentOptions base_opts = options;
+        base_opts.hookFactory = {};
+        base_opts.hookId.clear();
+        base_opts.experimentName = "enhancement_base";
+        base_opts.campaign.engine = &engine;
+        result.base = runPbExperiment(workloads, base_opts);
+    }
 
-    PbExperimentOptions enhanced_opts = options;
-    enhanced_opts.hookFactory = hook_factory;
-    enhanced_opts.hookId = hook_id;
-    enhanced_opts.engine = &engine;
-    result.enhanced = runPbExperiment(workloads, enhanced_opts);
+    {
+        detail::PhaseScope phase(campaign, "enhanced_leg");
+        PbExperimentOptions enhanced_opts = options;
+        enhanced_opts.hookFactory = hook_factory;
+        enhanced_opts.hookId = hook_id;
+        enhanced_opts.experimentName = "enhancement_enhanced";
+        enhanced_opts.campaign.engine = &engine;
+        result.enhanced = runPbExperiment(workloads, enhanced_opts);
+    }
 
     // Fault degradation may have dropped different benchmarks from
     // the two legs; a sum-of-ranks delta is only meaningful over a

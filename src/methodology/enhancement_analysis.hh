@@ -103,8 +103,8 @@ struct EnhancementExperimentResult
  * @param workloads the workload profiles to simulate
  * @param options experiment knobs; hookFactory/hookId are ignored
  *        (they describe the enhanced leg, passed separately). When
- *        options.engine is set, its cache makes any previously
- *        simulated leg (e.g. an earlier base run) free.
+ *        options.campaign.engine is set, its cache makes any
+ *        previously simulated leg (e.g. an earlier base run) free.
  * @param hook_factory builds the enhancement hook per run
  * @param hook_id stable cache identity of the enhancement (empty
  *        disables caching of the enhanced leg)

@@ -4,12 +4,16 @@
 #include <set>
 #include <stdexcept>
 
+#include <chrono>
+
 #include "check/preflight.hh"
 #include "doe/effects.hh"
 #include "doe/foldover.hh"
 #include "doe/pb_design.hh"
 #include "exec/journal.hh"
+#include "methodology/campaign_instrumentation.hh"
 #include "methodology/parameter_space.hh"
+#include "methodology/rank_table.hh"
 #include "trace/generator.hh"
 
 namespace rigor::methodology
@@ -139,33 +143,50 @@ runPbExperiment(std::span<const trace::WorkloadProfile> workloads,
         throw std::invalid_argument(
             "runPbExperiment: instructionsPerRun must be non-zero");
 
+    const exec::CampaignOptions &campaign = options.campaign;
+    const auto campaign_start = std::chrono::steady_clock::now();
+
     PbExperimentResult result;
     doe::DesignMatrix base = options.design
                                  ? *options.design
                                  : doe::pbDesignForFactors(numFactors);
-    result.design = options.foldover ? doe::foldover(base) : base;
-
-    // Mandatory pre-flight: prove the design is a balanced
-    // orthogonal ±1 (foldover) matrix, audit the Tables 6-8
-    // parameter space, and vet every workload profile and the run
-    // lengths — before a single cycle is simulated.
-    if (!options.skipPreflight) {
-        check::ExperimentPlan plan;
-        plan.design = &result.design;
-        plan.expectedFactors = numFactors;
-        plan.designIsFolded = options.foldover;
-        plan.workloads = workloads;
-        plan.auditParameterSpace = true;
-        plan.instructionsPerRun = options.instructionsPerRun;
-        plan.warmupInstructions = options.warmupInstructions;
-        check::preflightOrThrow(plan, "runPbExperiment");
-    }
+    result.design = campaign.foldover ? doe::foldover(base) : base;
 
     const std::size_t num_benches = workloads.size();
     const std::size_t num_runs = result.design.numRows();
     result.benchmarks.reserve(num_benches);
     for (const trace::WorkloadProfile &w : workloads)
         result.benchmarks.push_back(w.name);
+
+    if (campaign.manifest) {
+        obs::CampaignInfo info;
+        info.experiment = options.experimentName;
+        info.factors = result.design.numColumns();
+        info.rows = num_runs;
+        info.foldover = campaign.foldover;
+        info.designDigest = detail::designDigest(result.design);
+        info.workloads = result.benchmarks;
+        info.instructionsPerRun = options.instructionsPerRun;
+        info.warmupInstructions = options.warmupInstructions;
+        campaign.manifest->beginCampaign(info);
+    }
+
+    // Mandatory pre-flight: prove the design is a balanced
+    // orthogonal ±1 (foldover) matrix, audit the Tables 6-8
+    // parameter space, and vet every workload profile and the run
+    // lengths — before a single cycle is simulated.
+    if (!campaign.skipPreflight) {
+        detail::PhaseScope phase(campaign, "preflight");
+        check::ExperimentPlan plan;
+        plan.design = &result.design;
+        plan.expectedFactors = numFactors;
+        plan.designIsFolded = campaign.foldover;
+        plan.workloads = workloads;
+        plan.auditParameterSpace = true;
+        plan.instructionsPerRun = options.instructionsPerRun;
+        plan.warmupInstructions = options.warmupInstructions;
+        check::preflightOrThrow(plan, "runPbExperiment");
+    }
 
     // One engine job per (benchmark, design row) pair, run through
     // the shared engine (or a private one) — the responses come back
@@ -174,25 +195,25 @@ runPbExperiment(std::span<const trace::WorkloadProfile> workloads,
         pbSimJobs(workloads, result.design, options);
 
     exec::SimulationEngine local_engine(
-        exec::EngineOptions{options.threads, true});
+        exec::EngineOptions{campaign.threads, true});
     exec::SimulationEngine &engine =
-        options.engine ? *options.engine : local_engine;
+        campaign.engine ? *campaign.engine : local_engine;
 
-    // Attach the experiment's journal for the duration of the batch;
-    // a shared engine gets its previous journal back afterwards even
-    // when the batch throws.
-    struct JournalRestore
-    {
-        exec::SimulationEngine &engine;
-        exec::ResultJournal *previous;
-        ~JournalRestore() { engine.setJournal(previous); }
-    } journal_restore{engine, engine.journal()};
-    if (options.journal)
-        engine.setJournal(options.journal);
+    // Attach the campaign's sinks for the duration of the batch; a
+    // shared engine gets its previous sinks back afterwards even when
+    // the batch throws.
+    detail::EngineSinkScope sinks(
+        engine, campaign,
+        detail::manifestCellObserver(campaign.manifest,
+                                     result.benchmarks, num_runs));
+    const exec::ProgressSnapshot progress_before =
+        engine.progress().snapshot();
 
     exec::BatchResult batch;
     try {
-        batch = engine.run(jobs, options.faultPolicy);
+        detail::PhaseScope phase(campaign, "screen");
+        phase.span().arg("jobs", std::to_string(jobs.size()));
+        batch = engine.run(jobs, campaign.faultPolicy);
     } catch (const exec::BatchAbort &) {
         // Infrastructure failure (journal I/O error, crash drill):
         // propagate unwrapped so a campaign driver can recognize it
@@ -230,8 +251,8 @@ runPbExperiment(std::span<const trace::WorkloadProfile> workloads,
         }
         check::CampaignAssessment assessment =
             check::assessCampaignValidity(
-                result.benchmarks, num_runs, options.foldover, cells,
-                options.degradation);
+                result.benchmarks, num_runs, campaign.foldover, cells,
+                campaign.degradation);
         result.validity = assessment.sink;
         if (!assessment.passed())
             throw check::CampaignError("runPbExperiment",
@@ -246,21 +267,38 @@ runPbExperiment(std::span<const trace::WorkloadProfile> workloads,
     // Effects and per-benchmark ranks over the 43 real+dummy factors
     // (the design has exactly 43 columns for X = 44), computed only
     // for surviving benchmarks — their columns are complete.
-    const std::size_t survivors = result.benchmarks.size();
-    result.effects.clear();
-    result.ranks.clear();
-    result.effects.reserve(survivors);
-    result.ranks.reserve(survivors);
-    for (std::size_t b = 0; b < survivors; ++b) {
-        std::vector<double> all_effects =
-            doe::computeEffects(result.design, result.responses[b]);
-        all_effects.resize(numFactors);
-        result.ranks.push_back(doe::rankByMagnitude(all_effects));
-        result.effects.push_back(std::move(all_effects));
+    {
+        detail::PhaseScope phase(campaign, "rank");
+        const std::size_t survivors = result.benchmarks.size();
+        result.effects.clear();
+        result.ranks.clear();
+        result.effects.reserve(survivors);
+        result.ranks.reserve(survivors);
+        for (std::size_t b = 0; b < survivors; ++b) {
+            std::vector<double> all_effects = doe::computeEffects(
+                result.design, result.responses[b]);
+            all_effects.resize(numFactors);
+            result.ranks.push_back(doe::rankByMagnitude(all_effects));
+            result.effects.push_back(std::move(all_effects));
+        }
     }
 
-    const std::vector<std::string> names = factorNames();
-    result.summaries = doe::aggregateRanks(names, result.effects);
+    {
+        detail::PhaseScope phase(campaign, "aggregate");
+        const std::vector<std::string> names = factorNames();
+        result.summaries = doe::aggregateRanks(names, result.effects);
+    }
+
+    if (campaign.manifest) {
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - campaign_start;
+        obs::SummaryRecord summary = detail::summaryFromProgress(
+            progress_before, engine.progress().snapshot(),
+            wall.count());
+        summary.droppedBenchmarks = result.droppedBenchmarks;
+        summary.rankTableDigest = rankTableDigest(result.summaries);
+        campaign.manifest->addSummary(summary);
+    }
     return result;
 }
 

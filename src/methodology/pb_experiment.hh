@@ -21,6 +21,7 @@
 #include "check/campaign_check.hh"
 #include "doe/design_matrix.hh"
 #include "doe/ranking.hh"
+#include "exec/campaign_options.hh"
 #include "exec/engine.hh"
 #include "sim/core.hh"
 #include "trace/workload_profile.hh"
@@ -48,28 +49,15 @@ struct PbExperimentOptions
      * (the paper's billion-instruction runs amortized them away).
      */
     std::uint64_t warmupInstructions = 0;
-    /** Worker threads; 0 = hardware concurrency. Ignored when a
-     *  shared engine is supplied (its pool is used instead). */
-    unsigned threads = 0;
-    /** Use the foldover design (2X runs) as the paper does. */
-    bool foldover = true;
     /**
      * Optional user-supplied base design (not owned; must outlive
      * the call). When set it replaces the generated X = 44 PB
      * design and must carry exactly one column per factor; foldover
-     * is still applied when `foldover` is true. The pre-flight
-     * analysis proves it is a balanced orthogonal ±1 design before
-     * anything is simulated.
+     * is still applied when `campaign.foldover` is true. The
+     * pre-flight analysis proves it is a balanced orthogonal ±1
+     * design before anything is simulated.
      */
     const doe::DesignMatrix *design = nullptr;
-    /**
-     * Escape hatch: skip the mandatory pre-flight static analysis
-     * (design matrix, Tables 6-8 parameter space, workload
-     * profiles, run lengths). Only for deliberately out-of-spec
-     * studies; the resulting rank tables carry no statistical
-     * guarantee.
-     */
-    bool skipPreflight = false;
     /** Optional enhancement (instruction precomputation etc.). */
     HookFactory hookFactory;
     /**
@@ -79,39 +67,18 @@ struct PbExperimentOptions
      */
     std::string hookId;
     /**
-     * Optional shared execution engine (not owned). Sharing one
-     * engine across experiments shares its run cache — the paper's
-     * enhancement analysis re-runs the base experiment verbatim, and
-     * the workflow's screen and factorial overlap — and aggregates
-     * the progress counters. When null, a private engine with
-     * `threads` workers is used.
+     * Campaign label written to the manifest's "campaign" record so
+     * multi-experiment manifests (e.g. the paired enhancement legs)
+     * stay distinguishable.
      */
-    exec::SimulationEngine *engine = nullptr;
+    std::string experimentName = "pb_screen";
     /**
-     * Per-job fault policy: bounded retries with exponential backoff
-     * for transient faults, a cooperative per-attempt deadline that
-     * converts hung simulations into diagnosable timeouts, and —
-     * with collectFailures — quarantine instead of fail-fast. The
-     * default is the historical fail-fast single attempt.
+     * Shared execution knobs (threads, foldover, skipPreflight,
+     * fault policy, journal, shared engine, degradation mode) and
+     * the observability sinks — the same struct every experiment
+     * driver embeds. See exec::CampaignOptions.
      */
-    exec::FaultPolicy faultPolicy;
-    /**
-     * Optional crash-safe result journal (not owned; must outlive
-     * the call). Attached to the engine for the duration of this
-     * experiment: every completed run is persisted with an fsync,
-     * and a rerun against the same journal replays completed runs
-     * from disk instead of re-simulating them (campaign resume).
-     */
-    exec::ResultJournal *journal = nullptr;
-    /**
-     * What to do when quarantined cells leave a benchmark's response
-     * column incomplete (only reachable with
-     * faultPolicy.collectFailures): refuse to degrade (Abort, the
-     * default — throws check::CampaignError), or drop affected
-     * benchmarks whole and label the reduced rank table.
-     */
-    check::DegradationMode degradation =
-        check::DegradationMode::Abort;
+    exec::CampaignOptions campaign;
 };
 
 /** Everything the experiment produced. */

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/json.hh"
+
 namespace rigor::methodology
 {
 
@@ -90,6 +92,20 @@ topFactorNames(std::span<const doe::FactorRankSummary> summaries,
     for (std::size_t i = 0; i < n; ++i)
         names.push_back(summaries[i].name);
     return names;
+}
+
+std::string
+rankTableDigest(std::span<const doe::FactorRankSummary> summaries)
+{
+    std::uint64_t hash = obs::fnv1a("rank-table");
+    for (const doe::FactorRankSummary &s : summaries) {
+        hash = obs::fnv1a(s.name, hash);
+        std::string sum = "=";
+        sum += std::to_string(s.sumOfRanks);
+        sum += ';';
+        hash = obs::fnv1a(sum, hash);
+    }
+    return obs::digestHex(hash);
 }
 
 } // namespace rigor::methodology

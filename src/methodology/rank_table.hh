@@ -51,6 +51,16 @@ std::vector<double> sumOfRanksInOrder(
 std::vector<std::string> topFactorNames(
     std::span<const doe::FactorRankSummary> summaries, std::size_t k);
 
+/**
+ * FNV-1a digest (hex) of a rank table's content — the ordered
+ * (factor name, rank sum) pairs. Two campaigns that produced the same
+ * ranking produce the same digest; the campaign manifest records it
+ * so downstream tooling can tell identical rank tables apart without
+ * parsing the rendered text.
+ */
+std::string rankTableDigest(
+    std::span<const doe::FactorRankSummary> summaries);
+
 } // namespace rigor::methodology
 
 #endif // RIGOR_METHODOLOGY_RANK_TABLE_HH

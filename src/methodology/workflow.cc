@@ -1,6 +1,7 @@
 #include "methodology/workflow.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -8,6 +9,8 @@
 #include "check/preflight.hh"
 #include "doe/ranking.hh"
 #include "exec/journal.hh"
+#include "methodology/campaign_instrumentation.hh"
+#include "obs/json.hh"
 #include "stats/yates.hh"
 
 namespace rigor::methodology
@@ -77,26 +80,26 @@ runRecommendedWorkflow(
             "[1, 12]");
 
     WorkflowResult result;
+    const exec::CampaignOptions &campaign = options.campaign;
 
     // One engine for both simulation phases: the screen's pool is
     // reused by the step-3 factorial, and any configuration the
     // factorial shares with the screen is served from the run cache.
-    // A journal attached here makes every completed run of either
+    // The campaign's journal makes every completed run of either
     // phase durable across process restarts.
     exec::EngineOptions engine_opts;
-    engine_opts.threads = options.threads;
+    engine_opts.threads = campaign.threads;
     engine_opts.simulate = options.simulate;
-    exec::SimulationEngine engine(engine_opts);
-    engine.setJournal(options.journal);
+    exec::SimulationEngine local_engine(engine_opts);
+    exec::SimulationEngine &engine =
+        campaign.engine ? *campaign.engine : local_engine;
 
     // ----- Step 1: PB screening -----
     PbExperimentOptions screen_opts;
     screen_opts.instructionsPerRun = options.instructionsPerRun;
     screen_opts.warmupInstructions = options.warmupInstructions;
-    screen_opts.engine = &engine;
-    screen_opts.skipPreflight = options.skipPreflight;
-    screen_opts.faultPolicy = options.faultPolicy;
-    screen_opts.degradation = options.degradation;
+    screen_opts.campaign = campaign;
+    screen_opts.campaign.engine = &engine;
     result.screening = runPbExperiment(workloads, screen_opts);
 
     // Critical set: up to the largest sum-of-ranks gap, capped, and
@@ -155,7 +158,8 @@ runRecommendedWorkflow(
     // Step-3 pre-flight: every factorial cell's configuration must
     // satisfy the Tables 6-8 invariants before the batch runs (the
     // screen already vetted the workloads and run lengths).
-    if (!options.skipPreflight) {
+    if (!campaign.skipPreflight) {
+        detail::PhaseScope phase(campaign, "factorial_preflight");
         check::ExperimentPlan plan;
         plan.configs.reserve(jobs.size());
         for (const exec::SimJob &job : jobs)
@@ -167,9 +171,67 @@ runRecommendedWorkflow(
                                 "runRecommendedWorkflow (step 3)");
     }
 
+    std::vector<std::string> factorial_workloads;
+    factorial_workloads.reserve(workloads.size());
+    for (const trace::WorkloadProfile &w : workloads)
+        factorial_workloads.push_back(w.name);
+
+    // The factorial is its own campaign in the manifest: k factors,
+    // 2^k rows, no foldover, identified by a digest of the critical
+    // factor set.
+    if (campaign.manifest) {
+        obs::CampaignInfo info;
+        info.experiment = "workflow_factorial";
+        info.factors = k;
+        info.rows = num_cells;
+        info.foldover = false;
+        std::string serialized = "factorial:";
+        for (const std::string &name : names)
+            serialized += name + ";";
+        info.designDigest =
+            obs::digestHex(obs::fnv1a(serialized));
+        info.workloads = factorial_workloads;
+        info.instructionsPerRun = options.instructionsPerRun;
+        info.warmupInstructions = options.warmupInstructions;
+        campaign.manifest->beginCampaign(info);
+    }
+
+    // Factorial jobs are cell-major (all workloads of cell t are
+    // adjacent), so the manifest mapping is the transpose of the
+    // screen's benchmark-major one.
+    exec::JobObserver factorial_observer;
+    if (campaign.manifest) {
+        const std::size_t num_workloads = workloads.size();
+        factorial_observer = [manifest = campaign.manifest,
+                              factorial_workloads,
+                              num_workloads](
+                                 const exec::JobEvent &event) {
+            obs::CellRecord cell;
+            cell.benchmark =
+                factorial_workloads[event.jobIndex % num_workloads];
+            cell.row = event.jobIndex / num_workloads;
+            cell.runKey = event.runKey;
+            cell.source =
+                event.ok ? exec::toString(event.source) : "failed";
+            cell.attempts = event.attempts;
+            cell.wallSeconds = event.wallSeconds;
+            cell.response = event.response;
+            manifest->addCell(cell);
+        };
+    }
+
+    const auto factorial_start = std::chrono::steady_clock::now();
+    const exec::ProgressSnapshot factorial_before =
+        engine.progress().snapshot();
+
     exec::BatchResult cell_batch;
     try {
-        cell_batch = engine.run(jobs, options.faultPolicy);
+        detail::EngineSinkScope sinks(engine, campaign,
+                                      std::move(factorial_observer));
+        detail::PhaseScope phase(campaign, "factorial");
+        phase.span().arg("cells", std::to_string(num_cells));
+        phase.span().arg("jobs", std::to_string(jobs.size()));
+        cell_batch = engine.run(jobs, campaign.faultPolicy);
     } catch (const exec::BatchAbort &) {
         throw; // resume-able infrastructure failure: keep the type
     }
@@ -200,7 +262,7 @@ runRecommendedWorkflow(
         check::CampaignAssessment assessment =
             check::assessFactorialValidity(workload_names, num_cells,
                                            quarantined,
-                                           options.degradation);
+                                           campaign.degradation);
         result.factorialValidity = assessment.sink;
         if (!assessment.passed())
             throw check::CampaignError(
@@ -217,18 +279,22 @@ runRecommendedWorkflow(
     const std::size_t surviving =
         workloads.size() - dropped_w.size();
 
-    std::vector<double> responses;
-    responses.reserve(num_cells);
-    for (std::size_t t = 0; t < num_cells; ++t) {
-        double total = 0.0;
-        for (std::size_t w = 0; w < workloads.size(); ++w) {
-            if (dropped_w.count(w))
-                continue;
-            total += cells[t * workloads.size() + w];
+    {
+        detail::PhaseScope phase(campaign, "anova");
+        std::vector<double> responses;
+        responses.reserve(num_cells);
+        for (std::size_t t = 0; t < num_cells; ++t) {
+            double total = 0.0;
+            for (std::size_t w = 0; w < workloads.size(); ++w) {
+                if (dropped_w.count(w))
+                    continue;
+                total += cells[t * workloads.size() + w];
+            }
+            responses.push_back(total /
+                                static_cast<double>(surviving));
         }
-        responses.push_back(total / static_cast<double>(surviving));
+        result.sensitivity = stats::analyzeFactorial(names, responses);
     }
-    result.sensitivity = stats::analyzeFactorial(names, responses);
 
     // ----- Step 4: directions from the main effects -----
     for (std::size_t i = 0; i < k; ++i) {
@@ -260,6 +326,15 @@ runRecommendedWorkflow(
         }
     }
     result.execution = engine.progress().snapshot();
+
+    if (campaign.manifest) {
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - factorial_start;
+        obs::SummaryRecord summary = detail::summaryFromProgress(
+            factorial_before, result.execution, wall.count());
+        summary.droppedBenchmarks = result.factorialDroppedWorkloads;
+        campaign.manifest->addSummary(summary);
+    }
     return result;
 }
 

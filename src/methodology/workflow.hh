@@ -38,10 +38,6 @@ struct WorkflowOptions
     std::uint64_t instructionsPerRun = 100000;
     /** Warm-up instructions per run. */
     std::uint64_t warmupInstructions = 100000;
-    /** Worker threads for every simulation phase — the PB screen and
-     *  the step-3 full factorial share one execution engine
-     *  (0 = hardware concurrency). */
-    unsigned threads = 0;
     /**
      * Cap on the critical-parameter count carried into the ANOVA
      * step; the 2^k factorial cost bounds this. The actual set may
@@ -49,33 +45,20 @@ struct WorkflowOptions
      */
     std::size_t maxCriticalParameters = 4;
     /**
-     * Escape hatch: skip the mandatory pre-flight static analysis
-     * of the PB screen and the step-3 factorial (see
-     * PbExperimentOptions::skipPreflight).
-     */
-    bool skipPreflight = false;
-    /**
-     * Per-job fault policy applied to both simulation phases
-     * (retries, backoff, attempt deadline, collect-failures). The
-     * default is the historical fail-fast single attempt.
-     */
-    exec::FaultPolicy faultPolicy;
-    /**
-     * Optional crash-safe result journal (not owned) shared by both
-     * phases; an interrupted workflow rerun against the same journal
-     * replays completed runs from disk.
-     */
-    exec::ResultJournal *journal = nullptr;
-    /** Degradation arbitration when cells are quarantined. */
-    check::DegradationMode degradation =
-        check::DegradationMode::Abort;
-    /**
      * Attempt executor override for the workflow's internal engine;
      * empty = the real deadline-guarded simulator. This is how fault
      * drills target the workflow (wrap with a FaultInjector) and how
-     * tests stub the simulator out.
+     * tests stub the simulator out. Ignored when campaign.engine
+     * supplies a shared engine (its executor is used instead).
      */
     exec::SimulateFn simulate;
+    /**
+     * Shared execution knobs (threads, fault policy, journal,
+     * degradation mode, …) and observability sinks, applied to both
+     * simulation phases — the PB screen and the step-3 factorial
+     * share one execution engine. See exec::CampaignOptions.
+     */
+    exec::CampaignOptions campaign;
 };
 
 /** Direction recommendation for one critical parameter. */

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * BENCH_*.json perf-trajectory reporter.
+ *
+ * Every PR that touches a hot path needs a baseline to beat; the
+ * convention is one BENCH_<pr>.json at the repo root per PR, holding
+ * the wall time and throughput of a canonical reduced campaign. This
+ * writer renders that record from the engine's progress counters so
+ * the campaign CLI (--bench-out) and the table harnesses emit
+ * identical schemas.
+ */
+
+#ifndef RIGOR_OBS_BENCH_REPORT_HH
+#define RIGOR_OBS_BENCH_REPORT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rigor::obs
+{
+
+/** One benchmark trajectory point. */
+struct BenchReport
+{
+    /** PR number the point belongs to (file name suffix). */
+    int pr = 4;
+    /** Scenario name, e.g. "pb_screen". */
+    std::string name;
+    double wallSeconds = 0.0;
+    std::uint64_t runsTotal = 0;
+    std::uint64_t runsCompleted = 0;
+    double runsPerSecond = 0.0;
+    std::uint64_t simulatedInstructions = 0;
+    /** Simulated instructions per wall second, in millions. */
+    double mips = 0.0;
+    unsigned threads = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t journalHits = 0;
+};
+
+/** Render @p report as a single JSON object. */
+std::string toJson(const BenchReport &report);
+
+/** Write the report to @p path; throws std::runtime_error on I/O
+ *  failure. */
+void writeBenchReport(const std::string &path,
+                      const BenchReport &report);
+
+} // namespace rigor::obs
+
+#endif // RIGOR_OBS_BENCH_REPORT_HH

@@ -1,0 +1,151 @@
+#include "obs/manifest.hh"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.hh"
+
+namespace rigor::obs
+{
+
+namespace
+{
+
+void
+appendStringArray(std::string &out,
+                  const std::vector<std::string> &values)
+{
+    out += '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i != 0)
+            out += ',';
+        appendJsonString(out, values[i]);
+    }
+    out += ']';
+}
+
+} // namespace
+
+void
+CampaignManifest::beginCampaign(const CampaignInfo &info)
+{
+    std::string line = "{\"type\":\"campaign\",\"experiment\":";
+    appendJsonString(line, info.experiment);
+    line += ",\"factors\":";
+    line += std::to_string(info.factors);
+    line += ",\"rows\":";
+    line += std::to_string(info.rows);
+    line += ",\"foldover\":";
+    line += info.foldover ? "true" : "false";
+    line += ",\"design_digest\":";
+    appendJsonString(line, info.designDigest);
+    line += ",\"workloads\":";
+    appendStringArray(line, info.workloads);
+    line += ",\"instructions_per_run\":";
+    line += std::to_string(info.instructionsPerRun);
+    line += ",\"warmup_instructions\":";
+    line += std::to_string(info.warmupInstructions);
+    line += '}';
+    append(std::move(line));
+}
+
+void
+CampaignManifest::addCell(const CellRecord &cell)
+{
+    std::string line = "{\"type\":\"cell\",\"benchmark\":";
+    appendJsonString(line, cell.benchmark);
+    line += ",\"row\":";
+    line += std::to_string(cell.row);
+    line += ",\"key\":";
+    appendJsonString(line, cell.runKey);
+    line += ",\"source\":";
+    appendJsonString(line, cell.source);
+    line += ",\"attempts\":";
+    line += std::to_string(cell.attempts);
+    line += ",\"wall_seconds\":";
+    line += jsonNumber(cell.wallSeconds);
+    line += ",\"response\":";
+    line += jsonNumber(cell.response);
+    line += '}';
+    append(std::move(line));
+}
+
+void
+CampaignManifest::addPhase(const std::string &name,
+                           double wall_seconds)
+{
+    std::string line = "{\"type\":\"phase\",\"name\":";
+    appendJsonString(line, name);
+    line += ",\"wall_seconds\":";
+    line += jsonNumber(wall_seconds);
+    line += '}';
+    append(std::move(line));
+}
+
+void
+CampaignManifest::addSummary(const SummaryRecord &summary)
+{
+    std::string line = "{\"type\":\"summary\",\"runs_total\":";
+    line += std::to_string(summary.runsTotal);
+    line += ",\"runs_completed\":";
+    line += std::to_string(summary.runsCompleted);
+    line += ",\"cache_hits\":";
+    line += std::to_string(summary.cacheHits);
+    line += ",\"journal_hits\":";
+    line += std::to_string(summary.journalHits);
+    line += ",\"retries\":";
+    line += std::to_string(summary.retries);
+    line += ",\"failed_jobs\":";
+    line += std::to_string(summary.failedJobs);
+    line += ",\"simulated_instructions\":";
+    line += std::to_string(summary.simulatedInstructions);
+    line += ",\"wall_seconds\":";
+    line += jsonNumber(summary.wallSeconds);
+    line += ",\"dropped_benchmarks\":";
+    appendStringArray(line, summary.droppedBenchmarks);
+    line += ",\"rank_table_digest\":";
+    appendJsonString(line, summary.rankTableDigest);
+    line += '}';
+    append(std::move(line));
+}
+
+std::size_t
+CampaignManifest::recordCount() const
+{
+    const std::scoped_lock lock(_mutex);
+    return _lines.size();
+}
+
+std::string
+CampaignManifest::toJsonl() const
+{
+    const std::scoped_lock lock(_mutex);
+    std::string out;
+    for (const std::string &line : _lines) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+void
+CampaignManifest::writeTo(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw std::runtime_error("CampaignManifest: cannot open '" +
+                                 path + "' for writing");
+    out << toJsonl();
+    if (!out)
+        throw std::runtime_error("CampaignManifest: write to '" +
+                                 path + "' failed");
+}
+
+void
+CampaignManifest::append(std::string line)
+{
+    const std::scoped_lock lock(_mutex);
+    _lines.push_back(std::move(line));
+}
+
+} // namespace rigor::obs

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Structured JSONL campaign manifest.
+ *
+ * A rank table alone says nothing about how it was produced; the
+ * manifest is the campaign's machine-readable provenance record. One
+ * JSON object per line, in campaign order:
+ *
+ *  - {"type":"campaign", ...}  design identity: experiment name,
+ *    factor/row counts, foldover, design digest, workloads, run
+ *    lengths — everything needed to tell two campaigns apart.
+ *  - {"type":"cell", ...}      one line per (benchmark, design row)
+ *    run: the run-cache key (config hash first), where the response
+ *    came from (simulated | cache | journal), attempts, wall time,
+ *    and the response itself.
+ *  - {"type":"phase", ...}     coarse per-phase wall time.
+ *  - {"type":"summary", ...}   terminal accounting: run totals,
+ *    cache/journal hits, retries, failures, dropped cells and
+ *    benchmarks, and the final rank-table digest.
+ *
+ * Appends are mutex-serialized (cells arrive from every worker); each
+ * record is rendered outside any lock the simulation fast path takes.
+ */
+
+#ifndef RIGOR_OBS_MANIFEST_HH
+#define RIGOR_OBS_MANIFEST_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rigor::obs
+{
+
+/** Design identity of one campaign (the "campaign" record). */
+struct CampaignInfo
+{
+    /** e.g. "pb_screen", "workflow_factorial", "enhancement_base". */
+    std::string experiment;
+    std::size_t factors = 0;
+    std::size_t rows = 0;
+    bool foldover = false;
+    /** FNV-1a digest of the design matrix contents (hex). */
+    std::string designDigest;
+    std::vector<std::string> workloads;
+    std::uint64_t instructionsPerRun = 0;
+    std::uint64_t warmupInstructions = 0;
+};
+
+/** One completed or quarantined (benchmark, row) response cell. */
+struct CellRecord
+{
+    std::string benchmark;
+    std::size_t row = 0;
+    /** Run-cache key: config hash | instructions | warmup | workload
+     *  | hook id. Empty for uncacheable runs. */
+    std::string runKey;
+    /** "simulated" | "cache" | "journal" | "failed". */
+    std::string source;
+    unsigned attempts = 0;
+    double wallSeconds = 0.0;
+    /** Measured cycles; NaN renders as null for quarantined cells. */
+    double response = 0.0;
+};
+
+/** Terminal accounting of one campaign (the "summary" record). */
+struct SummaryRecord
+{
+    std::uint64_t runsTotal = 0;
+    std::uint64_t runsCompleted = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t journalHits = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t failedJobs = 0;
+    std::uint64_t simulatedInstructions = 0;
+    double wallSeconds = 0.0;
+    std::vector<std::string> droppedBenchmarks;
+    /** FNV-1a digest of the final rank table (hex); empty when the
+     *  campaign produced no rank table (e.g. the factorial phase). */
+    std::string rankTableDigest;
+};
+
+/** Thread-safe JSONL accumulator. */
+class CampaignManifest
+{
+  public:
+    void beginCampaign(const CampaignInfo &info);
+    void addCell(const CellRecord &cell);
+    void addPhase(const std::string &name, double wall_seconds);
+    void addSummary(const SummaryRecord &summary);
+
+    std::size_t recordCount() const;
+
+    /** All records, one JSON object per line. */
+    std::string toJsonl() const;
+
+    /** Write toJsonl() to @p path; throws std::runtime_error on I/O
+     *  failure. */
+    void writeTo(const std::string &path) const;
+
+  private:
+    void append(std::string line);
+
+    mutable std::mutex _mutex;
+    std::vector<std::string> _lines;
+};
+
+} // namespace rigor::obs
+
+#endif // RIGOR_OBS_MANIFEST_HH

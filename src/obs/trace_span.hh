@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Chrome trace-event emission: phase spans for campaign timelines.
+ *
+ * A campaign is phases (preflight, screen, rank, aggregate) above a
+ * pool of workers each grinding through (benchmark, design row)
+ * simulations. The classic visualization for that shape is the Chrome
+ * trace-event timeline: TraceWriter accumulates "complete" events
+ * (ph:"X") with microsecond start/duration and a per-worker tid, and
+ * serializes the standard {"traceEvents":[...]} JSON document that
+ * chrome://tracing and Perfetto (ui.perfetto.dev) load directly.
+ *
+ * TraceSpan is the RAII recorder: construct at phase entry, annotate
+ * with arg() while inside, and destruction stamps the complete event.
+ * A null writer makes every operation a no-op, so instrumented code
+ * never branches on "is tracing enabled" itself.
+ *
+ * The clock is injectable (microsecond ticks relative to the writer's
+ * birth) so golden-file tests can pin timestamps.
+ */
+
+#ifndef RIGOR_OBS_TRACE_SPAN_HH
+#define RIGOR_OBS_TRACE_SPAN_HH
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rigor::obs
+{
+
+/** Thread-safe accumulator of Chrome trace events. */
+class TraceWriter
+{
+  public:
+    /** Microsecond tick source (monotonic). */
+    using ClockFn = std::function<std::uint64_t()>;
+
+    /** Events are timestamped relative to construction. */
+    TraceWriter();
+    /** Injectable clock for deterministic tests. */
+    explicit TraceWriter(ClockFn clock);
+
+    /** Current tick of the writer's clock (µs). */
+    std::uint64_t nowMicros() const { return _clock(); }
+
+    /** String args attached to one event ("args" object). */
+    using Args = std::vector<std::pair<std::string, std::string>>;
+
+    /**
+     * Record one complete event (ph:"X").
+     *
+     * @param tid trace-thread lane: 0 = the driver, 1+N = worker N
+     */
+    void addCompleteEvent(std::string name, std::string category,
+                          std::uint64_t start_us,
+                          std::uint64_t duration_us, std::uint32_t tid,
+                          Args args = {});
+
+    /** Record one counter event (ph:"C") — a stepped series. */
+    void addCounterEvent(std::string name, std::uint64_t ts_us,
+                         double value);
+
+    std::size_t eventCount() const;
+
+    /** The full {"traceEvents":[...]} JSON document. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; throws std::runtime_error on I/O
+     *  failure. */
+    void writeTo(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        char phase; // 'X' or 'C'
+        std::string name;
+        std::string category;
+        std::uint64_t ts = 0;
+        std::uint64_t duration = 0; // 'X' only
+        std::uint32_t tid = 0;
+        double value = 0.0; // 'C' only
+        Args args;
+    };
+
+    ClockFn _clock;
+    mutable std::mutex _mutex;
+    std::vector<Event> _events;
+};
+
+/**
+ * RAII phase span: records a complete event covering its lifetime.
+ * Null writer = no-op. Not thread-safe (one span per scope).
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(TraceWriter *writer, std::string name,
+              std::string category = "phase", std::uint32_t tid = 0);
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    /** Attach a key/value to the event recorded at close. */
+    void arg(std::string key, std::string value);
+
+    /** Record the event now instead of at destruction. */
+    void close();
+
+  private:
+    TraceWriter *_writer;
+    std::string _name;
+    std::string _category;
+    std::uint32_t _tid;
+    std::uint64_t _start = 0;
+    TraceWriter::Args _args;
+    bool _closed = false;
+};
+
+} // namespace rigor::obs
+
+#endif // RIGOR_OBS_TRACE_SPAN_HH

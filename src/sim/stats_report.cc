@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/json.hh"
+
 namespace rigor::sim
 {
 
@@ -69,6 +71,132 @@ formatRunReport(const SuperscalarCore &core, const CoreStats &stats)
     poolLine(os, core.intMultDivPool());
     poolLine(os, core.fpMultDivPool());
     return os.str();
+}
+
+namespace
+{
+
+void
+jsonKey(std::string &out, const char *key)
+{
+    obs::appendJsonString(out, key);
+    out += ':';
+}
+
+void
+jsonCount(std::string &out, const char *key, std::uint64_t value)
+{
+    jsonKey(out, key);
+    out += std::to_string(value);
+}
+
+void
+cacheJson(std::string &out, const Cache &cache)
+{
+    obs::appendJsonString(out, cache.name());
+    out += ":{";
+    jsonCount(out, "accesses", cache.stats().accesses);
+    out += ',';
+    jsonCount(out, "misses", cache.stats().misses);
+    out += ',';
+    jsonKey(out, "miss_rate");
+    out += obs::jsonNumber(cache.stats().missRate());
+    out += '}';
+}
+
+void
+tlbJson(std::string &out, const Tlb &tlb)
+{
+    obs::appendJsonString(out, tlb.name());
+    out += ":{";
+    jsonCount(out, "accesses", tlb.stats().accesses);
+    out += ',';
+    jsonCount(out, "misses", tlb.stats().misses);
+    out += ',';
+    jsonKey(out, "miss_rate");
+    out += obs::jsonNumber(tlb.stats().missRate());
+    out += '}';
+}
+
+void
+poolJson(std::string &out, const FuPool &pool)
+{
+    obs::appendJsonString(out, pool.name());
+    out += ":{";
+    jsonCount(out, "operations", pool.stats().operations);
+    out += ',';
+    jsonCount(out, "busy_stall_cycles",
+              pool.stats().busyStallCycles);
+    out += '}';
+}
+
+} // namespace
+
+std::string
+formatRunReportJson(const SuperscalarCore &core,
+                    const CoreStats &stats)
+{
+    std::string out;
+    out.reserve(768);
+    out += '{';
+    jsonCount(out, "instructions", stats.instructions);
+    out += ',';
+    jsonCount(out, "cycles", stats.cycles);
+    out += ',';
+    jsonKey(out, "ipc");
+    out += obs::jsonNumber(stats.ipc());
+    out += ',';
+    jsonCount(out, "measured_instructions",
+              stats.measuredInstructions());
+    out += ',';
+    jsonCount(out, "measured_cycles", stats.measuredCycles());
+    out += ',';
+    jsonCount(out, "branches", stats.branches);
+    out += ',';
+    jsonCount(out, "branch_mispredicts", stats.branchMispredicts);
+    out += ',';
+    jsonKey(out, "branch_accuracy");
+    out += obs::jsonNumber(core.predictor().stats().accuracy());
+    out += ',';
+    jsonCount(out, "btb_misfetches", stats.btbMisfetches);
+    out += ',';
+    jsonCount(out, "ras_mispredicts", stats.rasMispredicts);
+    out += ',';
+    jsonCount(out, "loads", stats.loads);
+    out += ',';
+    jsonCount(out, "stores", stats.stores);
+    out += ',';
+    jsonCount(out, "intercepted_instructions",
+              stats.interceptedInstructions);
+    out += ',';
+    jsonKey(out, "caches");
+    out += '{';
+    cacheJson(out, core.memory().l1i());
+    out += ',';
+    cacheJson(out, core.memory().l1d());
+    out += ',';
+    cacheJson(out, core.memory().l2());
+    out += '}';
+    out += ',';
+    jsonKey(out, "tlbs");
+    out += '{';
+    tlbJson(out, core.memory().itlb());
+    out += ',';
+    tlbJson(out, core.memory().dtlb());
+    out += '}';
+    out += ',';
+    jsonKey(out, "functional_units");
+    out += '{';
+    poolJson(out, core.intAluPool());
+    out += ',';
+    poolJson(out, core.fpAluPool());
+    out += ',';
+    poolJson(out, core.intMultDivPool());
+    out += ',';
+    poolJson(out, core.fpMultDivPool());
+    out += '}';
+    out += '}';
+    return out;
 }
 
 } // namespace rigor::sim

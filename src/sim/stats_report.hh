@@ -1,6 +1,8 @@
 /**
  * @file
- * Human-readable end-of-run report for a simulated core.
+ * End-of-run reports for a simulated core: a fixed-width text report
+ * for humans and a single-object JSON rendering for the observability
+ * pipeline (per-run throughput records, dashboards, diffing).
  */
 
 #ifndef RIGOR_SIM_STATS_REPORT_HH
@@ -20,6 +22,15 @@ namespace rigor::sim
  */
 std::string formatRunReport(const SuperscalarCore &core,
                             const CoreStats &stats);
+
+/**
+ * The same end-of-run statistics as one machine-readable JSON object:
+ * instruction/cycle/IPC totals, branch outcomes, per-cache and
+ * per-TLB access/miss counts, and per-pool functional-unit pressure.
+ * Keys are stable snake_case; the document is a single line.
+ */
+std::string formatRunReportJson(const SuperscalarCore &core,
+                                const CoreStats &stats);
 
 } // namespace rigor::sim
 

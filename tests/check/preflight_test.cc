@@ -150,7 +150,7 @@ TEST(Preflight, SkipPreflightEscapeHatchRunsAnyway)
     const doe::DesignMatrix corrupt = corruptBaseDesign();
     methodology::PbExperimentOptions opts = fastOptions();
     opts.design = &corrupt;
-    opts.skipPreflight = true;
+    opts.campaign.skipPreflight = true;
     const methodology::PbExperimentResult result =
         methodology::runPbExperiment(workloads, opts);
     EXPECT_EQ(result.design.numRows(), 88u);

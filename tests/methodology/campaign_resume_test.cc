@@ -57,7 +57,7 @@ TEST(CampaignResume, KillAndResumeReproducesTable9BitIdentically)
     const auto workloads = twoWorkloads();
     methodology::PbExperimentOptions opts;
     opts.instructionsPerRun = 8000;
-    opts.threads = 2;
+    opts.campaign.threads = 2;
 
     // Reference: the uninterrupted campaign (no journal involved).
     const methodology::PbExperimentResult reference =
@@ -71,7 +71,7 @@ TEST(CampaignResume, KillAndResumeReproducesTable9BitIdentically)
         exec::ResultJournal journal(path);
         journal.simulateCrashAfter(40);
         methodology::PbExperimentOptions crash_opts = opts;
-        crash_opts.journal = &journal;
+        crash_opts.campaign.journal = &journal;
         EXPECT_THROW(
             methodology::runPbExperiment(workloads, crash_opts),
             exec::SimulatedCrash)
@@ -86,8 +86,8 @@ TEST(CampaignResume, KillAndResumeReproducesTable9BitIdentically)
     EXPECT_EQ(journal.tornRecords(), 1u); // the interrupted append
     exec::SimulationEngine engine(exec::EngineOptions{2, true});
     methodology::PbExperimentOptions resume_opts = opts;
-    resume_opts.engine = &engine;
-    resume_opts.journal = &journal;
+    resume_opts.campaign.engine = &engine;
+    resume_opts.campaign.journal = &journal;
     const methodology::PbExperimentResult resumed =
         methodology::runPbExperiment(workloads, resume_opts);
 
@@ -106,7 +106,7 @@ TEST(CampaignResume, KillAndResumeReproducesTable9BitIdentically)
     // A second resume replays everything and simulates nothing.
     exec::SimulationEngine replay_engine(exec::EngineOptions{2, true});
     methodology::PbExperimentOptions replay_opts = resume_opts;
-    replay_opts.engine = &replay_engine;
+    replay_opts.campaign.engine = &replay_engine;
     const methodology::PbExperimentResult replayed =
         methodology::runPbExperiment(workloads, replay_opts);
     EXPECT_EQ(replayed.responses, reference.responses);
@@ -132,9 +132,9 @@ TEST(CampaignDegradation, DropBenchmarkProducesLabeledReducedTable)
 
     methodology::PbExperimentOptions opts;
     opts.instructionsPerRun = 8000;
-    opts.engine = &engine;
-    opts.faultPolicy.collectFailures = true;
-    opts.degradation = check::DegradationMode::DropBenchmark;
+    opts.campaign.engine = &engine;
+    opts.campaign.faultPolicy.collectFailures = true;
+    opts.campaign.degradation = check::DegradationMode::DropBenchmark;
 
     const methodology::PbExperimentResult result =
         methodology::runPbExperiment(workloads, opts);
@@ -183,9 +183,9 @@ TEST(CampaignDegradation, AbortModeThrowsInsteadOfDegrading)
 
     methodology::PbExperimentOptions opts;
     opts.instructionsPerRun = 8000;
-    opts.engine = &engine;
-    opts.faultPolicy.collectFailures = true;
-    opts.degradation = check::DegradationMode::Abort;
+    opts.campaign.engine = &engine;
+    opts.campaign.faultPolicy.collectFailures = true;
+    opts.campaign.degradation = check::DegradationMode::Abort;
 
     try {
         methodology::runPbExperiment(workloads, opts);
@@ -217,10 +217,10 @@ TEST(CampaignDegradation, RetriesHealTransientsBeforeArbitration)
 
     methodology::PbExperimentOptions opts;
     opts.instructionsPerRun = 8000;
-    opts.engine = &engine;
-    opts.faultPolicy.maxAttempts = 2;
-    opts.faultPolicy.collectFailures = true;
-    opts.degradation = check::DegradationMode::Abort;
+    opts.campaign.engine = &engine;
+    opts.campaign.faultPolicy.maxAttempts = 2;
+    opts.campaign.faultPolicy.collectFailures = true;
+    opts.campaign.degradation = check::DegradationMode::Abort;
 
     const methodology::PbExperimentResult result =
         methodology::runPbExperiment(workloads, opts);
@@ -253,9 +253,9 @@ TEST(CampaignDegradation, EnhancementLegsReconcileMismatchedDrops)
 
     methodology::PbExperimentOptions opts;
     opts.instructionsPerRun = 8000;
-    opts.engine = &engine;
-    opts.faultPolicy.collectFailures = true;
-    opts.degradation = check::DegradationMode::DropBenchmark;
+    opts.campaign.engine = &engine;
+    opts.campaign.faultPolicy.collectFailures = true;
+    opts.campaign.degradation = check::DegradationMode::DropBenchmark;
 
     const methodology::HookFactory noop_factory =
         [](const trace::WorkloadProfile &)
@@ -292,10 +292,10 @@ TEST(CampaignDegradation, WorkflowDropsWorkloadFromFactorialAveraging)
     methodology::WorkflowOptions opts;
     opts.instructionsPerRun = 8000;
     opts.warmupInstructions = 0;
-    opts.threads = 2;
+    opts.campaign.threads = 2;
     opts.maxCriticalParameters = 2;
-    opts.faultPolicy.collectFailures = true;
-    opts.degradation = check::DegradationMode::DropBenchmark;
+    opts.campaign.faultPolicy.collectFailures = true;
+    opts.campaign.degradation = check::DegradationMode::DropBenchmark;
     opts.simulate = injector.wrap(
         [](const exec::SimJob &, const exec::AttemptContext &ctx) {
             return stubResponse(ctx);

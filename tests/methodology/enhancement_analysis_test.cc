@@ -113,7 +113,7 @@ TEST(EnhancementAnalysis, PairedExperimentSharesOneEngine)
         rigor::trace::workloadByName("gzip")};
     methodology::PbExperimentOptions opts;
     opts.instructionsPerRun = 4000;
-    opts.threads = 2;
+    opts.campaign.threads = 2;
 
     const methodology::EnhancementExperimentResult result =
         methodology::runEnhancementExperiment(
@@ -145,7 +145,7 @@ TEST(EnhancementAnalysis, SharedEngineMakesBaseLegFree)
         rigor::exec::EngineOptions{2, true});
     methodology::PbExperimentOptions opts;
     opts.instructionsPerRun = 4000;
-    opts.engine = &engine;
+    opts.campaign.engine = &engine;
 
     // An earlier base experiment on the same engine...
     methodology::runPbExperiment(workloads, opts);

@@ -83,9 +83,9 @@ TEST(PbExperiment, DeterministicAcrossThreadCounts)
 {
     const auto workloads = twoWorkloads();
     methodology::PbExperimentOptions serial = fastOptions();
-    serial.threads = 1;
+    serial.campaign.threads = 1;
     methodology::PbExperimentOptions parallel = fastOptions();
-    parallel.threads = std::max(
+    parallel.campaign.threads = std::max(
         2u, std::thread::hardware_concurrency());
     const auto a = methodology::runPbExperiment(workloads, serial);
     const auto b = methodology::runPbExperiment(workloads, parallel);
@@ -98,7 +98,7 @@ TEST(PbExperiment, SharedEngineServesRepeatRunsFromCache)
     rigor::exec::SimulationEngine engine(
         rigor::exec::EngineOptions{2, true});
     methodology::PbExperimentOptions opts = fastOptions();
-    opts.engine = &engine;
+    opts.campaign.engine = &engine;
 
     const auto first = methodology::runPbExperiment(workloads, opts);
     EXPECT_EQ(engine.progress().snapshot().cacheHits, 0u);

@@ -109,10 +109,10 @@ TEST(Workflow, DeterministicAcrossThreadCounts)
     const std::vector<trace::WorkloadProfile> workloads = {
         trace::workloadByName("gzip")};
 
-    opts.threads = 1;
+    opts.campaign.threads = 1;
     const methodology::WorkflowResult serial =
         methodology::runRecommendedWorkflow(workloads, opts);
-    opts.threads = 8;
+    opts.campaign.threads = 8;
     const methodology::WorkflowResult parallel =
         methodology::runRecommendedWorkflow(workloads, opts);
 

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * MetricsRegistry: instrument semantics, JSON export, and exactness of
+ * the lock-free counters under real engine worker-pool concurrency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/engine.hh"
+#include "obs/metrics.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+namespace exec = rigor::exec;
+namespace obs = rigor::obs;
+namespace trace = rigor::trace;
+
+TEST(Metrics, CounterAddsAndReads)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter &c = registry.counter("engine.runs.completed");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, InstrumentLookupIsIdempotent)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter &a = registry.counter("x");
+    obs::Counter &b = registry.counter("x");
+    EXPECT_EQ(&a, &b) << "same name must be the same instrument";
+
+    const std::array<double, 2> bounds = {1.0, 2.0};
+    obs::Histogram &h1 = registry.histogram("h", bounds);
+    const std::array<double, 3> other = {5.0, 6.0, 7.0};
+    obs::Histogram &h2 = registry.histogram("h", other);
+    EXPECT_EQ(&h1, &h2);
+    EXPECT_EQ(h2.bounds().size(), 2u)
+        << "bounds of a re-looked-up histogram are ignored";
+}
+
+TEST(Metrics, GaugeHoldsLastValue)
+{
+    obs::MetricsRegistry registry;
+    obs::Gauge &g = registry.gauge("busy");
+    g.set(0.25);
+    g.set(0.75);
+    EXPECT_DOUBLE_EQ(g.value(), 0.75);
+}
+
+TEST(Metrics, HistogramBucketsAndMoments)
+{
+    obs::MetricsRegistry registry;
+    const std::array<double, 3> bounds = {1.0, 10.0, 100.0};
+    obs::Histogram &h = registry.histogram("wall", bounds);
+
+    h.observe(0.5);   // bucket 0 (<= 1)
+    h.observe(1.0);   // bucket 0 (inclusive upper bound)
+    h.observe(5.0);   // bucket 1
+    h.observe(500.0); // overflow
+
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 506.5);
+    EXPECT_DOUBLE_EQ(h.mean(), 506.5 / 4.0);
+    const std::vector<std::uint64_t> buckets = h.bucketCounts();
+    ASSERT_EQ(buckets.size(), 4u); // 3 bounded + overflow
+    EXPECT_EQ(buckets[0], 2u);
+    EXPECT_EQ(buckets[1], 1u);
+    EXPECT_EQ(buckets[2], 0u);
+    EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(Metrics, HistogramRejectsUnsortedBounds)
+{
+    obs::MetricsRegistry registry;
+    const std::array<double, 2> bad = {10.0, 1.0};
+    EXPECT_THROW(registry.histogram("bad", bad),
+                 std::invalid_argument);
+}
+
+TEST(Metrics, JsonExportContainsEveryInstrument)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("runs").add(3);
+    registry.gauge("busy").set(0.5);
+    const std::array<double, 1> bounds = {1.0};
+    registry.histogram("wall", bounds).observe(0.25);
+
+    const std::string json = registry.toJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"runs\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"busy\":0.5"), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\":[1,0]"), std::string::npos);
+}
+
+TEST(Metrics, CountersExactUnderManualContention)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter &c = registry.counter("contended");
+    obs::Histogram &h = registry.histogram(
+        "contended.hist", std::array<double, 2>{10.0, 100.0});
+
+    constexpr unsigned kThreads = 8;
+    constexpr std::uint64_t kPerThread = 20000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t)
+        threads.emplace_back([&c, &h] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                c.add();
+                h.observe(1.0);
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+    EXPECT_EQ(h.count(), kThreads * kPerThread);
+    EXPECT_DOUBLE_EQ(h.sum(),
+                     static_cast<double>(kThreads * kPerThread));
+}
+
+/**
+ * The acceptance-criterion concurrency test: with a metrics registry
+ * attached, the engine's completed-run counter must be EXACTLY the
+ * batch size under the full worker pool — no lost increments, and the
+ * number must agree with the engine's own progress accounting.
+ */
+TEST(Metrics, EngineCountersExactUnderFullWorkerPool)
+{
+    const trace::WorkloadProfile &w =
+        trace::workloadByName("gzip");
+    constexpr std::size_t kJobs = 256;
+
+    std::vector<exec::SimJob> jobs;
+    jobs.reserve(kJobs);
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        exec::SimJob job;
+        job.workload = &w;
+        job.instructions = 100 + i; // distinct keys: no cache hits
+        job.label = "metrics job " + std::to_string(i);
+        jobs.push_back(std::move(job));
+    }
+
+    exec::EngineOptions engine_opts;
+    engine_opts.threads = 0; // full hardware pool
+    engine_opts.simulate = [](const exec::SimJob &job,
+                              const exec::AttemptContext &) {
+        return static_cast<double>(job.instructions);
+    };
+    exec::SimulationEngine engine(engine_opts);
+
+    obs::MetricsRegistry registry;
+    engine.setMetrics(&registry);
+    const std::vector<double> responses = engine.run(jobs);
+    ASSERT_EQ(responses.size(), kJobs);
+
+    const exec::ProgressSnapshot progress =
+        engine.progress().snapshot();
+    EXPECT_EQ(registry.counter("engine.runs.completed").value(),
+              kJobs);
+    EXPECT_EQ(registry.counter("engine.runs.completed").value(),
+              progress.runsCompleted);
+    EXPECT_EQ(registry.counter("engine.runs.simulated").value(),
+              kJobs);
+    EXPECT_EQ(registry.counter("engine.runs.cache_hits").value(), 0u);
+    EXPECT_EQ(registry.counter("engine.batches").value(), 1u);
+    EXPECT_EQ(
+        registry.histogram("engine.run.wall_seconds", {}).count(),
+        kJobs);
+}
+
+TEST(Metrics, EngineCacheHitsCounted)
+{
+    const trace::WorkloadProfile &w =
+        trace::workloadByName("gzip");
+    std::vector<exec::SimJob> jobs;
+    for (std::size_t i = 0; i < 4; ++i) {
+        exec::SimJob job;
+        job.workload = &w;
+        job.instructions = 1000;
+        job.label = "cached job";
+        jobs.push_back(std::move(job));
+    }
+
+    exec::EngineOptions engine_opts;
+    engine_opts.threads = 2;
+    engine_opts.simulate = [](const exec::SimJob &,
+                              const exec::AttemptContext &) {
+        return 42.0;
+    };
+    exec::SimulationEngine engine(engine_opts);
+    obs::MetricsRegistry registry;
+    engine.setMetrics(&registry);
+
+    // Warm the cache with a single job first (identical jobs racing
+    // within one batch may each simulate before the first store).
+    engine.run(std::span<const exec::SimJob>(jobs.data(), 1));
+    engine.run(jobs); // all four served from the cache
+
+    EXPECT_EQ(registry.counter("engine.runs.completed").value(), 5u);
+    EXPECT_EQ(registry.counter("engine.runs.simulated").value(), 1u);
+    EXPECT_EQ(registry.counter("engine.runs.cache_hits").value(), 4u);
+    EXPECT_EQ(registry.counter("engine.batches").value(), 2u);
+}
+
+} // namespace

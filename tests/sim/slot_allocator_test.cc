@@ -68,6 +68,34 @@ TEST(StatsReport, MentionsAllSections)
     EXPECT_NE(report.find("instructions: 50"), std::string::npos);
 }
 
+TEST(StatsReport, JsonVariantCarriesTheSameRun)
+{
+    std::vector<trace::Instruction> v(50);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i].pc = 0x1000 + 4 * i;
+        v[i].op = i % 7 == 0 ? trace::OpClass::Load
+                             : trace::OpClass::IntAlu;
+        v[i].memAddr = 0x20000 + i * 64;
+        v[i].dst = 1;
+    }
+    trace::VectorTraceSource src(v);
+    sim::SuperscalarCore core{sim::ProcessorConfig{}};
+    const sim::CoreStats stats = core.run(src);
+    const std::string json = sim::formatRunReportJson(core, stats);
+    // Single-line JSON object with stable snake_case keys.
+    EXPECT_EQ(json.find('\n'), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"instructions\":50"), std::string::npos);
+    EXPECT_NE(json.find("\"ipc\":"), std::string::npos);
+    EXPECT_NE(json.find("\"caches\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"l1d\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"tlbs\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"functional_units\":{"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"loads\":"), std::string::npos);
+}
+
 TEST(CoreStats, MeasuredWindowAccessors)
 {
     sim::CoreStats stats;

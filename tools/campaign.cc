@@ -5,8 +5,8 @@
  * Runs the paper's Table 9 screening experiment under an explicit
  * FaultPolicy (bounded retries, exponential backoff, per-attempt
  * deadlines), with optional crash-safe journaling so an interrupted
- * campaign resumes from disk, plus a deterministic fault-injection
- * harness for drills:
+ * campaign resumes from disk, a deterministic fault-injection harness
+ * for drills, and first-class observability sinks:
  *
  *     campaign --workloads gzip,mcf --instructions 20000
  *     campaign --journal run.journal --retries 2 --backoff-ms 10
@@ -15,13 +15,19 @@
  *     campaign --inject 5:1:transient --retries 1
  *     campaign --inject-label "mcf:":1:hang --deadline-ms 50
  *     campaign --journal run.journal --crash-after 40   # crash drill
+ *     campaign --metrics-out m.json --trace-out t.json \
+ *              --manifest-out run.jsonl --bench-out BENCH_4.json
+ *
+ * The trace JSON loads directly in chrome://tracing / Perfetto; the
+ * manifest is one JSON object per line (campaign / cell / phase /
+ * summary records); the metrics JSON snapshots every engine counter,
+ * gauge, and histogram.
  *
  * Exit codes: 0 success (possibly degraded, with warnings printed),
  * 1 campaign failure, 2 usage error, 3 simulated crash (resume with
  * the same --journal).
  */
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -30,31 +36,30 @@
 #include <vector>
 
 #include "check/campaign_check.hh"
+#include "cli_options.hh"
 #include "exec/fault_injection.hh"
 #include "exec/journal.hh"
 #include "methodology/pb_experiment.hh"
 #include "methodology/rank_table.hh"
+#include "obs/bench_report.hh"
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_span.hh"
 #include "trace/workloads.hh"
 
 namespace
 {
 
-using rigor::check::DegradationMode;
 using rigor::exec::FaultKind;
+using rigor::tools::ArgCursor;
+using rigor::tools::CampaignCliOptions;
 
 struct CliOptions
 {
     std::vector<std::string> workloads;
     std::uint64_t instructions = 20000;
     std::uint64_t warmup = 0;
-    unsigned threads = 0;
-    bool foldover = true;
-    unsigned retries = 0;
-    unsigned backoffMs = 0;
-    unsigned deadlineMs = 0;
-    bool collect = false;
-    DegradationMode degrade = DegradationMode::Abort;
-    std::string journalPath;
+    CampaignCliOptions campaign;
     std::size_t crashAfter = 0; // 0 = no crash drill
     bool haveCrashAfter = false;
     struct IndexFault
@@ -85,20 +90,14 @@ usage(const char *argv0)
         "usage: %s [options]\n"
         "\n"
         "Run the 43-factor Plackett-Burman screening campaign with\n"
-        "fault tolerance, crash-safe journaling, and fault drills.\n"
+        "fault tolerance, crash-safe journaling, fault drills, and\n"
+        "observability sinks (metrics, Perfetto trace, manifest).\n"
         "\n"
         "options:\n"
         "  --workloads a,b,c      benchmarks to run (default: all 13)\n"
         "  --instructions N       measured instructions per run\n"
         "  --warmup N             warm-up instructions per run\n"
-        "  --threads N            worker threads (0 = hardware)\n"
-        "  --no-foldover          44-run base design instead of 88\n"
-        "  --retries N            extra attempts per job (default 0)\n"
-        "  --backoff-ms N         base backoff, doubled per retry\n"
-        "  --deadline-ms N        per-attempt deadline (0 = none)\n"
-        "  --collect              quarantine failures, don't fail fast\n"
-        "  --degrade MODE         abort | drop-benchmark (with --collect)\n"
-        "  --journal PATH         crash-safe journal; rerun to resume\n"
+        "%s"
         "  --crash-after N        crash drill: die after N appends\n"
         "  --inject J:A:KIND      fault job J, attempt A\n"
         "                         (KIND: transient|permanent|hang)\n"
@@ -106,28 +105,8 @@ usage(const char *argv0)
         "  --inject-random R:SEED   seeded transient storm at rate R\n"
         "  --quiet                suppress the rank table\n"
         "  --help                 show this help\n",
-        argv0);
+        argv0, CampaignCliOptions::usageText());
     return 2;
-}
-
-bool
-splitList(const std::string &csv, std::vector<std::string> &out)
-{
-    std::size_t start = 0;
-    while (start <= csv.size()) {
-        const std::size_t comma = csv.find(',', start);
-        const std::string item =
-            csv.substr(start, comma == std::string::npos
-                                  ? std::string::npos
-                                  : comma - start);
-        if (item.empty())
-            return false;
-        out.push_back(item);
-        if (comma == std::string::npos)
-            break;
-        start = comma + 1;
-    }
-    return !out.empty();
 }
 
 bool
@@ -161,10 +140,8 @@ parseFaultSpec(const std::string &spec, std::string &head,
         spec.substr(mid + 1, last - mid - 1);
     if (head.empty() || attempt_text.empty())
         return false;
-    char *end = nullptr;
-    attempt =
-        static_cast<unsigned>(std::strtoul(attempt_text.c_str(), &end, 10));
-    if (end == nullptr || *end != '\0' || attempt == 0)
+    if (!rigor::tools::parseUnsigned(attempt_text.c_str(), attempt) ||
+        attempt == 0)
         return false;
     return parseKind(spec.substr(last + 1), kind);
 }
@@ -172,99 +149,51 @@ parseFaultSpec(const std::string &spec, std::string &head,
 bool
 parseArgs(int argc, char **argv, CliOptions &options)
 {
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const auto next = [&](const char *what) -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr,
-                             "campaign: %s needs an argument\n", what);
-                return nullptr;
-            }
-            return argv[++i];
-        };
+    ArgCursor args(argc, argv, "campaign");
+    while (!args.done()) {
+        const std::string arg = args.take();
+        switch (options.campaign.tryParse(args, arg)) {
+        case CampaignCliOptions::Match::Consumed:
+            continue;
+        case CampaignCliOptions::Match::Error:
+            return false;
+        case CampaignCliOptions::Match::NotMine:
+            break;
+        }
         if (arg == "--workloads") {
-            const char *v = next("--workloads");
-            if (v == nullptr || !splitList(v, options.workloads))
+            const char *v = args.valueFor("--workloads");
+            if (v == nullptr ||
+                !rigor::tools::splitList(v, options.workloads))
                 return false;
         } else if (arg == "--instructions") {
-            const char *v = next("--instructions");
-            if (v == nullptr)
+            const char *v = args.valueFor("--instructions");
+            if (v == nullptr ||
+                !rigor::tools::parseUint64(v, options.instructions))
                 return false;
-            options.instructions = std::strtoull(v, nullptr, 10);
         } else if (arg == "--warmup") {
-            const char *v = next("--warmup");
-            if (v == nullptr)
+            const char *v = args.valueFor("--warmup");
+            if (v == nullptr ||
+                !rigor::tools::parseUint64(v, options.warmup))
                 return false;
-            options.warmup = std::strtoull(v, nullptr, 10);
-        } else if (arg == "--threads") {
-            const char *v = next("--threads");
-            if (v == nullptr)
-                return false;
-            options.threads =
-                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-        } else if (arg == "--no-foldover") {
-            options.foldover = false;
-        } else if (arg == "--retries") {
-            const char *v = next("--retries");
-            if (v == nullptr)
-                return false;
-            options.retries =
-                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-        } else if (arg == "--backoff-ms") {
-            const char *v = next("--backoff-ms");
-            if (v == nullptr)
-                return false;
-            options.backoffMs =
-                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-        } else if (arg == "--deadline-ms") {
-            const char *v = next("--deadline-ms");
-            if (v == nullptr)
-                return false;
-            options.deadlineMs =
-                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-        } else if (arg == "--collect") {
-            options.collect = true;
-        } else if (arg == "--degrade") {
-            const char *v = next("--degrade");
-            if (v == nullptr)
-                return false;
-            const std::string mode = v;
-            if (mode == "abort") {
-                options.degrade = DegradationMode::Abort;
-            } else if (mode == "drop-benchmark") {
-                options.degrade = DegradationMode::DropBenchmark;
-            } else {
-                std::fprintf(stderr,
-                             "campaign: unknown --degrade mode %s\n",
-                             mode.c_str());
-                return false;
-            }
-        } else if (arg == "--journal") {
-            const char *v = next("--journal");
-            if (v == nullptr)
-                return false;
-            options.journalPath = v;
         } else if (arg == "--crash-after") {
-            const char *v = next("--crash-after");
-            if (v == nullptr)
+            const char *v = args.valueFor("--crash-after");
+            if (v == nullptr ||
+                !rigor::tools::parseSize(v, options.crashAfter))
                 return false;
-            options.crashAfter = std::strtoull(v, nullptr, 10);
             options.haveCrashAfter = true;
         } else if (arg == "--inject") {
-            const char *v = next("--inject");
+            const char *v = args.valueFor("--inject");
             if (v == nullptr)
                 return false;
             std::string head;
             CliOptions::IndexFault fault{};
             if (!parseFaultSpec(v, head, fault.attempt, fault.kind))
                 return false;
-            char *end = nullptr;
-            fault.job = std::strtoull(head.c_str(), &end, 10);
-            if (end == nullptr || *end != '\0')
+            if (!rigor::tools::parseSize(head.c_str(), fault.job))
                 return false;
             options.inject.push_back(fault);
         } else if (arg == "--inject-label") {
-            const char *v = next("--inject-label");
+            const char *v = args.valueFor("--inject-label");
             if (v == nullptr)
                 return false;
             CliOptions::LabelFault fault{};
@@ -273,17 +202,20 @@ parseArgs(int argc, char **argv, CliOptions &options)
                 return false;
             options.injectLabel.push_back(std::move(fault));
         } else if (arg == "--inject-random") {
-            const char *v = next("--inject-random");
+            const char *v = args.valueFor("--inject-random");
             if (v == nullptr)
                 return false;
             const std::string spec = v;
             const std::size_t colon = spec.find(':');
             if (colon == std::string::npos)
                 return false;
-            options.randomRate =
-                std::strtod(spec.substr(0, colon).c_str(), nullptr);
-            options.randomSeed = std::strtoull(
-                spec.substr(colon + 1).c_str(), nullptr, 10);
+            if (!rigor::tools::parseDouble(
+                    spec.substr(0, colon).c_str(),
+                    options.randomRate) ||
+                !rigor::tools::parseUint64(
+                    spec.substr(colon + 1).c_str(),
+                    options.randomSeed))
+                return false;
             options.haveRandom = true;
         } else if (arg == "--quiet") {
             options.quiet = true;
@@ -319,12 +251,8 @@ main(int argc, char **argv)
                     rigor::trace::workloadByName(name));
         }
 
-        rigor::exec::FaultPolicy policy;
-        policy.maxAttempts = cli.retries + 1;
-        policy.backoffBase = std::chrono::milliseconds(cli.backoffMs);
-        policy.attemptDeadline =
-            std::chrono::milliseconds(cli.deadlineMs);
-        policy.collectFailures = cli.collect;
+        const rigor::exec::FaultPolicy policy =
+            cli.campaign.faultPolicy();
 
         // The fault-injection plan (empty = the real simulator).
         rigor::exec::FaultInjector injector;
@@ -333,7 +261,7 @@ main(int argc, char **argv)
         for (const CliOptions::LabelFault &f : cli.injectLabel)
             injector.addLabelFault(f.substring, f.attempt, f.kind);
         if (cli.haveRandom) {
-            const std::size_t rows = cli.foldover ? 88 : 44;
+            const std::size_t rows = cli.campaign.foldover ? 88 : 44;
             injector.planRandomTransients(workloads.size() * rows,
                                           policy.attempts(),
                                           cli.randomRate,
@@ -341,21 +269,21 @@ main(int argc, char **argv)
         }
 
         rigor::exec::EngineOptions engine_opts;
-        engine_opts.threads = cli.threads;
+        engine_opts.threads = cli.campaign.threads;
         if (injector.plannedFaults() != 0)
             engine_opts.simulate = injector.wrap();
         rigor::exec::SimulationEngine engine(engine_opts);
 
         std::unique_ptr<rigor::exec::ResultJournal> journal;
-        if (!cli.journalPath.empty()) {
+        if (!cli.campaign.journalPath.empty()) {
             journal = std::make_unique<rigor::exec::ResultJournal>(
-                cli.journalPath);
+                cli.campaign.journalPath);
             if (journal->loadedRecords() != 0)
                 std::fprintf(
                     stderr,
                     "campaign: resuming against %s (%zu completed "
                     "runs on disk%s)\n",
-                    cli.journalPath.c_str(),
+                    cli.campaign.journalPath.c_str(),
                     journal->loadedRecords(),
                     journal->tornRecords() != 0
                         ? ", torn final record discarded"
@@ -368,14 +296,39 @@ main(int argc, char **argv)
             return 2;
         }
 
+        // Observability sinks, created only when requested so the
+        // default campaign stays sink-free.
+        rigor::obs::MetricsRegistry metrics;
+        rigor::obs::TraceWriter trace;
+        rigor::obs::CampaignManifest manifest;
+
+        // Journal replays get a visible progress line naming the
+        // run-cache key, so a resumed campaign shows exactly which
+        // configurations were served from disk.
+        if (journal && !cli.quiet)
+            engine.setJobObserver(
+                [](const rigor::exec::JobEvent &event) {
+                    if (event.source !=
+                        rigor::exec::RunSource::JournalReplay)
+                        return;
+                    std::fprintf(stderr,
+                                 "campaign: replayed %s [key %s]\n",
+                                 event.job->label.c_str(),
+                                 event.runKey.c_str());
+                });
+
         rigor::methodology::PbExperimentOptions opts;
         opts.instructionsPerRun = cli.instructions;
         opts.warmupInstructions = cli.warmup;
-        opts.foldover = cli.foldover;
-        opts.engine = &engine;
-        opts.faultPolicy = policy;
-        opts.journal = journal.get();
-        opts.degradation = cli.degrade;
+        cli.campaign.apply(opts.campaign);
+        opts.campaign.engine = &engine;
+        opts.campaign.journal = journal.get();
+        if (!cli.campaign.metricsOut.empty())
+            opts.campaign.metrics = &metrics;
+        if (!cli.campaign.traceOut.empty())
+            opts.campaign.trace = &trace;
+        if (!cli.campaign.manifestOut.empty())
+            opts.campaign.manifest = &manifest;
 
         const rigor::methodology::PbExperimentResult result =
             rigor::methodology::runPbExperiment(workloads, opts);
@@ -392,9 +345,42 @@ main(int argc, char **argv)
                     result.summaries, result.benchmarks,
                     result.droppedBenchmarks)
                     .c_str());
-        std::fprintf(
-            stderr, "campaign: %s\n",
-            engine.progress().snapshot().toString().c_str());
+        const rigor::exec::ProgressSnapshot progress =
+            engine.progress().snapshot();
+        std::fprintf(stderr, "campaign: %s\n",
+                     progress.toString().c_str());
+
+        if (!cli.campaign.metricsOut.empty())
+            metrics.writeTo(cli.campaign.metricsOut);
+        if (!cli.campaign.traceOut.empty())
+            trace.writeTo(cli.campaign.traceOut);
+        if (!cli.campaign.manifestOut.empty())
+            manifest.writeTo(cli.campaign.manifestOut);
+        if (!cli.campaign.benchOut.empty()) {
+            rigor::obs::BenchReport report;
+            report.name = "campaign_pb_screen";
+            report.wallSeconds = progress.wallSeconds;
+            report.runsTotal = progress.runsTotal;
+            report.runsCompleted = progress.runsCompleted;
+            report.runsPerSecond =
+                progress.wallSeconds > 0.0
+                    ? static_cast<double>(progress.runsCompleted) /
+                          progress.wallSeconds
+                    : 0.0;
+            report.simulatedInstructions =
+                progress.simulatedInstructions;
+            report.mips =
+                progress.wallSeconds > 0.0
+                    ? static_cast<double>(
+                          progress.simulatedInstructions) /
+                          progress.wallSeconds / 1e6
+                    : 0.0;
+            report.threads = engine.threads();
+            report.cacheHits = progress.cacheHits;
+            report.journalHits = progress.journalHits;
+            rigor::obs::writeBenchReport(cli.campaign.benchOut,
+                                         report);
+        }
         return 0;
     } catch (const rigor::exec::SimulatedCrash &e) {
         std::fprintf(stderr,

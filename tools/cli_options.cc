@@ -1,0 +1,213 @@
+#include "cli_options.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rigor::tools
+{
+
+const char *
+ArgCursor::valueFor(const char *flag)
+{
+    if (done()) {
+        std::fprintf(stderr, "%s: %s needs an argument\n",
+                     _program.c_str(), flag);
+        return nullptr;
+    }
+    return _argv[_index++];
+}
+
+namespace
+{
+
+/** strtoull with whole-string and range enforcement. */
+bool
+parseRaw(const char *text, unsigned long long &out)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    out = std::strtoull(text, &end, 10);
+    return errno == 0 && end != nullptr && *end == '\0';
+}
+
+} // namespace
+
+bool
+parseUnsigned(const char *text, unsigned &out)
+{
+    unsigned long long raw = 0;
+    if (!parseRaw(text, raw) ||
+        raw > static_cast<unsigned long long>(~0u))
+        return false;
+    out = static_cast<unsigned>(raw);
+    return true;
+}
+
+bool
+parseUint64(const char *text, std::uint64_t &out)
+{
+    unsigned long long raw = 0;
+    if (!parseRaw(text, raw))
+        return false;
+    out = raw;
+    return true;
+}
+
+bool
+parseSize(const char *text, std::size_t &out)
+{
+    unsigned long long raw = 0;
+    if (!parseRaw(text, raw) || raw > SIZE_MAX)
+        return false;
+    out = static_cast<std::size_t>(raw);
+    return true;
+}
+
+bool
+parseDouble(const char *text, double &out)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    out = std::strtod(text, &end);
+    return errno == 0 && end != nullptr && *end == '\0';
+}
+
+bool
+splitList(const std::string &csv, std::vector<std::string> &out)
+{
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::string item =
+            csv.substr(start, comma == std::string::npos
+                                  ? std::string::npos
+                                  : comma - start);
+        if (item.empty())
+            return false;
+        out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return !out.empty();
+}
+
+CampaignCliOptions::Match
+CampaignCliOptions::tryParse(ArgCursor &args, const std::string &arg)
+{
+    const auto unsigned_flag = [&](const char *flag,
+                                   unsigned &out) -> Match {
+        const char *v = args.valueFor(flag);
+        if (v == nullptr || !parseUnsigned(v, out)) {
+            if (v != nullptr)
+                std::fprintf(stderr, "%s: bad %s value %s\n",
+                             args.program().c_str(), flag, v);
+            return Match::Error;
+        }
+        return Match::Consumed;
+    };
+    const auto path_flag = [&](const char *flag,
+                               std::string &out) -> Match {
+        const char *v = args.valueFor(flag);
+        if (v == nullptr)
+            return Match::Error;
+        out = v;
+        return Match::Consumed;
+    };
+
+    if (arg == "--threads")
+        return unsigned_flag("--threads", threads);
+    if (arg == "--no-foldover") {
+        foldover = false;
+        return Match::Consumed;
+    }
+    if (arg == "--skip-preflight") {
+        skipPreflight = true;
+        return Match::Consumed;
+    }
+    if (arg == "--retries")
+        return unsigned_flag("--retries", retries);
+    if (arg == "--backoff-ms")
+        return unsigned_flag("--backoff-ms", backoffMs);
+    if (arg == "--deadline-ms")
+        return unsigned_flag("--deadline-ms", deadlineMs);
+    if (arg == "--collect") {
+        collect = true;
+        return Match::Consumed;
+    }
+    if (arg == "--degrade") {
+        const char *v = args.valueFor("--degrade");
+        if (v == nullptr)
+            return Match::Error;
+        const std::string mode = v;
+        if (mode == "abort") {
+            degrade = check::DegradationMode::Abort;
+        } else if (mode == "drop-benchmark") {
+            degrade = check::DegradationMode::DropBenchmark;
+        } else {
+            std::fprintf(stderr, "%s: unknown --degrade mode %s\n",
+                         args.program().c_str(), mode.c_str());
+            return Match::Error;
+        }
+        return Match::Consumed;
+    }
+    if (arg == "--journal")
+        return path_flag("--journal", journalPath);
+    if (arg == "--metrics-out")
+        return path_flag("--metrics-out", metricsOut);
+    if (arg == "--trace-out")
+        return path_flag("--trace-out", traceOut);
+    if (arg == "--manifest-out")
+        return path_flag("--manifest-out", manifestOut);
+    if (arg == "--bench-out")
+        return path_flag("--bench-out", benchOut);
+    return Match::NotMine;
+}
+
+exec::FaultPolicy
+CampaignCliOptions::faultPolicy() const
+{
+    exec::FaultPolicy policy;
+    policy.maxAttempts = retries + 1;
+    policy.backoffBase = std::chrono::milliseconds(backoffMs);
+    policy.attemptDeadline = std::chrono::milliseconds(deadlineMs);
+    policy.collectFailures = collect;
+    return policy;
+}
+
+void
+CampaignCliOptions::apply(exec::CampaignOptions &campaign) const
+{
+    campaign.threads = threads;
+    campaign.foldover = foldover;
+    campaign.skipPreflight = skipPreflight;
+    campaign.faultPolicy = faultPolicy();
+    campaign.degradation = degrade;
+}
+
+const char *
+CampaignCliOptions::usageText()
+{
+    return
+        "  --threads N            worker threads (0 = hardware)\n"
+        "  --no-foldover          44-run base design instead of 88\n"
+        "  --skip-preflight       skip the pre-flight static analysis\n"
+        "  --retries N            extra attempts per job (default 0)\n"
+        "  --backoff-ms N         base backoff, doubled per retry\n"
+        "  --deadline-ms N        per-attempt deadline (0 = none)\n"
+        "  --collect              quarantine failures, don't fail fast\n"
+        "  --degrade MODE         abort | drop-benchmark (with --collect)\n"
+        "  --journal PATH         crash-safe journal; rerun to resume\n"
+        "  --metrics-out PATH     write the metrics registry as JSON\n"
+        "  --trace-out PATH       write a Chrome/Perfetto trace JSON\n"
+        "  --manifest-out PATH    write the campaign manifest (JSONL)\n"
+        "  --bench-out PATH       write a wall-time/throughput report\n";
+}
+
+} // namespace rigor::tools

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Shared command-line plumbing for the rigor tools.
+ *
+ * campaign and rigor_lint used to each hand-roll the same argv
+ * walking, "flag needs an argument" reporting, and numeric parsing —
+ * and campaign additionally mapped a dozen flags onto what is now
+ * exec::CampaignOptions. This helper owns all of it: ArgCursor is the
+ * argv walker, the strict parse* functions reject trailing garbage
+ * instead of silently truncating, and CampaignCliOptions is the
+ * declarative home of every flag that configures a campaign
+ * (execution knobs, fault policy, journal, and the observability
+ * sink paths), rendered onto exec::CampaignOptions with apply().
+ */
+
+#ifndef RIGOR_TOOLS_CLI_OPTIONS_HH
+#define RIGOR_TOOLS_CLI_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/campaign_options.hh"
+
+namespace rigor::tools
+{
+
+/** Forward walker over argv with uniform error reporting. */
+class ArgCursor
+{
+  public:
+    ArgCursor(int argc, char **argv, std::string program)
+        : _argc(argc), _argv(argv), _program(std::move(program))
+    {
+    }
+
+    bool done() const { return _index >= _argc; }
+
+    /** Current argument; advances. Only valid when !done(). */
+    std::string take() { return _argv[_index++]; }
+
+    /**
+     * The value following @p flag, advancing past it; nullptr (with a
+     * "<flag> needs an argument" line on stderr) when argv ends.
+     */
+    const char *valueFor(const char *flag);
+
+    const std::string &program() const { return _program; }
+
+  private:
+    int _argc;
+    char **_argv;
+    int _index = 1;
+    std::string _program;
+};
+
+/** Strict numeric parsers: entire string or failure. */
+bool parseUnsigned(const char *text, unsigned &out);
+bool parseUint64(const char *text, std::uint64_t &out);
+bool parseSize(const char *text, std::size_t &out);
+bool parseDouble(const char *text, double &out);
+
+/** Split "a,b,c" into non-empty items; false on empty items/input. */
+bool splitList(const std::string &csv,
+               std::vector<std::string> &out);
+
+/**
+ * Every command-line flag that configures campaign execution and
+ * observability, parsed flag-by-flag with tryParse() and rendered
+ * onto exec::CampaignOptions with apply(). The sink *paths* live
+ * here; the sink *objects* (registries, writers, manifests) are
+ * constructed and attached by the tool, which owns their lifetime.
+ */
+struct CampaignCliOptions
+{
+    unsigned threads = 0;
+    bool foldover = true;
+    bool skipPreflight = false;
+    unsigned retries = 0;
+    unsigned backoffMs = 0;
+    unsigned deadlineMs = 0;
+    bool collect = false;
+    check::DegradationMode degrade = check::DegradationMode::Abort;
+    std::string journalPath;
+    /** Observability output paths; empty = sink disabled. */
+    std::string metricsOut;
+    std::string traceOut;
+    std::string manifestOut;
+    std::string benchOut;
+
+    /** Outcome of offering one argument to tryParse(). */
+    enum class Match
+    {
+        /** The flag (and its value, if any) was consumed. */
+        Consumed,
+        /** Not a shared campaign flag; caller should try its own. */
+        NotMine,
+        /** A shared flag with a missing/invalid value (reported). */
+        Error,
+    };
+
+    /**
+     * Offer @p arg (already taken from @p args) to the shared flag
+     * table. Consumes the flag's value from @p args when it has one.
+     */
+    Match tryParse(ArgCursor &args, const std::string &arg);
+
+    /** The fault policy the flags describe. */
+    exec::FaultPolicy faultPolicy() const;
+
+    /**
+     * Render the execution knobs (threads, foldover, skipPreflight,
+     * fault policy, degradation) onto @p campaign. Sinks and the
+     * journal are attached by the caller.
+     */
+    void apply(exec::CampaignOptions &campaign) const;
+
+    /** Help text for the shared flags (aligned to the tools' style). */
+    static const char *usageText();
+};
+
+} // namespace rigor::tools
+
+#endif // RIGOR_TOOLS_CLI_OPTIONS_HH

@@ -27,6 +27,7 @@
 #include "check/csv_lint.hh"
 #include "check/diagnostic.hh"
 #include "check/spec_lint.hh"
+#include "cli_options.hh"
 
 namespace
 {
@@ -35,6 +36,7 @@ using rigor::check::DesignCheckOptions;
 using rigor::check::Diagnostic;
 using rigor::check::DiagnosticSink;
 using rigor::check::Severity;
+using rigor::tools::ArgCursor;
 
 enum class FileKind
 {
@@ -80,9 +82,10 @@ usage(const char *argv0)
 bool
 parseArgs(int argc, char **argv, CliOptions &options)
 {
+    ArgCursor args(argc, argv, "rigor_lint");
     FileKind next_kind = FileKind::Auto;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+    while (!args.done()) {
+        const std::string arg = args.take();
         if (arg == "--design") {
             next_kind = FileKind::Design;
         } else if (arg == "--spec") {
@@ -92,10 +95,11 @@ parseArgs(int argc, char **argv, CliOptions &options)
         } else if (arg == "--no-pb") {
             options.design.requirePlackettBurman = false;
         } else if (arg == "--factors") {
-            if (i + 1 >= argc)
+            const char *v = args.valueFor("--factors");
+            if (v == nullptr ||
+                !rigor::tools::parseSize(
+                    v, options.design.expectedFactors))
                 return false;
-            options.design.expectedFactors =
-                static_cast<std::size_t>(std::atol(argv[++i]));
         } else if (arg == "--audit-parameter-space") {
             options.auditParameterSpace = true;
         } else if (arg == "--Werror") {
