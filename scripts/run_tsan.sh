@@ -11,7 +11,10 @@ cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 
 # TSan halts on the first race so failures point at one stack pair.
-export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+# die_after_fork=0: the process-isolation suites fork sandbox
+# workers from a multithreaded parent by design (the children only
+# simulate and _Exit; they never touch the parent's locks).
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 die_after_fork=0"
 
 # Every suite under tests/doe, tests/methodology, and tests/exec —
 # run straight from the gtest binary so one process exercises the
@@ -26,6 +29,7 @@ CsvExport.*:PublishedData.*:Preflight.*:
 FaultPolicy.*:AttemptContext.*:JobFailure.*:FaultTolerance.*:
 FaultInjector.*:ResultJournal.*:CampaignCheck.*:CampaignResume.*:
 CampaignDegradation.*:
+ProcProtocol.*:ProcWorkerPool.*:ProcCampaign.*:
 Metrics.*:TraceWriter.*:TraceSpan.*:CampaignManifest.*:
 CampaignOptions.*
 EOF

@@ -23,8 +23,12 @@
 #ifndef RIGOR_EXEC_CAMPAIGN_OPTIONS_HH
 #define RIGOR_EXEC_CAMPAIGN_OPTIONS_HH
 
+#include <chrono>
+#include <cstdint>
+
 #include "check/campaign_check.hh"
 #include "exec/fault_policy.hh"
+#include "exec/isolation.hh"
 
 namespace rigor::obs
 {
@@ -38,6 +42,11 @@ namespace rigor::exec
 
 class SimulationEngine;
 class ResultJournal;
+
+namespace proc
+{
+class ProcWorkerPool;
+} // namespace proc
 
 /** Execution knobs shared by every experiment driver. */
 struct CampaignOptions
@@ -89,6 +98,35 @@ struct CampaignOptions
      */
     check::DegradationMode degradation =
         check::DegradationMode::Abort;
+
+    /**
+     * Where simulation attempts execute. Thread (the default) runs
+     * them in-process on the engine's workers; Process ships each
+     * attempt to a forked sandbox worker (exec/proc/), so a SIGSEGV,
+     * OOM kill, or non-cooperative hang costs one attempt of one job
+     * instead of the campaign. See exec/isolation.hh.
+     */
+    IsolationMode isolation = IsolationMode::Thread;
+    /** Process isolation: per-worker RLIMIT_AS cap in MiB
+     *  (0 = unlimited). Ignored under thread isolation. */
+    std::uint64_t memLimitMb = 0;
+    /**
+     * Process isolation: hard per-attempt deadline — the pool's
+     * watchdog SIGKILLs a sandbox worker busy past it, no cooperation
+     * needed (the complement of faultPolicy.attemptDeadline, which is
+     * polled cooperatively and still applies inside the sandbox).
+     * Zero disables. Ignored under thread isolation.
+     */
+    std::chrono::milliseconds hardDeadline{0};
+    /**
+     * Optional pre-built sandbox pool (not owned; must outlive the
+     * call). Multi-phase drivers (workflow screen + factorial,
+     * enhancement base + enhanced legs) share one pool here so the
+     * workers fork once; when null and isolation is Process, the
+     * driver builds a private pool per phase. Ignored under thread
+     * isolation.
+     */
+    proc::ProcWorkerPool *procPool = nullptr;
 
     /** Optional metrics sink (not owned): engine counters, per-run
      *  wall-time and throughput histograms, queue/steal stats. */

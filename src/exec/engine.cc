@@ -96,6 +96,19 @@ SimulationEngine::SimulationEngine(const EngineOptions &options)
 }
 
 void
+SimulationEngine::setSimulate(SimulateFn simulate)
+{
+    if (_running.load())
+        throw std::logic_error(
+            "SimulationEngine::setSimulate: a batch is in progress");
+    _simulate = simulate
+                    ? std::move(simulate)
+                    : [](const SimJob &job, const AttemptContext &ctx) {
+                          return simulateJob(job, ctx);
+                      };
+}
+
+void
 SimulationEngine::setMetrics(obs::MetricsRegistry *metrics)
 {
     _metrics = metrics;
@@ -264,6 +277,10 @@ SimulationEngine::runOne(const SimJob &job, std::size_t index,
             failure.kind = FailureKind::Timeout;
             failure.message = e.what();
             retryable = true;
+        } catch (const ResourceExhausted &e) {
+            // The same run would exhaust the same cap again.
+            failure.kind = FailureKind::Resource;
+            failure.message = e.what();
         } catch (const std::exception &e) {
             // A deterministic simulator rethrows the same error on
             // every retry; don't burn attempts on it.
@@ -277,7 +294,7 @@ SimulationEngine::runOne(const SimJob &job, std::size_t index,
         if (_instruments.retries)
             _instruments.retries->add();
         const std::chrono::milliseconds backoff =
-            policy.backoffFor(attempt);
+            policy.backoffFor(attempt, index);
         if (backoff.count() > 0)
             std::this_thread::sleep_for(backoff);
     }

@@ -30,6 +30,14 @@
  * second-level cache — an interrupted campaign resumed against the
  * same journal replays completed runs from disk instead of
  * re-simulating them.
+ *
+ * Isolation: the attempt executor is a swappable SimulateFn
+ * (setSimulate / simulateFn). The default runs attempts in-process on
+ * the worker threads; a campaign that must survive crashes, OOM
+ * kills, and non-cooperative hangs swaps in the dispatch function of
+ * an exec::proc::ProcWorkerPool, which ships each attempt to a forked
+ * sandbox worker and maps its death back into the fault taxonomy
+ * (see exec/isolation.hh).
  */
 
 #ifndef RIGOR_EXEC_ENGINE_HH
@@ -200,6 +208,19 @@ class SimulationEngine
 
     ProgressReporter &progress() { return _progress; }
     const ProgressReporter &progress() const { return _progress; }
+
+    /**
+     * Replace the attempt executor mid-lifetime (empty restores the
+     * default in-process simulator). This is the isolation seam: a
+     * campaign driver swaps in a ProcWorkerPool's dispatch function
+     * to run attempts in sandboxed child processes, then restores the
+     * previous executor when the scope ends. Must not be called while
+     * a batch is running.
+     */
+    void setSimulate(SimulateFn simulate);
+
+    /** The current attempt executor (never empty). */
+    const SimulateFn &simulateFn() const { return _simulate; }
 
     /**
      * Attach (or detach, with nullptr) a crash-safe result journal.

@@ -1,9 +1,14 @@
 #include "exec/fault_injection.hh"
 
 #include <chrono>
+#include <cstdlib>
+#include <memory>
 #include <random>
 #include <stdexcept>
 #include <thread>
+#include <vector>
+
+#include <csignal>
 
 namespace rigor::exec
 {
@@ -18,6 +23,16 @@ toString(FaultKind kind)
         return "permanent";
       case FaultKind::Hang:
         return "hang";
+      case FaultKind::Segfault:
+        return "segfault";
+      case FaultKind::Abort:
+        return "abort";
+      case FaultKind::BusyLoop:
+        return "busy-loop";
+      case FaultKind::AllocBomb:
+        return "alloc-bomb";
+      case FaultKind::KillWorker:
+        return "kill";
     }
     return "unknown";
 }
@@ -106,6 +121,43 @@ FaultInjector::raise(FaultKind kind, const SimJob &job,
             std::this_thread::sleep_for(
                 std::chrono::microseconds(200));
         }
+      case FaultKind::Segfault: {
+        _processFaultsRaised.fetch_add(1, std::memory_order_relaxed);
+        volatile int *null_cell = nullptr;
+        *null_cell = 1; // SIGSEGV
+        break;
+      }
+      case FaultKind::Abort:
+        _processFaultsRaised.fetch_add(1, std::memory_order_relaxed);
+        std::abort();
+      case FaultKind::BusyLoop: {
+        _processFaultsRaised.fetch_add(1, std::memory_order_relaxed);
+        // Deliberately never polls ctx.checkDeadline(): only a hard
+        // kill (the process pool's watchdog) can end this. The
+        // volatile sink keeps the loop observable — an empty
+        // side-effect-free infinite loop is undefined behavior.
+        volatile std::uint64_t sink = 0;
+        for (;;)
+            sink = sink + 1;
+      }
+      case FaultKind::AllocBomb: {
+        _processFaultsRaised.fetch_add(1, std::memory_order_relaxed);
+        // Touch every page so the allocation is real, not a lazy
+        // mapping the kernel never backs; ends in std::bad_alloc
+        // (sandbox RLIMIT_AS) or an OOM kill.
+        std::vector<std::unique_ptr<char[]>> hoard;
+        constexpr std::size_t kChunk = 16u * 1024 * 1024;
+        for (;;) {
+            hoard.push_back(std::make_unique<char[]>(kChunk));
+            char *chunk = hoard.back().get();
+            for (std::size_t at = 0; at < kChunk; at += 4096)
+                chunk[at] = static_cast<char>(at);
+        }
+      }
+      case FaultKind::KillWorker:
+        _processFaultsRaised.fetch_add(1, std::memory_order_relaxed);
+        ::raise(SIGKILL);
+        break;
     }
 }
 

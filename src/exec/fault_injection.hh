@@ -15,6 +15,19 @@
  *    then lets DeadlineExceeded propagate — exactly the path a
  *    wedged real simulation takes through the watchdog.
  *
+ * The process-level kinds drill the sandbox backend (exec/proc/):
+ * they take the executing process down with them, so they are only
+ * survivable under IsolationMode::Process, where the drill lands in a
+ * forked worker and the pool classifies the death:
+ *
+ *  - Segfault: write through a null pointer (SIGSEGV);
+ *  - Abort: std::abort() (SIGABRT);
+ *  - BusyLoop: a non-cooperative infinite loop that never polls the
+ *    attempt deadline — only the watchdog's SIGKILL ends it;
+ *  - AllocBomb: allocate without bound until std::bad_alloc (the
+ *    sandbox memory cap) or the kernel OOM killer intervenes;
+ *  - KillWorker: raise(SIGKILL) — an externally shot worker.
+ *
  * Faults are keyed by batch job index or by a substring of the job's
  * label ("gzip, factorial cell 0"), so a test or a campaign drill
  * can target one (benchmark, design row) cell precisely. planRandom
@@ -45,9 +58,21 @@ enum class FaultKind
     Permanent,
     /** Spin until the attempt deadline trips (DeadlineExceeded). */
     Hang,
+    /** Crash the executing process with SIGSEGV (null write). */
+    Segfault,
+    /** Crash the executing process with SIGABRT (std::abort). */
+    Abort,
+    /** Non-cooperative infinite loop: never polls the deadline, so
+     *  only the process pool's hard-deadline SIGKILL ends it. */
+    BusyLoop,
+    /** Allocate without bound until bad_alloc / the OOM killer. */
+    AllocBomb,
+    /** raise(SIGKILL): the worker is shot from outside. */
+    KillWorker,
 };
 
-/** Display name ("transient" / "permanent" / "hang"). */
+/** Display name ("transient" / "permanent" / "hang" / "segfault" /
+ *  "abort" / "busy-loop" / "alloc-bomb" / "kill"). */
 std::string toString(FaultKind kind);
 
 /** Deterministic (job, attempt) -> fault plan around a SimulateFn. */
@@ -100,6 +125,14 @@ class FaultInjector
     {
         return _hangsRaised.load(std::memory_order_relaxed);
     }
+    /** Process-level drills triggered (Segfault/Abort/BusyLoop/
+     *  AllocBomb/KillWorker). Only observable when the injector runs
+     *  in the counting process — under process isolation the drill
+     *  fires inside a forked worker, whose counter dies with it. */
+    std::uint64_t processFaultsRaised() const
+    {
+        return _processFaultsRaised.load(std::memory_order_relaxed);
+    }
 
     /** Planned fault count (index- plus label-keyed). */
     std::size_t plannedFaults() const
@@ -123,6 +156,7 @@ class FaultInjector
     mutable std::atomic<std::uint64_t> _transientsRaised{0};
     mutable std::atomic<std::uint64_t> _permanentsRaised{0};
     mutable std::atomic<std::uint64_t> _hangsRaised{0};
+    mutable std::atomic<std::uint64_t> _processFaultsRaised{0};
 };
 
 } // namespace rigor::exec

@@ -8,23 +8,30 @@
  * engine instead classifies each attempt's outcome:
  *
  *  - TransientFault — worth retrying (bounded attempts, exponential
- *    backoff);
+ *    backoff with optional seeded jitter);
  *  - DeadlineExceeded — the per-attempt watchdog clock expired; the
  *    attempt is treated like a transient fault (a hang may be load-
  *    induced) until the attempts are exhausted;
+ *  - ResourceExhausted — the attempt ran out of a hard resource cap
+ *    (sandbox memory limit, kernel OOM kill): permanent, since the
+ *    same run would exhaust the same cap again;
  *  - any other std::exception — permanent: a deterministic simulator
  *    rethrows the same error on every retry, so none is made;
  *  - BatchAbort — infrastructure failure (journal I/O, simulated
  *    crash drills): the whole batch stops and the error propagates
  *    unclassified.
  *
- * The deadline is enforced cooperatively: every attempt carries an
- * AttemptContext whose checkDeadline() throws once the clock runs
- * out, and the engine's default simulate function polls it from the
- * trace source every few thousand instructions — so a wedged *real*
- * simulation surfaces as a diagnosable timeout, not a silent hang.
- * (True preemption of non-cooperative code needs process isolation,
- * which is the planned distributed backend's job.)
+ * Deadlines come in two strengths. The cooperative one lives here:
+ * every attempt carries an AttemptContext whose checkDeadline()
+ * throws once the clock runs out, and the engine's default simulate
+ * function polls it from the trace source every few thousand
+ * instructions — so a wedged *real* simulation surfaces as a
+ * diagnosable timeout. Truly non-cooperative code (a tight loop that
+ * never polls, a crash, a runaway allocation) is the job of the
+ * process-isolated backend in exec/proc/: its monitor thread SIGKILLs
+ * a sandbox worker past its hard deadline and the death is classified
+ * back into this same taxonomy, so retries, quarantine, and journal
+ * resume behave identically under either isolation mode.
  */
 
 #ifndef RIGOR_EXEC_FAULT_POLICY_HH
@@ -32,6 +39,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -58,6 +66,18 @@ class DeadlineExceeded : public std::runtime_error
 };
 
 /**
+ * The attempt exhausted a hard resource cap — a sandbox worker hit
+ * its setrlimit memory limit (std::bad_alloc) or was SIGKILLed by the
+ * kernel OOM killer. Deterministic for a given run, so never retried;
+ * derives from PermanentFault but is classified with its own
+ * FailureKind::Resource so quarantine records name the cause.
+ */
+class ResourceExhausted : public PermanentFault
+{
+    using PermanentFault::PermanentFault;
+};
+
+/**
  * Batch-fatal infrastructure failure: not a property of one job, so
  * it is never quarantined or retried — the engine cancels the batch
  * and rethrows it to the caller (e.g. a journal write error, or the
@@ -77,9 +97,12 @@ enum class FailureKind
     Permanent,
     /** The attempt deadline expired (hang converted to timeout). */
     Timeout,
+    /** A hard resource cap was exhausted (memory limit, OOM kill). */
+    Resource,
 };
 
-/** Display name ("transient" / "permanent" / "timeout"). */
+/** Display name ("transient" / "permanent" / "timeout" /
+ *  "resource"). */
 std::string toString(FailureKind kind);
 
 /** Per-job fault-handling knobs of one engine batch. */
@@ -92,6 +115,19 @@ struct FaultPolicy
      * backoffBase * 2^(k-1), so 10ms -> 20ms -> 40ms. Zero disables.
      */
     std::chrono::milliseconds backoffBase{0};
+    /**
+     * Fraction of each backoff randomized away, in [0, 1]. A pool of
+     * workers that all hit the same transient fault (a shared
+     * filesystem hiccup, a saturated host) would otherwise retry in
+     * lockstep and collide again; jitter de-correlates them. The
+     * jitter is a pure function of (backoffSeed, stream, attempt) —
+     * see backoffFor(k, stream) — so a jittered campaign is still
+     * replayable bit for bit. Zero (the default) keeps the exact
+     * exponential schedule.
+     */
+    double backoffJitter = 0.0;
+    /** Seed of the deterministic jitter stream. */
+    std::uint64_t backoffSeed = 0;
     /**
      * Watchdog deadline per attempt; an attempt running past it is
      * interrupted (cooperatively, see AttemptContext) and classified
@@ -110,8 +146,20 @@ struct FaultPolicy
     /** Effective attempt cap (never 0). */
     unsigned attempts() const { return maxAttempts == 0 ? 1 : maxAttempts; }
 
-    /** Backoff before the retry following completed attempt @p k. */
+    /** Backoff before the retry following completed attempt @p k
+     *  (the exact exponential schedule, jitter ignored). */
     std::chrono::milliseconds backoffFor(unsigned k) const;
+
+    /**
+     * Jittered backoff for one retry stream (the engine passes the
+     * job's batch index): the exponential base scaled into
+     * [base * (1 - backoffJitter), base] by a deterministic hash of
+     * (backoffSeed, stream, k). Identical inputs always produce the
+     * identical delay, so seeded campaigns replay exactly; distinct
+     * streams spread a simultaneous failure burst across the window.
+     */
+    std::chrono::milliseconds backoffFor(unsigned k,
+                                         std::uint64_t stream) const;
 };
 
 /**

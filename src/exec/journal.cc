@@ -37,6 +37,21 @@ hasWhitespace(const std::string &s)
 
 } // namespace
 
+bool
+fsyncParentDirectory(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int fd =
+        ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
 std::string
 ResultJournal::recordKey(const RunKey &key)
 {
@@ -73,6 +88,10 @@ ResultJournal::ResultJournal(std::string path)
                 "'");
         }
         ::fsync(_fd);
+        // The file's data is durable, but on a fresh creation the
+        // *name* lives in the directory — fsync that too, or a crash
+        // right here can leave a journal nobody can find to resume.
+        fsyncParentDirectory(_path);
     }
 }
 

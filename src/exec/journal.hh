@@ -49,6 +49,16 @@ class SimulatedCrash : public BatchAbort
     using BatchAbort::BatchAbort;
 };
 
+/**
+ * fsync the directory containing @p path, so a just-created file's
+ * directory entry itself is durable — fsync on the file alone makes
+ * the *data* durable, but a crash before the directory's metadata
+ * reaches disk can lose the name, and with it the whole journal.
+ * No-op (returns false) when the directory cannot be opened; returns
+ * true after a successful directory fsync.
+ */
+bool fsyncParentDirectory(const std::string &path);
+
 /** Append-only, fsync-per-record result journal. */
 class ResultJournal
 {

@@ -1,0 +1,200 @@
+#include "exec/proc/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace rigor::exec::proc
+{
+
+namespace
+{
+
+/** Write exactly @p size bytes, riding out EINTR and short writes. */
+void
+writeAll(int fd, const void *data, std::size_t size)
+{
+    const char *at = static_cast<const char *>(data);
+    while (size > 0) {
+        const ssize_t n = ::write(fd, at, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ProtocolError(std::string("sandbox pipe write: ") +
+                                std::strerror(errno));
+        }
+        at += n;
+        size -= static_cast<std::size_t>(n);
+    }
+}
+
+/**
+ * Read exactly @p size bytes. Returns false on EOF before the first
+ * byte; throws ProtocolError on EOF mid-transfer or a hard error.
+ */
+bool
+readAll(int fd, void *data, std::size_t size)
+{
+    char *at = static_cast<char *>(data);
+    std::size_t got = 0;
+    while (got < size) {
+        const ssize_t n = ::read(fd, at + got, size - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ProtocolError(std::string("sandbox pipe read: ") +
+                                std::strerror(errno));
+        }
+        if (n == 0) {
+            if (got == 0)
+                return false;
+            throw ProtocolError("sandbox pipe closed mid-frame");
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+writeProfile(Writer &out, const trace::WorkloadProfile &p)
+{
+    out.str(p.name);
+    out.pod(p.isFloatingPoint);
+    out.pod(p.paperInstructionsMillions);
+    out.pod(p.fracLoad);
+    out.pod(p.fracStore);
+    out.pod(p.fracIntMult);
+    out.pod(p.fracIntDiv);
+    out.pod(p.fracFpAlu);
+    out.pod(p.fracFpMult);
+    out.pod(p.fracFpDiv);
+    out.pod(p.fracFpSqrt);
+    out.pod(p.avgBlockInstrs);
+    out.pod(p.takenBias);
+    out.pod(p.branchPredictability);
+    out.pod(p.callFraction);
+    out.pod(p.avgCallDepth);
+    out.pod(p.codeFootprintBytes);
+    out.pod(p.hotCodeBytes);
+    out.pod(p.dataFootprintBytes);
+    out.pod(p.hotDataFraction);
+    out.pod(p.fracPointerChase);
+    out.pod(p.fracStrided);
+    out.pod(p.strideBytes);
+    out.pod(p.valueLocality);
+    out.pod(p.avgDependencyDistance);
+}
+
+trace::WorkloadProfile
+readProfile(Reader &in)
+{
+    trace::WorkloadProfile p;
+    p.name = in.str();
+    p.isFloatingPoint = in.pod<bool>();
+    p.paperInstructionsMillions = in.pod<double>();
+    p.fracLoad = in.pod<double>();
+    p.fracStore = in.pod<double>();
+    p.fracIntMult = in.pod<double>();
+    p.fracIntDiv = in.pod<double>();
+    p.fracFpAlu = in.pod<double>();
+    p.fracFpMult = in.pod<double>();
+    p.fracFpDiv = in.pod<double>();
+    p.fracFpSqrt = in.pod<double>();
+    p.avgBlockInstrs = in.pod<double>();
+    p.takenBias = in.pod<double>();
+    p.branchPredictability = in.pod<double>();
+    p.callFraction = in.pod<double>();
+    p.avgCallDepth = in.pod<double>();
+    p.codeFootprintBytes = in.pod<std::uint64_t>();
+    p.hotCodeBytes = in.pod<std::uint64_t>();
+    p.dataFootprintBytes = in.pod<std::uint64_t>();
+    p.hotDataFraction = in.pod<double>();
+    p.fracPointerChase = in.pod<double>();
+    p.fracStrided = in.pod<double>();
+    p.strideBytes = in.pod<std::uint32_t>();
+    p.valueLocality = in.pod<double>();
+    p.avgDependencyDistance = in.pod<double>();
+    return p;
+}
+
+} // namespace
+
+void
+JobRequest::serialize(Writer &out) const
+{
+    writeProfile(out, profile);
+    static_assert(std::is_trivially_copyable_v<sim::ProcessorConfig>,
+                  "ProcessorConfig is memcpy-serialized over the "
+                  "sandbox pipe; a non-trivially-copyable member "
+                  "needs explicit field-by-field handling here");
+    out.pod(config);
+    out.pod(instructions);
+    out.pod(warmupInstructions);
+    out.pod(hasHook);
+    out.str(label);
+    out.pod(jobIndex);
+    out.pod(attempt);
+    out.pod(static_cast<std::int64_t>(deadlineBudget.count()));
+}
+
+JobRequest
+JobRequest::deserialize(Reader &in)
+{
+    JobRequest req;
+    req.profile = readProfile(in);
+    req.config = in.pod<sim::ProcessorConfig>();
+    req.instructions = in.pod<std::uint64_t>();
+    req.warmupInstructions = in.pod<std::uint64_t>();
+    req.hasHook = in.pod<bool>();
+    req.label = in.str();
+    req.jobIndex = in.pod<std::uint64_t>();
+    req.attempt = in.pod<std::uint32_t>();
+    req.deadlineBudget =
+        std::chrono::milliseconds(in.pod<std::int64_t>());
+    return req;
+}
+
+void
+JobResult::serialize(Writer &out) const
+{
+    out.pod(status);
+    out.pod(cycles);
+    out.pod(wallSeconds);
+    out.str(message);
+}
+
+JobResult
+JobResult::deserialize(Reader &in)
+{
+    JobResult result;
+    result.status = in.pod<ResultStatus>();
+    result.cycles = in.pod<double>();
+    result.wallSeconds = in.pod<double>();
+    result.message = in.str();
+    return result;
+}
+
+void
+writeFrame(int fd, const std::vector<std::byte> &payload)
+{
+    const std::uint32_t size =
+        static_cast<std::uint32_t>(payload.size());
+    writeAll(fd, &size, sizeof(size));
+    if (size > 0)
+        writeAll(fd, payload.data(), size);
+}
+
+bool
+readFrame(int fd, std::vector<std::byte> &payload)
+{
+    std::uint32_t size = 0;
+    if (!readAll(fd, &size, sizeof(size)))
+        return false;
+    payload.resize(size);
+    if (size > 0 && !readAll(fd, payload.data(), size))
+        throw ProtocolError("sandbox pipe closed mid-frame");
+    return true;
+}
+
+} // namespace rigor::exec::proc

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Wire protocol between the campaign parent and its sandbox workers.
+ *
+ * One sandbox worker is a forked child connected by two pipes. Every
+ * message is a length-prefixed frame (u32 payload size, then the
+ * payload), written and read with EINTR-safe full-transfer loops —
+ * a short read at a frame boundary is a clean EOF (the peer died or
+ * closed), a short read inside a frame is a torn protocol error.
+ *
+ * Payloads are flat byte buffers built by Writer / consumed by
+ * Reader: trivially-copyable values are memcpy'd (ProcessorConfig is
+ * statically asserted to qualify), strings are u32-length-prefixed,
+ * and WorkloadProfile — which owns a std::string name — is serialized
+ * field by field. Both ends are the same binary (fork, no exec), so
+ * the format never crosses an ABI boundary and needs no versioning.
+ *
+ * A JobRequest ships everything one attempt needs: the workload
+ * profile, the processor configuration, run lengths, the attempt
+ * identity, the cooperative deadline budget, and whether to rebuild
+ * the enhancement hook from the pool's hook factory. A JobResult is
+ * either measured cycles (plus the child's wall time) or a classified
+ * failure message. A worker that cannot even allocate the failure
+ * message (memory-limit exhaustion) skips the result frame and exits
+ * with kExitOom instead.
+ */
+
+#ifndef RIGOR_EXEC_PROC_PROTOCOL_HH
+#define RIGOR_EXEC_PROC_PROTOCOL_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "sim/config.hh"
+#include "trace/workload_profile.hh"
+
+namespace rigor::exec::proc
+{
+
+/** A torn frame or hard pipe I/O error (not a clean peer EOF). */
+class ProtocolError : public std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Exit code of a sandbox worker that hit std::bad_alloc so hard it
+ * could not allocate a result frame: the parent classifies it as
+ * ResourceExhausted without needing any payload.
+ */
+inline constexpr int kExitOom = 42;
+
+/** How one attempt ended inside the sandbox worker. */
+enum class ResultStatus : std::uint8_t
+{
+    Ok = 0,
+    Transient = 1,
+    Deadline = 2,
+    Resource = 3,
+    Permanent = 4,
+};
+
+/** Append-only payload builder. */
+class Writer
+{
+  public:
+    template <typename T>
+    void pod(const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const std::size_t at = _bytes.size();
+        _bytes.resize(at + sizeof(T));
+        std::memcpy(_bytes.data() + at, &value, sizeof(T));
+    }
+
+    void str(const std::string &value)
+    {
+        pod(static_cast<std::uint32_t>(value.size()));
+        const std::size_t at = _bytes.size();
+        _bytes.resize(at + value.size());
+        std::memcpy(_bytes.data() + at, value.data(), value.size());
+    }
+
+    const std::vector<std::byte> &bytes() const { return _bytes; }
+
+  private:
+    std::vector<std::byte> _bytes;
+};
+
+/** Bounds-checked payload consumer; throws ProtocolError on
+ *  truncation. */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<std::byte> &bytes)
+        : _bytes(bytes)
+    {
+    }
+
+    template <typename T>
+    T pod()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        need(sizeof(T));
+        T value;
+        std::memcpy(&value, _bytes.data() + _at, sizeof(T));
+        _at += sizeof(T);
+        return value;
+    }
+
+    std::string str()
+    {
+        const std::uint32_t size = pod<std::uint32_t>();
+        need(size);
+        std::string value(
+            reinterpret_cast<const char *>(_bytes.data() + _at), size);
+        _at += size;
+        return value;
+    }
+
+    bool done() const { return _at == _bytes.size(); }
+
+  private:
+    void need(std::size_t n) const
+    {
+        if (_at + n > _bytes.size())
+            throw ProtocolError("truncated sandbox protocol payload");
+    }
+
+    const std::vector<std::byte> &_bytes;
+    std::size_t _at = 0;
+};
+
+/** One attempt shipped to a sandbox worker. */
+struct JobRequest
+{
+    trace::WorkloadProfile profile;
+    sim::ProcessorConfig config;
+    std::uint64_t instructions = 0;
+    std::uint64_t warmupInstructions = 0;
+    /** Rebuild the enhancement hook via the pool's hook factory. */
+    bool hasHook = false;
+    /** Failure-context label ("gzip, design row 17"); shipped so
+     *  label-keyed fault drills match inside the sandbox too. */
+    std::string label;
+    /** Attempt identity (mirrors AttemptContext). */
+    std::uint64_t jobIndex = 0;
+    std::uint32_t attempt = 1;
+    /** Cooperative per-attempt deadline; zero = none. */
+    std::chrono::milliseconds deadlineBudget{0};
+
+    void serialize(Writer &out) const;
+    static JobRequest deserialize(Reader &in);
+};
+
+/** One attempt's outcome shipped back to the parent. */
+struct JobResult
+{
+    ResultStatus status = ResultStatus::Permanent;
+    /** Measured cycles; meaningful only for Ok. */
+    double cycles = 0.0;
+    /** Child-side wall seconds of the attempt. */
+    double wallSeconds = 0.0;
+    /** Failure message; empty for Ok. */
+    std::string message;
+
+    void serialize(Writer &out) const;
+    static JobResult deserialize(Reader &in);
+};
+
+/**
+ * Write one frame (u32 length + payload); throws ProtocolError on any
+ * I/O failure, including EPIPE from a dead peer (the pool ignores
+ * SIGPIPE so the error surfaces here instead of killing the process).
+ */
+void writeFrame(int fd, const std::vector<std::byte> &payload);
+
+/**
+ * Read one frame into @p payload. Returns false on clean EOF at a
+ * frame boundary (peer closed or died); throws ProtocolError on a
+ * torn frame or hard I/O error.
+ */
+bool readFrame(int fd, std::vector<std::byte> &payload);
+
+} // namespace rigor::exec::proc
+
+#endif // RIGOR_EXEC_PROC_PROTOCOL_HH

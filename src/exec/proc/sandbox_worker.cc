@@ -1,0 +1,213 @@
+#include "exec/proc/sandbox_worker.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+#include <dirent.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include "exec/fault_policy.hh"
+
+namespace rigor::exec::proc
+{
+
+namespace
+{
+
+/**
+ * Close every inherited descriptor except stdio and the child's own
+ * two pipe ends. Scans /proc/self/fd; the scan's own directory fd is
+ * skipped and closed by closedir. Without this sweep a child forked
+ * while siblings exist keeps their result-pipe write ends (and the
+ * journal fd, trace files, ...) open, so a sibling crash would never
+ * surface as EOF in the parent.
+ */
+void
+closeInheritedFds(int keep_a, int keep_b)
+{
+    DIR *dir = ::opendir("/proc/self/fd");
+    if (dir == nullptr)
+        return; // best effort; /proc is always there on target hosts
+    const int dir_fd = ::dirfd(dir);
+    while (const dirent *entry = ::readdir(dir)) {
+        char *end = nullptr;
+        const long fd = std::strtol(entry->d_name, &end, 10);
+        if (end == entry->d_name || *end != '\0')
+            continue;
+        if (fd <= 2 || fd == dir_fd || fd == keep_a || fd == keep_b)
+            continue;
+        ::close(static_cast<int>(fd));
+    }
+    ::closedir(dir);
+}
+
+void
+applyLimit(int resource, std::uint64_t value)
+{
+    rlimit limit;
+    limit.rlim_cur = static_cast<rlim_t>(value);
+    limit.rlim_max = static_cast<rlim_t>(value);
+    ::setrlimit(resource, &limit); // best effort: a denied cap only
+                                   // loses the sandbox's backstop
+}
+
+void
+applyLimits(const SandboxContext &context)
+{
+    if (context.memLimitMb > 0)
+        applyLimit(RLIMIT_AS, context.memLimitMb * 1024 * 1024);
+    if (context.cpuLimitSeconds > 0)
+        applyLimit(RLIMIT_CPU, context.cpuLimitSeconds);
+}
+
+} // namespace
+
+int
+runSandboxChild(int request_fd, int result_fd,
+                const SandboxContext &context)
+{
+    const SimulateFn simulate =
+        context.simulate
+            ? context.simulate
+            : [](const SimJob &job, const AttemptContext &ctx) {
+                  return SimulationEngine::simulateJob(job, ctx);
+              };
+
+    std::vector<std::byte> frame;
+    for (;;) {
+        try {
+            if (!readFrame(request_fd, frame))
+                return 0; // parent closed the request pipe: shutdown
+        } catch (const ProtocolError &) {
+            return 1;
+        }
+
+        Reader reader(frame);
+        const JobRequest request = JobRequest::deserialize(reader);
+
+        SimJob job;
+        job.workload = &request.profile;
+        job.config = request.config;
+        job.instructions = request.instructions;
+        job.warmupInstructions = request.warmupInstructions;
+        job.label = !request.label.empty() ? request.label
+                                           : request.profile.name;
+        if (request.hasHook && context.hookFactory) {
+            const SandboxHookFactory &factory = context.hookFactory;
+            const trace::WorkloadProfile &profile = request.profile;
+            job.makeHook = [&factory, &profile] {
+                return factory(profile);
+            };
+        }
+
+        AttemptContext ctx;
+        ctx.jobIndex = static_cast<std::size_t>(request.jobIndex);
+        ctx.attempt = request.attempt;
+        ctx.deadlineBudget = request.deadlineBudget;
+        if (ctx.hasDeadline())
+            ctx.deadline = std::chrono::steady_clock::now() +
+                           request.deadlineBudget;
+
+        JobResult result;
+        const auto start = std::chrono::steady_clock::now();
+        try {
+            result.cycles = simulate(job, ctx);
+            result.status = ResultStatus::Ok;
+        } catch (const std::bad_alloc &) {
+            // The memory cap is exhausted; composing a message could
+            // throw again, so report through the exit code instead.
+            std::_Exit(kExitOom);
+        } catch (const TransientFault &e) {
+            result.status = ResultStatus::Transient;
+            result.message = e.what();
+        } catch (const DeadlineExceeded &e) {
+            result.status = ResultStatus::Deadline;
+            result.message = e.what();
+        } catch (const ResourceExhausted &e) {
+            result.status = ResultStatus::Resource;
+            result.message = e.what();
+        } catch (const std::exception &e) {
+            result.status = ResultStatus::Permanent;
+            result.message = e.what();
+        }
+        result.wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+
+        Writer writer;
+        result.serialize(writer);
+        try {
+            writeFrame(result_fd, writer.bytes());
+        } catch (const ProtocolError &) {
+            return 1; // parent is gone; nothing left to report to
+        }
+    }
+}
+
+SandboxWorker
+spawnSandboxWorker(const SandboxContext &context)
+{
+    int request_pipe[2];
+    int result_pipe[2];
+    if (::pipe(request_pipe) != 0)
+        throw std::runtime_error(
+            std::string("sandbox request pipe: ") +
+            std::strerror(errno));
+    if (::pipe(result_pipe) != 0) {
+        ::close(request_pipe[0]);
+        ::close(request_pipe[1]);
+        throw std::runtime_error(
+            std::string("sandbox result pipe: ") +
+            std::strerror(errno));
+    }
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(request_pipe[0]);
+        ::close(request_pipe[1]);
+        ::close(result_pipe[0]);
+        ::close(result_pipe[1]);
+        throw std::runtime_error(std::string("sandbox fork: ") +
+                                 std::strerror(errno));
+    }
+
+    if (pid == 0) {
+        ::close(request_pipe[1]);
+        ::close(result_pipe[0]);
+        closeInheritedFds(request_pipe[0], result_pipe[1]);
+        applyLimits(context);
+        const int rc =
+            runSandboxChild(request_pipe[0], result_pipe[1], context);
+        std::_Exit(rc);
+    }
+
+    ::close(request_pipe[0]);
+    ::close(result_pipe[1]);
+    SandboxWorker worker;
+    worker.pid = pid;
+    worker.requestFd = request_pipe[1];
+    worker.resultFd = result_pipe[0];
+    return worker;
+}
+
+void
+closeWorkerPipes(SandboxWorker &worker)
+{
+    if (worker.requestFd >= 0) {
+        ::close(worker.requestFd);
+        worker.requestFd = -1;
+    }
+    if (worker.resultFd >= 0) {
+        ::close(worker.resultFd);
+        worker.resultFd = -1;
+    }
+}
+
+} // namespace rigor::exec::proc

@@ -21,9 +21,12 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "doe/design_matrix.hh"
 #include "exec/campaign_options.hh"
 #include "exec/engine.hh"
+#include "exec/proc/worker_pool.hh"
 #include "obs/json.hh"
 #include "obs/manifest.hh"
 #include "obs/metrics.hh"
@@ -108,6 +111,93 @@ class EngineSinkScope
     obs::TraceWriter *_previousTrace;
     exec::JobObserver _previousObserver;
 };
+
+/**
+ * RAII: under IsolationMode::Process, swap the engine's attempt
+ * executor for a sandbox pool's dispatch function, restoring the
+ * previous executor on destruction (throw-safe). The engine's
+ * *current* executor — the real simulator, a test stub, or a
+ * fault-injector wrapper — is captured first and becomes the
+ * executor *inside* the forked workers, so injected faults drill the
+ * sandbox rather than the parent. Uses campaign.procPool when the
+ * caller supplies a shared pool (multi-phase drivers); otherwise
+ * builds a private pool sized to the engine's thread count. Under
+ * thread isolation this scope is a no-op.
+ */
+class IsolationScope
+{
+  public:
+    IsolationScope(exec::SimulationEngine &engine,
+                   const exec::CampaignOptions &campaign,
+                   exec::proc::SandboxHookFactory hook_factory = {})
+        : _engine(engine)
+    {
+        if (campaign.isolation != exec::IsolationMode::Process)
+            return;
+        _previous = engine.simulateFn();
+        exec::proc::ProcWorkerPool *pool = campaign.procPool;
+        if (pool == nullptr) {
+            exec::proc::ProcWorkerPool::Options options;
+            options.workers = engine.threads();
+            options.simulate = _previous;
+            options.hookFactory = std::move(hook_factory);
+            options.memLimitMb = campaign.memLimitMb;
+            options.hardDeadline = campaign.hardDeadline;
+            _owned = std::make_unique<exec::proc::ProcWorkerPool>(
+                std::move(options));
+            pool = _owned.get();
+            pool->setMetrics(campaign.metrics);
+            pool->setTraceWriter(campaign.trace);
+        }
+        engine.setSimulate(pool->simulateFn());
+        _swapped = true;
+    }
+
+    ~IsolationScope()
+    {
+        if (_swapped)
+            _engine.setSimulate(std::move(_previous));
+        // _owned (if any) is destroyed after the engine stops
+        // dispatching through it.
+    }
+
+    IsolationScope(const IsolationScope &) = delete;
+    IsolationScope &operator=(const IsolationScope &) = delete;
+
+  private:
+    exec::SimulationEngine &_engine;
+    exec::SimulateFn _previous;
+    std::unique_ptr<exec::proc::ProcWorkerPool> _owned;
+    bool _swapped = false;
+};
+
+/**
+ * Build the shared sandbox pool for a multi-phase driver (workflow,
+ * enhancement analysis): captures the engine's current executor as
+ * the in-child executor, sized to the engine's threads, with the
+ * campaign's caps and sinks attached. Returns null under thread
+ * isolation or when the caller already supplied campaign.procPool.
+ */
+inline std::unique_ptr<exec::proc::ProcWorkerPool>
+makeSharedProcPool(exec::SimulationEngine &engine,
+                   const exec::CampaignOptions &campaign,
+                   exec::proc::SandboxHookFactory hook_factory = {})
+{
+    if (campaign.isolation != exec::IsolationMode::Process ||
+        campaign.procPool != nullptr)
+        return nullptr;
+    exec::proc::ProcWorkerPool::Options options;
+    options.workers = engine.threads();
+    options.simulate = engine.simulateFn();
+    options.hookFactory = std::move(hook_factory);
+    options.memLimitMb = campaign.memLimitMb;
+    options.hardDeadline = campaign.hardDeadline;
+    auto pool = std::make_unique<exec::proc::ProcWorkerPool>(
+        std::move(options));
+    pool->setMetrics(campaign.metrics);
+    pool->setTraceWriter(campaign.trace);
+    return pool;
+}
 
 /**
  * RAII driver phase: a TraceSpan on lane 0 plus a manifest "phase"

@@ -118,7 +118,9 @@ runEnhancementExperiment(
         throw std::invalid_argument(
             "runEnhancementExperiment: hook_factory is required");
 
-    const exec::CampaignOptions &campaign = options.campaign;
+    // Mutable copy: under process isolation both legs share one
+    // sandbox pool injected below.
+    exec::CampaignOptions campaign = options.campaign;
 
     // Pre-flight the shared ingredients (workloads, run lengths,
     // parameter space) up front so a bad recipe is rejected before
@@ -141,6 +143,14 @@ runEnhancementExperiment(
     exec::SimulationEngine &engine =
         campaign.engine ? *campaign.engine : local_engine;
 
+    // One sandbox pool for both legs under process isolation; built
+    // with the hook factory so the enhanced leg's children can
+    // rebuild the enhancement hook from the shipped profile.
+    const std::unique_ptr<exec::proc::ProcWorkerPool> shared_pool =
+        detail::makeSharedProcPool(engine, campaign, hook_factory);
+    if (shared_pool != nullptr)
+        campaign.procPool = shared_pool.get();
+
     EnhancementExperimentResult result;
 
     {
@@ -149,6 +159,7 @@ runEnhancementExperiment(
         base_opts.hookFactory = {};
         base_opts.hookId.clear();
         base_opts.experimentName = "enhancement_base";
+        base_opts.campaign = campaign;
         base_opts.campaign.engine = &engine;
         result.base = runPbExperiment(workloads, base_opts);
     }
@@ -159,6 +170,7 @@ runEnhancementExperiment(
         enhanced_opts.hookFactory = hook_factory;
         enhanced_opts.hookId = hook_id;
         enhanced_opts.experimentName = "enhancement_enhanced";
+        enhanced_opts.campaign = campaign;
         enhanced_opts.campaign.engine = &engine;
         result.enhanced = runPbExperiment(workloads, enhanced_opts);
     }

@@ -206,6 +206,11 @@ runPbExperiment(std::span<const trace::WorkloadProfile> workloads,
         engine, campaign,
         detail::manifestCellObserver(campaign.manifest,
                                      result.benchmarks, num_runs));
+    // Under process isolation, route each attempt to a sandbox
+    // worker; the engine's current executor (real simulator or an
+    // injector wrapper) runs inside the forked children.
+    detail::IsolationScope isolation(engine, campaign,
+                                     options.hookFactory);
     const exec::ProgressSnapshot progress_before =
         engine.progress().snapshot();
 

@@ -80,7 +80,9 @@ runRecommendedWorkflow(
             "[1, 12]");
 
     WorkflowResult result;
-    const exec::CampaignOptions &campaign = options.campaign;
+    // Mutable copy: under process isolation the workflow injects a
+    // shared sandbox pool below, so both phases reuse the workers.
+    exec::CampaignOptions campaign = options.campaign;
 
     // One engine for both simulation phases: the screen's pool is
     // reused by the step-3 factorial, and any configuration the
@@ -93,6 +95,13 @@ runRecommendedWorkflow(
     exec::SimulationEngine local_engine(engine_opts);
     exec::SimulationEngine &engine =
         campaign.engine ? *campaign.engine : local_engine;
+
+    // Under process isolation, fork the sandbox workers once and
+    // share them across the screen and the factorial.
+    const std::unique_ptr<exec::proc::ProcWorkerPool> shared_pool =
+        detail::makeSharedProcPool(engine, campaign);
+    if (shared_pool != nullptr)
+        campaign.procPool = shared_pool.get();
 
     // ----- Step 1: PB screening -----
     PbExperimentOptions screen_opts;
@@ -228,6 +237,7 @@ runRecommendedWorkflow(
     try {
         detail::EngineSinkScope sinks(engine, campaign,
                                       std::move(factorial_observer));
+        detail::IsolationScope isolation(engine, campaign);
         detail::PhaseScope phase(campaign, "factorial");
         phase.span().arg("cells", std::to_string(num_cells));
         phase.span().arg("jobs", std::to_string(jobs.size()));

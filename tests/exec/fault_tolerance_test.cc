@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -74,6 +75,69 @@ TEST(FaultPolicy, BackoffGrowsExponentially)
 
     policy.backoffBase = std::chrono::milliseconds(0);
     EXPECT_EQ(policy.backoffFor(5).count(), 0);
+}
+
+TEST(FaultPolicy, ZeroJitterKeepsTheExactExponentialSchedule)
+{
+    exec::FaultPolicy policy;
+    policy.backoffBase = std::chrono::milliseconds(10);
+    policy.backoffSeed = 42;
+    // backoffJitter defaults to 0: the streamed overload must equal
+    // the exact schedule for every stream.
+    for (std::uint64_t stream = 0; stream < 8; ++stream)
+        for (unsigned k = 1; k <= 4; ++k)
+            EXPECT_EQ(policy.backoffFor(k, stream),
+                      policy.backoffFor(k))
+                << "stream " << stream << " k " << k;
+}
+
+TEST(FaultPolicy, JitterStaysInsideTheWindowAndReplaysExactly)
+{
+    exec::FaultPolicy policy;
+    policy.backoffBase = std::chrono::milliseconds(100);
+    policy.backoffJitter = 0.5;
+    policy.backoffSeed = 7;
+
+    for (unsigned k = 1; k <= 4; ++k) {
+        const auto base = policy.backoffFor(k);
+        for (std::uint64_t stream = 0; stream < 32; ++stream) {
+            const auto jittered = policy.backoffFor(k, stream);
+            // Scaled into [base * (1 - jitter), base].
+            EXPECT_GE(jittered.count(), base.count() / 2)
+                << "stream " << stream << " k " << k;
+            EXPECT_LE(jittered.count(), base.count())
+                << "stream " << stream << " k " << k;
+            // Deterministic: the same (seed, stream, k) always
+            // produces the identical delay — jittered campaigns
+            // replay bit for bit.
+            EXPECT_EQ(jittered, policy.backoffFor(k, stream));
+        }
+    }
+}
+
+TEST(FaultPolicy, JitterDecorrelatesRetryStreams)
+{
+    exec::FaultPolicy policy;
+    policy.backoffBase = std::chrono::milliseconds(1000);
+    policy.backoffJitter = 1.0;
+    policy.backoffSeed = 1234;
+
+    // A burst of workers failing together must not retry in
+    // lockstep: across many streams the jittered delays spread out
+    // instead of collapsing onto one value.
+    std::set<std::chrono::milliseconds::rep> distinct;
+    for (std::uint64_t stream = 0; stream < 64; ++stream)
+        distinct.insert(policy.backoffFor(1, stream).count());
+    EXPECT_GT(distinct.size(), 8u);
+
+    // A different seed yields a different spread (same streams).
+    exec::FaultPolicy reseeded = policy;
+    reseeded.backoffSeed = 4321;
+    bool any_differ = false;
+    for (std::uint64_t stream = 0; stream < 64; ++stream)
+        any_differ |= policy.backoffFor(1, stream) !=
+                      reseeded.backoffFor(1, stream);
+    EXPECT_TRUE(any_differ);
 }
 
 TEST(AttemptContext, CheckDeadlineThrowsOnceExpired)

@@ -225,3 +225,34 @@ TEST(ResultJournal, PartialJournalResumesOnlyRemainingJobs)
     EXPECT_EQ(journal.size(), jobs.size())
         << "newly simulated runs were appended for the next resume";
 }
+
+// ----- Directory-entry durability of a fresh journal -----
+
+TEST(ResultJournal, FsyncParentDirectoryHandlesRealAndBogusPaths)
+{
+    // A real directory (gtest's temp dir) syncs fine.
+    EXPECT_TRUE(exec::fsyncParentDirectory(journalPath("fsync_probe")));
+    // A relative bare filename syncs ".".
+    EXPECT_TRUE(exec::fsyncParentDirectory("bare_filename.jsonl"));
+    // A missing parent directory is reported, not fatal.
+    EXPECT_FALSE(exec::fsyncParentDirectory(
+        "/nonexistent-rigor-dir-12345/journal.bin"));
+}
+
+TEST(ResultJournal, FreshJournalDurablyCreatesItsDirectoryEntry)
+{
+    // Regression shape: creating a journal must leave a loadable,
+    // version-headed file behind even before the first append — the
+    // constructor fsyncs the header *and* the parent directory so a
+    // crash immediately after creation cannot lose the name.
+    const std::string path = journalPath("journal_fresh_durable");
+    {
+        exec::ResultJournal journal(path);
+        EXPECT_EQ(journal.size(), 0u);
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "journal file vanished after creation";
+    exec::ResultJournal reopened(path);
+    EXPECT_EQ(reopened.loadedRecords(), 0u);
+    EXPECT_EQ(reopened.tornRecords(), 0u);
+}

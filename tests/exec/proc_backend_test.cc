@@ -1,0 +1,465 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/engine.hh"
+#include "exec/fault_injection.hh"
+#include "exec/proc/protocol.hh"
+#include "exec/proc/worker_pool.hh"
+#include "methodology/parameter_space.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_span.hh"
+#include "trace/workloads.hh"
+
+namespace doe = rigor::doe;
+namespace exec = rigor::exec;
+namespace obs = rigor::obs;
+namespace proc = rigor::exec::proc;
+namespace methodology = rigor::methodology;
+namespace trace = rigor::trace;
+
+// Sanitizers change how a sandboxed crash surfaces: ASan intercepts
+// SIGSEGV (the child exits with a report instead of dying signaled)
+// and its shadow memory is incompatible with RLIMIT_AS. Tests that
+// assert the *un-instrumented* kernel-level behavior skip under them;
+// the taxonomy itself is still covered by the abort/hang tests.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define RIGOR_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define RIGOR_UNDER_SANITIZER 1
+#endif
+#endif
+
+namespace
+{
+
+/** A distinct, cacheable sandbox job. */
+exec::SimJob
+sandboxJob(const trace::WorkloadProfile &workload, std::size_t index,
+           const std::string &label)
+{
+    exec::SimJob job;
+    job.workload = &workload;
+    job.config = methodology::uniformConfig(doe::Level::Low);
+    job.config.robEntries = static_cast<unsigned>(16 + index);
+    job.instructions = 100;
+    job.label = label;
+    return job;
+}
+
+exec::AttemptContext
+attempt(std::size_t job_index, unsigned attempt_number = 1)
+{
+    exec::AttemptContext ctx;
+    ctx.jobIndex = job_index;
+    ctx.attempt = attempt_number;
+    return ctx;
+}
+
+/**
+ * The in-child executor for the drills below, keyed entirely by the
+ * job's label (shipped over the wire, so this proves label fidelity
+ * too). "ok" labels return a jobIndex-derived value.
+ */
+exec::SimulateFn
+drillStub()
+{
+    return [](const exec::SimJob &job,
+              const exec::AttemptContext &ctx) -> double {
+        if (job.label == "throw-transient")
+            throw exec::TransientFault("injected transient");
+        if (job.label == "throw-deadline")
+            throw exec::DeadlineExceeded("injected deadline");
+        if (job.label == "throw-resource")
+            throw exec::ResourceExhausted("injected resource");
+        if (job.label == "throw-permanent")
+            throw std::runtime_error("injected permanent");
+        if (job.label == "crash-abort")
+            std::abort();
+        if (job.label == "crash-segv") {
+            volatile int *null = nullptr;
+            *null = 1; // SIGSEGV
+        }
+        if (job.label == "busy-loop" ||
+            (job.label == "hang-once" && ctx.attempt == 1)) {
+            volatile std::uint64_t sink = 0;
+            for (;;)
+                sink = sink + 1;
+        }
+        if (job.label == "alloc-bomb") {
+            std::vector<std::unique_ptr<char[]>> hoard;
+            for (;;) {
+                constexpr std::size_t chunk = 16u << 20;
+                hoard.push_back(std::make_unique<char[]>(chunk));
+                for (std::size_t i = 0; i < chunk; i += 4096)
+                    hoard.back()[i] = 1;
+            }
+        }
+        return 1000.0 + static_cast<double>(ctx.jobIndex);
+    };
+}
+
+proc::ProcWorkerPool::Options
+poolOptions(unsigned workers)
+{
+    proc::ProcWorkerPool::Options options;
+    options.workers = workers;
+    options.simulate = drillStub();
+    // A fast heartbeat keeps watchdog tests quick.
+    options.heartbeat = std::chrono::milliseconds(5);
+    return options;
+}
+
+} // namespace
+
+// ----- Wire protocol -----
+
+TEST(ProcProtocol, JobRequestRoundTripsEveryField)
+{
+    proc::JobRequest request;
+    request.profile = trace::workloadByName("mcf");
+    request.config = methodology::uniformConfig(doe::Level::High);
+    request.instructions = 12345;
+    request.warmupInstructions = 678;
+    request.hasHook = true;
+    request.label = "mcf, design row 17";
+    request.jobIndex = 105;
+    request.attempt = 3;
+    request.deadlineBudget = std::chrono::milliseconds(250);
+
+    proc::Writer writer;
+    request.serialize(writer);
+    proc::Reader reader(writer.bytes());
+    const proc::JobRequest got = proc::JobRequest::deserialize(reader);
+    EXPECT_TRUE(reader.done()) << "payload must be fully consumed";
+
+    EXPECT_EQ(got.profile.name, "mcf");
+    EXPECT_EQ(got.profile.isFloatingPoint,
+              request.profile.isFloatingPoint);
+    EXPECT_DOUBLE_EQ(got.profile.fracLoad, request.profile.fracLoad);
+    EXPECT_EQ(got.config.hash(), request.config.hash())
+        << "the run-cache identity must survive the wire";
+    EXPECT_EQ(got.instructions, 12345u);
+    EXPECT_EQ(got.warmupInstructions, 678u);
+    EXPECT_TRUE(got.hasHook);
+    EXPECT_EQ(got.label, "mcf, design row 17");
+    EXPECT_EQ(got.jobIndex, 105u);
+    EXPECT_EQ(got.attempt, 3u);
+    EXPECT_EQ(got.deadlineBudget.count(), 250);
+}
+
+TEST(ProcProtocol, JobResultRoundTripsAndRejectsTruncation)
+{
+    proc::JobResult result;
+    result.status = proc::ResultStatus::Deadline;
+    result.cycles = 1234.5;
+    result.wallSeconds = 0.125;
+    result.message = "attempt deadline of 50 ms exceeded";
+
+    proc::Writer writer;
+    result.serialize(writer);
+    proc::Reader reader(writer.bytes());
+    const proc::JobResult got = proc::JobResult::deserialize(reader);
+    EXPECT_EQ(got.status, proc::ResultStatus::Deadline);
+    EXPECT_DOUBLE_EQ(got.cycles, 1234.5);
+    EXPECT_DOUBLE_EQ(got.wallSeconds, 0.125);
+    EXPECT_EQ(got.message, result.message);
+
+    // A payload cut mid-field is a torn frame, not garbage data.
+    std::vector<std::byte> torn(writer.bytes().begin(),
+                                writer.bytes().end() - 4);
+    proc::Reader torn_reader(torn);
+    EXPECT_THROW(proc::JobResult::deserialize(torn_reader),
+                 proc::ProtocolError);
+}
+
+// ----- The pool: happy path -----
+
+TEST(ProcWorkerPool, ExecutesJobsInsideSandboxWorkers)
+{
+    const trace::WorkloadProfile &w = trace::workloadByName("gzip");
+    proc::ProcWorkerPool pool(poolOptions(2));
+    EXPECT_EQ(pool.workers(), 2u);
+
+    for (std::size_t i = 0; i < 8; ++i) {
+        const exec::SimJob job = sandboxJob(w, i, "ok");
+        EXPECT_DOUBLE_EQ(pool.execute(job, attempt(i)),
+                         1000.0 + static_cast<double>(i));
+    }
+    EXPECT_EQ(pool.respawns(), 0u);
+    EXPECT_EQ(pool.sigkills(), 0u);
+    EXPECT_EQ(pool.oomKills(), 0u);
+}
+
+TEST(ProcWorkerPool, ChildThrownFaultsKeepTheirTaxonomy)
+{
+    const trace::WorkloadProfile &w = trace::workloadByName("gzip");
+    proc::ProcWorkerPool pool(poolOptions(1));
+
+    EXPECT_THROW(
+        pool.execute(sandboxJob(w, 0, "throw-transient"), attempt(0)),
+        exec::TransientFault);
+    EXPECT_THROW(
+        pool.execute(sandboxJob(w, 1, "throw-deadline"), attempt(1)),
+        exec::DeadlineExceeded);
+    EXPECT_THROW(
+        pool.execute(sandboxJob(w, 2, "throw-resource"), attempt(2)),
+        exec::ResourceExhausted);
+    EXPECT_THROW(
+        pool.execute(sandboxJob(w, 3, "throw-permanent"), attempt(3)),
+        exec::PermanentFault);
+    // Clean throws never kill the worker: no respawns.
+    EXPECT_EQ(pool.respawns(), 0u);
+    EXPECT_DOUBLE_EQ(pool.execute(sandboxJob(w, 4, "ok"), attempt(4)),
+                     1004.0);
+}
+
+// ----- Crash classification -----
+
+TEST(ProcWorkerPool, AbortClassifiedAsPermanentWithRunKey)
+{
+    const trace::WorkloadProfile &w = trace::workloadByName("gzip");
+    proc::ProcWorkerPool pool(poolOptions(1));
+
+    const exec::SimJob job = sandboxJob(w, 0, "crash-abort");
+    try {
+        pool.execute(job, attempt(0));
+        FAIL() << "expected PermanentFault";
+    } catch (const exec::PermanentFault &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("SIGABRT"), std::string::npos) << what;
+        EXPECT_NE(what.find("crash-abort"), std::string::npos) << what;
+        EXPECT_NE(what.find("run key"), std::string::npos)
+            << "the quarantined cell must be traceable: " << what;
+    }
+    // The dead worker was replaced before the fault was thrown:
+    // the pool still serves.
+    EXPECT_EQ(pool.respawns(), 1u);
+    EXPECT_DOUBLE_EQ(pool.execute(sandboxJob(w, 1, "ok"), attempt(1)),
+                     1001.0);
+}
+
+TEST(ProcWorkerPool, SegfaultClassifiedAsPermanentCrash)
+{
+#ifdef RIGOR_UNDER_SANITIZER
+    GTEST_SKIP() << "sanitizers intercept SIGSEGV in the child";
+#else
+    const trace::WorkloadProfile &w = trace::workloadByName("gzip");
+    proc::ProcWorkerPool pool(poolOptions(1));
+
+    try {
+        pool.execute(sandboxJob(w, 0, "crash-segv"), attempt(0));
+        FAIL() << "expected PermanentFault";
+    } catch (const exec::PermanentFault &e) {
+        EXPECT_NE(std::string(e.what()).find("SIGSEGV"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_EQ(pool.respawns(), 1u);
+    EXPECT_DOUBLE_EQ(pool.execute(sandboxJob(w, 1, "ok"), attempt(1)),
+                     1001.0);
+#endif
+}
+
+TEST(ProcWorkerPool, WatchdogSigkillsNonCooperativeHang)
+{
+    const trace::WorkloadProfile &w = trace::workloadByName("gzip");
+    proc::ProcWorkerPool::Options options = poolOptions(1);
+    options.hardDeadline = std::chrono::milliseconds(100);
+    proc::ProcWorkerPool pool(std::move(options));
+
+    try {
+        pool.execute(sandboxJob(w, 0, "busy-loop"), attempt(0));
+        FAIL() << "expected DeadlineExceeded";
+    } catch (const exec::DeadlineExceeded &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("hard deadline"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("SIGKILL"), std::string::npos) << what;
+    }
+    EXPECT_EQ(pool.sigkills(), 1u);
+    EXPECT_EQ(pool.respawns(), 1u);
+    EXPECT_EQ(pool.oomKills(), 0u)
+        << "a watchdog SIGKILL must not be misread as an OOM kill";
+    EXPECT_DOUBLE_EQ(pool.execute(sandboxJob(w, 1, "ok"), attempt(1)),
+                     1001.0);
+}
+
+TEST(ProcWorkerPool, MemoryLimitClassifiedAsResourceExhausted)
+{
+#ifdef RIGOR_UNDER_SANITIZER
+    GTEST_SKIP() << "RLIMIT_AS is incompatible with sanitizer shadow";
+#else
+    const trace::WorkloadProfile &w = trace::workloadByName("gzip");
+    proc::ProcWorkerPool::Options options = poolOptions(1);
+    options.memLimitMb = 512;
+    proc::ProcWorkerPool pool(std::move(options));
+
+    try {
+        pool.execute(sandboxJob(w, 0, "alloc-bomb"), attempt(0));
+        FAIL() << "expected ResourceExhausted";
+    } catch (const exec::ResourceExhausted &e) {
+        EXPECT_NE(std::string(e.what()).find("memory limit"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_EQ(pool.oomKills(), 1u);
+    EXPECT_EQ(pool.respawns(), 1u);
+    EXPECT_DOUBLE_EQ(pool.execute(sandboxJob(w, 1, "ok"), attempt(1)),
+                     1001.0);
+#endif
+}
+
+// ----- Through the engine: retries heal, quarantine is per-cell -----
+
+TEST(ProcWorkerPool, EngineRetryHealsTrueHangViaWatchdog)
+{
+    const trace::WorkloadProfile &w = trace::workloadByName("gzip");
+    proc::ProcWorkerPool::Options options = poolOptions(1);
+    options.hardDeadline = std::chrono::milliseconds(100);
+    proc::ProcWorkerPool pool(std::move(options));
+
+    exec::EngineOptions engine_opts;
+    engine_opts.threads = 1;
+    engine_opts.simulate = pool.simulateFn();
+    exec::SimulationEngine engine(engine_opts);
+
+    // The job hangs non-cooperatively on attempt 1 only: the watchdog
+    // converts the hang into a retryable timeout and attempt 2 heals.
+    std::vector<exec::SimJob> jobs;
+    jobs.push_back(sandboxJob(w, 0, "hang-once"));
+    exec::FaultPolicy policy;
+    policy.maxAttempts = 2;
+    const exec::BatchResult batch = engine.run(jobs, policy);
+    ASSERT_TRUE(batch.complete());
+    EXPECT_DOUBLE_EQ(batch.responses[0], 1000.0);
+    EXPECT_EQ(pool.sigkills(), 1u);
+    EXPECT_EQ(engine.progress().snapshot().retries, 1u);
+}
+
+TEST(ProcWorkerPool, EngineQuarantinesOnlyTheCrashedCell)
+{
+    const trace::WorkloadProfile &w = trace::workloadByName("gzip");
+    proc::ProcWorkerPool pool(poolOptions(2));
+
+    exec::EngineOptions engine_opts;
+    engine_opts.threads = 2;
+    engine_opts.simulate = pool.simulateFn();
+    exec::SimulationEngine engine(engine_opts);
+
+    std::vector<exec::SimJob> jobs;
+    for (std::size_t i = 0; i < 8; ++i)
+        jobs.push_back(
+            sandboxJob(w, i, i == 3 ? "crash-abort" : "ok"));
+
+    exec::FaultPolicy policy;
+    policy.collectFailures = true;
+    const exec::BatchResult batch = engine.run(jobs, policy);
+
+    ASSERT_EQ(batch.failures.size(), 1u);
+    EXPECT_EQ(batch.failures[0].jobIndex, 3u);
+    EXPECT_EQ(batch.failures[0].kind, exec::FailureKind::Permanent);
+    for (std::size_t i = 0; i < 8; ++i) {
+        if (i == 3) {
+            EXPECT_TRUE(std::isnan(batch.responses[i]));
+        } else {
+            EXPECT_DOUBLE_EQ(batch.responses[i],
+                             1000.0 + static_cast<double>(i));
+        }
+    }
+}
+
+TEST(ProcWorkerPool, InjectedProcessDrillsFireInsideTheSandbox)
+{
+    // The campaign wires FaultInjector *around* the real executor and
+    // the pool captures that wrapper as the in-child executor — so a
+    // process-level drill takes down a sandbox worker, not the test.
+    const trace::WorkloadProfile &w = trace::workloadByName("gzip");
+    exec::FaultInjector injector;
+    injector.addLabelFault("drill-me", 1, exec::FaultKind::Abort);
+
+    proc::ProcWorkerPool::Options options;
+    options.workers = 1;
+    options.heartbeat = std::chrono::milliseconds(5);
+    options.simulate = injector.wrap(
+        [](const exec::SimJob &, const exec::AttemptContext &ctx) {
+            return 2000.0 + static_cast<double>(ctx.jobIndex);
+        });
+    proc::ProcWorkerPool pool(std::move(options));
+
+    EXPECT_THROW(pool.execute(sandboxJob(w, 0, "drill-me"), attempt(0)),
+                 exec::PermanentFault);
+    EXPECT_EQ(pool.respawns(), 1u);
+    EXPECT_DOUBLE_EQ(pool.execute(sandboxJob(w, 1, "ok"), attempt(1)),
+                     2001.0);
+}
+
+// ----- Observability: counters and worker-lifetime spans -----
+
+TEST(ProcWorkerPool, SupervisionCountersLandInTheMetricsRegistry)
+{
+    const trace::WorkloadProfile &w = trace::workloadByName("gzip");
+    proc::ProcWorkerPool::Options options = poolOptions(1);
+    options.hardDeadline = std::chrono::milliseconds(100);
+    proc::ProcWorkerPool pool(std::move(options));
+
+    obs::MetricsRegistry metrics;
+    pool.setMetrics(&metrics);
+
+    EXPECT_THROW(pool.execute(sandboxJob(w, 0, "crash-abort"),
+                              attempt(0)),
+                 exec::PermanentFault);
+    EXPECT_THROW(pool.execute(sandboxJob(w, 1, "busy-loop"),
+                              attempt(1)),
+                 exec::DeadlineExceeded);
+
+    EXPECT_EQ(metrics.counter("engine.proc.respawns").value(), 2u);
+    EXPECT_EQ(metrics.counter("engine.proc.sigkills").value(), 1u);
+    EXPECT_EQ(metrics.counter("engine.proc.oom_kills").value(), 0u);
+}
+
+TEST(ProcWorkerPool, WorkerLifetimeSpansAreGoldenUnderSteppedClock)
+{
+    const trace::WorkloadProfile &w = trace::workloadByName("gzip");
+
+    // Stepping clock: every tick advances 100 µs, so the spans'
+    // timestamps are fully determined by the call sequence —
+    //   tick 1 (100): setTraceWriter backfills the worker's spawnTs
+    //   tick 2 (200): crash closes the first lifetime span
+    //   tick 3 (300): the respawn stamps the replacement's spawnTs
+    //   tick 4 (400): pool shutdown closes the replacement's span
+    std::uint64_t t = 0;
+    obs::TraceWriter golden([&t] { return t += 100; });
+    {
+        proc::ProcWorkerPool pool(poolOptions(1));
+        pool.setTraceWriter(&golden);
+        EXPECT_DOUBLE_EQ(
+            pool.execute(sandboxJob(w, 0, "ok"), attempt(0)), 1000.0);
+        EXPECT_THROW(pool.execute(sandboxJob(w, 1, "crash-abort"),
+                                  attempt(1)),
+                     exec::PermanentFault);
+    }
+
+    ASSERT_EQ(golden.eventCount(), 2u);
+    const std::string json = golden.toJson();
+    // First lifetime: served one job, died crashing on the second.
+    EXPECT_NE(json.find("\"name\":\"proc.worker\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"ts\":100,\"dur\":100"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"jobs\":\"1\""), std::string::npos) << json;
+    EXPECT_NE(json.find("signal:SIGABRT"), std::string::npos) << json;
+    // Replacement lifetime: idle until the orderly shutdown.
+    EXPECT_NE(json.find("\"ts\":300,\"dur\":100"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"jobs\":\"0\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"exit\":\"shutdown\""), std::string::npos)
+        << json;
+}

@@ -100,7 +100,10 @@ usage(const char *argv0)
         "%s"
         "  --crash-after N        crash drill: die after N appends\n"
         "  --inject J:A:KIND      fault job J, attempt A\n"
-        "                         (KIND: transient|permanent|hang)\n"
+        "                         (KIND: transient|permanent|hang|\n"
+        "                          segfault|abort|busy-loop|\n"
+        "                          alloc-bomb|kill; the last five\n"
+        "                          need --isolation process)\n"
         "  --inject-label S:A:KIND  fault jobs whose label contains S\n"
         "  --inject-random R:SEED   seeded transient storm at rate R\n"
         "  --quiet                suppress the rank table\n"
@@ -118,6 +121,16 @@ parseKind(const std::string &text, FaultKind &kind)
         kind = FaultKind::Permanent;
     else if (text == "hang")
         kind = FaultKind::Hang;
+    else if (text == "segfault")
+        kind = FaultKind::Segfault;
+    else if (text == "abort")
+        kind = FaultKind::Abort;
+    else if (text == "busy-loop")
+        kind = FaultKind::BusyLoop;
+    else if (text == "alloc-bomb")
+        kind = FaultKind::AllocBomb;
+    else if (text == "kill")
+        kind = FaultKind::KillWorker;
     else
         return false;
     return true;

@@ -101,10 +101,42 @@ splitList(const std::string &csv, std::vector<std::string> &out)
 CampaignCliOptions::Match
 CampaignCliOptions::tryParse(ArgCursor &args, const std::string &arg)
 {
+    // Accept both "--flag value" and "--flag=value": split an inline
+    // value off first, then match on the bare flag name.
+    std::string name = arg;
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            inline_value = arg.substr(eq + 1);
+            has_inline = true;
+        }
+    }
+
+    /** The flag's value: the inline "=value" part, or the next argv
+     *  entry. Returns nullptr (reported) when neither exists. */
+    const auto value = [&](const char *flag) -> const char * {
+        if (has_inline)
+            return inline_value.c_str();
+        return args.valueFor(flag);
+    };
     const auto unsigned_flag = [&](const char *flag,
                                    unsigned &out) -> Match {
-        const char *v = args.valueFor(flag);
+        const char *v = value(flag);
         if (v == nullptr || !parseUnsigned(v, out)) {
+            if (v != nullptr)
+                std::fprintf(stderr, "%s: bad %s value %s\n",
+                             args.program().c_str(), flag, v);
+            return Match::Error;
+        }
+        return Match::Consumed;
+    };
+    const auto uint64_flag = [&](const char *flag,
+                                 std::uint64_t &out) -> Match {
+        const char *v = value(flag);
+        if (v == nullptr || !parseUint64(v, out)) {
             if (v != nullptr)
                 std::fprintf(stderr, "%s: bad %s value %s\n",
                              args.program().c_str(), flag, v);
@@ -114,35 +146,86 @@ CampaignCliOptions::tryParse(ArgCursor &args, const std::string &arg)
     };
     const auto path_flag = [&](const char *flag,
                                std::string &out) -> Match {
-        const char *v = args.valueFor(flag);
+        const char *v = value(flag);
         if (v == nullptr)
             return Match::Error;
         out = v;
         return Match::Consumed;
     };
+    /** A flag that takes no value rejects an inline "=value". */
+    const auto bare = [&](bool &out) -> Match {
+        if (has_inline) {
+            std::fprintf(stderr, "%s: %s takes no value\n",
+                         args.program().c_str(), name.c_str());
+            return Match::Error;
+        }
+        out = true;
+        return Match::Consumed;
+    };
 
-    if (arg == "--threads")
+    if (name == "--threads")
         return unsigned_flag("--threads", threads);
-    if (arg == "--no-foldover") {
-        foldover = false;
-        return Match::Consumed;
+    if (name == "--no-foldover") {
+        bool off = false;
+        const Match m = bare(off);
+        if (m == Match::Consumed)
+            foldover = false;
+        return m;
     }
-    if (arg == "--skip-preflight") {
-        skipPreflight = true;
-        return Match::Consumed;
+    if (name == "--skip-preflight") {
+        bool on = false;
+        const Match m = bare(on);
+        if (m == Match::Consumed)
+            skipPreflight = true;
+        return m;
     }
-    if (arg == "--retries")
+    if (name == "--retries")
         return unsigned_flag("--retries", retries);
-    if (arg == "--backoff-ms")
+    if (name == "--backoff-ms")
         return unsigned_flag("--backoff-ms", backoffMs);
-    if (arg == "--deadline-ms")
-        return unsigned_flag("--deadline-ms", deadlineMs);
-    if (arg == "--collect") {
-        collect = true;
+    if (name == "--backoff-jitter") {
+        const char *v = value("--backoff-jitter");
+        if (v == nullptr || !parseDouble(v, backoffJitter) ||
+            backoffJitter < 0.0 || backoffJitter > 1.0) {
+            if (v != nullptr)
+                std::fprintf(stderr,
+                             "%s: bad --backoff-jitter value %s "
+                             "(want [0, 1])\n",
+                             args.program().c_str(), v);
+            return Match::Error;
+        }
         return Match::Consumed;
     }
-    if (arg == "--degrade") {
-        const char *v = args.valueFor("--degrade");
+    if (name == "--backoff-seed")
+        return uint64_flag("--backoff-seed", backoffSeed);
+    if (name == "--deadline-ms")
+        return unsigned_flag("--deadline-ms", deadlineMs);
+    if (name == "--isolation") {
+        const char *v = value("--isolation");
+        if (v == nullptr)
+            return Match::Error;
+        if (!exec::parseIsolationMode(v, isolation)) {
+            std::fprintf(stderr,
+                         "%s: unknown --isolation mode %s "
+                         "(want thread | process)\n",
+                         args.program().c_str(), v);
+            return Match::Error;
+        }
+        return Match::Consumed;
+    }
+    if (name == "--mem-limit-mb")
+        return uint64_flag("--mem-limit-mb", memLimitMb);
+    if (name == "--hard-deadline-ms")
+        return unsigned_flag("--hard-deadline-ms", hardDeadlineMs);
+    if (name == "--collect") {
+        bool on = false;
+        const Match m = bare(on);
+        if (m == Match::Consumed)
+            collect = true;
+        return m;
+    }
+    if (name == "--degrade") {
+        const char *v = value("--degrade");
         if (v == nullptr)
             return Match::Error;
         const std::string mode = v;
@@ -157,15 +240,15 @@ CampaignCliOptions::tryParse(ArgCursor &args, const std::string &arg)
         }
         return Match::Consumed;
     }
-    if (arg == "--journal")
+    if (name == "--journal")
         return path_flag("--journal", journalPath);
-    if (arg == "--metrics-out")
+    if (name == "--metrics-out")
         return path_flag("--metrics-out", metricsOut);
-    if (arg == "--trace-out")
+    if (name == "--trace-out")
         return path_flag("--trace-out", traceOut);
-    if (arg == "--manifest-out")
+    if (name == "--manifest-out")
         return path_flag("--manifest-out", manifestOut);
-    if (arg == "--bench-out")
+    if (name == "--bench-out")
         return path_flag("--bench-out", benchOut);
     return Match::NotMine;
 }
@@ -176,6 +259,8 @@ CampaignCliOptions::faultPolicy() const
     exec::FaultPolicy policy;
     policy.maxAttempts = retries + 1;
     policy.backoffBase = std::chrono::milliseconds(backoffMs);
+    policy.backoffJitter = backoffJitter;
+    policy.backoffSeed = backoffSeed;
     policy.attemptDeadline = std::chrono::milliseconds(deadlineMs);
     policy.collectFailures = collect;
     return policy;
@@ -189,6 +274,9 @@ CampaignCliOptions::apply(exec::CampaignOptions &campaign) const
     campaign.skipPreflight = skipPreflight;
     campaign.faultPolicy = faultPolicy();
     campaign.degradation = degrade;
+    campaign.isolation = isolation;
+    campaign.memLimitMb = memLimitMb;
+    campaign.hardDeadline = std::chrono::milliseconds(hardDeadlineMs);
 }
 
 const char *
@@ -200,7 +288,15 @@ CampaignCliOptions::usageText()
         "  --skip-preflight       skip the pre-flight static analysis\n"
         "  --retries N            extra attempts per job (default 0)\n"
         "  --backoff-ms N         base backoff, doubled per retry\n"
+        "  --backoff-jitter F     randomize away up to F of each\n"
+        "                         backoff (seeded, replayable; [0,1])\n"
+        "  --backoff-seed N       seed of the jitter stream\n"
         "  --deadline-ms N        per-attempt deadline (0 = none)\n"
+        "  --isolation MODE       thread | process; process forks\n"
+        "                         sandbox workers that survive crash,\n"
+        "                         OOM, and non-cooperative hangs\n"
+        "  --mem-limit-mb N       per-sandbox memory cap in MiB\n"
+        "  --hard-deadline-ms N   SIGKILL a sandbox attempt past this\n"
         "  --collect              quarantine failures, don't fail fast\n"
         "  --degrade MODE         abort | drop-benchmark (with --collect)\n"
         "  --journal PATH         crash-safe journal; rerun to resume\n"

@@ -78,7 +78,17 @@ struct CampaignCliOptions
     bool skipPreflight = false;
     unsigned retries = 0;
     unsigned backoffMs = 0;
+    /** Fraction of each backoff randomized away (seeded, in [0,1]). */
+    double backoffJitter = 0.0;
+    /** Seed of the deterministic backoff jitter stream. */
+    std::uint64_t backoffSeed = 0;
     unsigned deadlineMs = 0;
+    /** Attempt isolation: in-process threads, or forked sandboxes. */
+    exec::IsolationMode isolation = exec::IsolationMode::Thread;
+    /** Process isolation: per-worker memory cap in MiB (0 = off). */
+    std::uint64_t memLimitMb = 0;
+    /** Process isolation: hard watchdog deadline in ms (0 = off). */
+    unsigned hardDeadlineMs = 0;
     bool collect = false;
     check::DegradationMode degrade = check::DegradationMode::Abort;
     std::string journalPath;
@@ -101,7 +111,8 @@ struct CampaignCliOptions
 
     /**
      * Offer @p arg (already taken from @p args) to the shared flag
-     * table. Consumes the flag's value from @p args when it has one.
+     * table. Consumes the flag's value from @p args when it has one;
+     * both "--flag value" and "--flag=value" spellings are accepted.
      */
     Match tryParse(ArgCursor &args, const std::string &arg);
 
