@@ -37,6 +37,9 @@ analyzeExperimentPlan(const ExperimentPlan &plan)
         checkRunLengths(plan.instructionsPerRun,
                         plan.warmupInstructions, profile, sink);
 
+    checkSamplingPlan(plan.sampling, plan.instructionsPerRun,
+                      plan.warmupInstructions, sink);
+
     return sink;
 }
 

@@ -23,6 +23,7 @@
 
 #include "check/diagnostic.hh"
 #include "doe/design_matrix.hh"
+#include "sample/sampling.hh"
 #include "sim/config.hh"
 #include "trace/workload_profile.hh"
 
@@ -51,6 +52,8 @@ struct ExperimentPlan
     std::uint64_t instructionsPerRun = 0;
     /** Warm-up instructions per run. */
     std::uint64_t warmupInstructions = 0;
+    /** Sampled-simulation schedule; analyzed only when enabled. */
+    sample::SamplingOptions sampling;
 };
 
 /**

@@ -106,6 +106,19 @@ inline constexpr const char *kRunWarmupDominates =
 inline constexpr const char *kRunWindowBelowHotCode =
     "run.window-below-hot-code";
 
+// ----- Sampled-simulation schedule sanity (workload_check) -----
+
+/** SamplingOptions::validate() rejected the schedule (unit/interval
+ *  zero, detailed phase longer than the interval, target or
+ *  confidence outside (0, 1)). */
+inline constexpr const char *kSampleScheduleInvalid =
+    "sample.schedule-invalid";
+/** Stream shorter than one detailed phase: zero measured units. */
+inline constexpr const char *kSampleNoUnits = "sample.no-units";
+/** Fewer than ~30 units: the CLT normality assumption behind the
+ *  confidence interval is shaky. */
+inline constexpr const char *kSampleFewUnits = "sample.few-units";
+
 // ----- Campaign fault-tolerance degradation (campaign_check) -----
 
 /** A (benchmark, design row) cell failed terminally and was

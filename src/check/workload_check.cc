@@ -167,4 +167,54 @@ checkRunLengths(std::uint64_t instructions,
     return sink.errorCount() == before;
 }
 
+bool
+checkSamplingPlan(const sample::SamplingOptions &sampling,
+                  std::uint64_t instructions,
+                  std::uint64_t warmup_instructions,
+                  DiagnosticSink &sink, const SourceContext &base)
+{
+    if (!sampling.enabled)
+        return true;
+    const std::size_t before = sink.errorCount();
+    SourceContext ctx = base;
+    const std::string label = "sampling schedule";
+    ctx.object =
+        ctx.object.empty() ? label : ctx.object + ": " + label;
+
+    try {
+        sampling.validate();
+    } catch (const std::invalid_argument &e) {
+        sink.error(rules::kSampleScheduleInvalid, e.what(), ctx);
+        return false;
+    }
+
+    // The sampled runner drives the *whole* stream (job warm-up plus
+    // measured window) through the periodic schedule.
+    const std::uint64_t stream = instructions + warmup_instructions;
+    const std::uint64_t detail_per_period =
+        sampling.warmupInstructions + sampling.unitInstructions;
+    if (stream < detail_per_period) {
+        sink.error(rules::kSampleNoUnits,
+                   "stream (" + std::to_string(stream) +
+                       " instructions) is shorter than one detailed "
+                       "phase (" + std::to_string(detail_per_period) +
+                       "); no unit CPI can be measured",
+                   ctx);
+        return false;
+    }
+    const std::uint64_t units =
+        stream / sampling.intervalInstructions +
+        (stream % sampling.intervalInstructions >= detail_per_period
+             ? 1
+             : 0);
+    if (units < 30)
+        sink.warning(rules::kSampleFewUnits,
+                     "schedule yields ~" + std::to_string(units) +
+                         " measured units (< 30); the CLT-based "
+                         "confidence interval rests on a shaky "
+                         "normality assumption",
+                     ctx);
+    return sink.errorCount() == before;
+}
+
 } // namespace rigor::check

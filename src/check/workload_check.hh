@@ -18,6 +18,7 @@
 #include <span>
 
 #include "check/diagnostic.hh"
+#include "sample/sampling.hh"
 #include "trace/workload_profile.hh"
 
 namespace rigor::check
@@ -54,6 +55,20 @@ bool checkRunLengths(std::uint64_t instructions,
                      const trace::WorkloadProfile &profile,
                      DiagnosticSink &sink,
                      const SourceContext &base = {});
+
+/**
+ * Sampled-simulation schedule sanity against one run recipe:
+ * SamplingOptions::validate() violations, a stream too short for even
+ * one detailed phase (error — every unit CPI would be undefined), and
+ * fewer than ~30 measured units (warning — the CLT interval is
+ * shaky). No-op when sampling is disabled. Returns true when this
+ * call reported no error.
+ */
+bool checkSamplingPlan(const sample::SamplingOptions &sampling,
+                       std::uint64_t instructions,
+                       std::uint64_t warmup_instructions,
+                       DiagnosticSink &sink,
+                       const SourceContext &base = {});
 
 } // namespace rigor::check
 

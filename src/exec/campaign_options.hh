@@ -29,6 +29,7 @@
 #include "check/campaign_check.hh"
 #include "exec/fault_policy.hh"
 #include "exec/isolation.hh"
+#include "sample/sampling.hh"
 
 namespace rigor::obs
 {
@@ -127,6 +128,15 @@ struct CampaignOptions
      * isolation.
      */
     proc::ProcWorkerPool *procPool = nullptr;
+
+    /**
+     * SMARTS-style sampled simulation (see sample/sampling.hh). When
+     * enabled, every run simulates only periodic units in detail —
+     * detailed warm-up, measured unit, functional fast-forward — and
+     * reports an extrapolated response with a per-run CPI confidence
+     * interval instead of paying for the full stream.
+     */
+    sample::SamplingOptions sampling;
 
     /** Optional metrics sink (not owned): engine counters, per-run
      *  wall-time and throughput histograms, queue/steal stats. */

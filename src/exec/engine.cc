@@ -4,6 +4,7 @@
 #include <chrono>
 #include <limits>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -133,6 +134,18 @@ SimulationEngine::setMetrics(obs::MetricsRegistry *metrics)
                                              10.0,  20.0,  50.0,
                                              100.0, 200.0, 500.0};
     _instruments.mips = &metrics->histogram("sim.run.mips", kMipsBounds);
+    _instruments.sampledRuns =
+        &metrics->counter("engine.runs.sampled");
+    static constexpr double kUnitBounds[] = {5.0,   10.0,  20.0,
+                                             50.0,  100.0, 200.0,
+                                             500.0, 1000.0};
+    _instruments.sampleUnits =
+        &metrics->histogram("sample.units", kUnitBounds);
+    static constexpr double kRelErrBounds[] = {0.001, 0.002, 0.005,
+                                               0.01,  0.02,  0.05,
+                                               0.1,   0.2};
+    _instruments.sampleRelError =
+        &metrics->histogram("sample.rel_error", kRelErrBounds);
     _instruments.busyFraction =
         &metrics->gauge("engine.workers.busy_fraction");
     _instruments.queueDepth =
@@ -142,32 +155,39 @@ SimulationEngine::setMetrics(obs::MetricsRegistry *metrics)
 double
 SimulationEngine::simulateJob(const SimJob &job)
 {
-    std::unique_ptr<sim::ExecutionHook> hook;
-    if (job.makeHook)
-        hook = job.makeHook();
-    trace::SyntheticTraceGenerator gen(
-        *job.workload, job.instructions + job.warmupInstructions);
-    sim::SuperscalarCore core(job.config, hook.get());
-    const sim::CoreStats stats =
-        core.run(gen, job.warmupInstructions);
-    return static_cast<double>(stats.measuredCycles());
+    return simulateJob(job, AttemptContext{});
 }
 
 double
 SimulationEngine::simulateJob(const SimJob &job,
                               const AttemptContext &ctx)
 {
-    if (!ctx.hasDeadline())
-        return simulateJob(job);
     std::unique_ptr<sim::ExecutionHook> hook;
     if (job.makeHook)
         hook = job.makeHook();
     trace::SyntheticTraceGenerator gen(
         *job.workload, job.instructions + job.warmupInstructions);
-    DeadlineGuardedSource guarded(gen, ctx);
     sim::SuperscalarCore core(job.config, hook.get());
+
+    trace::TraceSource *source = &gen;
+    std::optional<DeadlineGuardedSource> guarded;
+    if (ctx.hasDeadline()) {
+        guarded.emplace(gen, ctx);
+        source = &*guarded;
+    }
+
+    if (job.sampling.enabled) {
+        // Sampled mode owns its own per-unit warm-up; the job-level
+        // warm-up only pads the stream the schedule covers.
+        const sample::SampleSummary summary =
+            sample::runSampled(core, *source, job.sampling);
+        if (ctx.sampleOut != nullptr)
+            *ctx.sampleOut = summary;
+        return summary.estimatedCycles;
+    }
+
     const sim::CoreStats stats =
-        core.run(guarded, job.warmupInstructions);
+        core.run(*source, job.warmupInstructions);
     return static_cast<double>(stats.measuredCycles());
 }
 
@@ -186,6 +206,7 @@ SimulationEngine::runOne(const SimJob &job, std::size_t index,
         key.instructions = job.instructions;
         key.warmupInstructions = job.warmupInstructions;
         key.hookId = job.hookId;
+        key.samplingId = job.sampling.id();
     }
 
     RunOutcome outcome;
@@ -237,6 +258,8 @@ SimulationEngine::runOne(const SimJob &job, std::size_t index,
         if (ctx.hasDeadline())
             ctx.deadline = std::chrono::steady_clock::now() +
                            policy.attemptDeadline;
+        sample::SampleSummary sample_summary;
+        ctx.sampleOut = &sample_summary;
 
         bool retryable = false;
         try {
@@ -245,13 +268,19 @@ SimulationEngine::runOne(const SimJob &job, std::size_t index,
                 _journal->append(key, response);
             if (use_cache)
                 _cache.store(key, response);
+            // Progress tracks the *detailed* simulation work: a
+            // sampled run only pays for its warm-up + measured units.
             _progress.addSimulatedInstructions(
-                job.instructions + job.warmupInstructions);
+                job.sampling.enabled
+                    ? sample_summary.detailedInstructions
+                    : job.instructions + job.warmupInstructions);
             _progress.addCompleted();
             outcome.ok = true;
             outcome.source = RunSource::Simulated;
             outcome.attempts = attempt;
             outcome.response = response;
+            outcome.sampled = job.sampling.enabled;
+            outcome.sample = sample_summary;
             if (_instruments.simulated) {
                 _instruments.simulated->add();
                 _instruments.completed->add();
@@ -265,6 +294,13 @@ SimulationEngine::runOne(const SimJob &job, std::size_t index,
                         static_cast<double>(job.instructions +
                                             job.warmupInstructions) /
                         wall / 1e6);
+                if (job.sampling.enabled) {
+                    _instruments.sampledRuns->add();
+                    _instruments.sampleUnits->observe(
+                        static_cast<double>(sample_summary.units));
+                    _instruments.sampleRelError->observe(
+                        sample_summary.relativeError);
+                }
             }
             return outcome;
         } catch (const BatchAbort &) {
@@ -397,6 +433,8 @@ SimulationEngine::run(std::span<const SimJob> jobs,
                         ? outcome.response
                         : std::numeric_limits<double>::quiet_NaN();
                 event.runKey = outcome.runKey;
+                event.sampled = outcome.ok && outcome.sampled;
+                event.sample = outcome.sample;
                 _observer(event);
             }
             if (outcome.ok) {

@@ -54,6 +54,7 @@
 #include "exec/fault_policy.hh"
 #include "exec/progress.hh"
 #include "exec/run_cache.hh"
+#include "sample/sampling.hh"
 #include "sim/core.hh"
 #include "trace/workload_profile.hh"
 
@@ -81,6 +82,13 @@ struct SimJob
     std::uint64_t instructions = 0;
     /** Leading warm-up instructions (excluded from the response). */
     std::uint64_t warmupInstructions = 0;
+    /**
+     * Sampled-simulation schedule. When enabled, the run streams the
+     * same instructions but simulates only periodic units in detail
+     * (sample::runSampled); the response becomes the extrapolated
+     * cycle count and the per-run CI is delivered via the job event.
+     */
+    sample::SamplingOptions sampling;
     /**
      * Optional enhancement-hook builder, already bound to the
      * workload; called once per executed run (never for cache hits).
@@ -143,6 +151,12 @@ struct JobEvent
     double response = 0.0;
     /** Run-cache key (config hash first); empty if uncacheable. */
     std::string runKey;
+    /** True when this event carries a fresh sampled-run summary
+     *  (simulated with job.sampling enabled; cache and journal hits
+     *  replay only the response). */
+    bool sampled = false;
+    /** Per-run sampling summary; meaningful only when sampled. */
+    sample::SampleSummary sample;
 };
 
 /** Per-job completion callback; must be thread-safe. */
@@ -236,8 +250,9 @@ class SimulationEngine
      * resolves its instruments once here — per-event recording on the
      * worker fast path is pure relaxed atomics. Counters:
      * engine.runs.{completed,simulated,cache_hits,journal_replays,
-     * failed}, engine.retries, engine.batches, engine.queue.steals.
-     * Histograms: engine.run.wall_seconds, sim.run.mips. Gauges:
+     * failed,sampled}, engine.retries, engine.batches,
+     * engine.queue.steals. Histograms: engine.run.wall_seconds,
+     * sim.run.mips, sample.units, sample.rel_error. Gauges:
      * engine.workers.busy_fraction, engine.queue.initial_depth.
      * Not owned; must outlive every subsequent run().
      */
@@ -289,6 +304,9 @@ class SimulationEngine
         unsigned attempts = 0;
         /** Composed cache identity; empty if uncacheable. */
         std::string runKey;
+        /** Fresh sampled-run summary (see JobEvent::sampled). */
+        bool sampled = false;
+        sample::SampleSummary sample;
         JobFailure failure;
     };
 
@@ -304,8 +322,11 @@ class SimulationEngine
         obs::Counter *failed = nullptr;
         obs::Counter *batches = nullptr;
         obs::Counter *steals = nullptr;
+        obs::Counter *sampledRuns = nullptr;
         obs::Histogram *runWallSeconds = nullptr;
         obs::Histogram *mips = nullptr;
+        obs::Histogram *sampleUnits = nullptr;
+        obs::Histogram *sampleRelError = nullptr;
         obs::Gauge *busyFraction = nullptr;
         obs::Gauge *queueDepth = nullptr;
     };

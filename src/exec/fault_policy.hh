@@ -44,6 +44,11 @@
 #include <string>
 #include <vector>
 
+namespace rigor::sample
+{
+struct SampleSummary;
+} // namespace rigor::sample
+
 namespace rigor::exec
 {
 
@@ -178,6 +183,14 @@ struct AttemptContext
     std::chrono::milliseconds deadlineBudget{0};
     /** Absolute expiry; meaningful only when deadlineBudget > 0. */
     std::chrono::steady_clock::time_point deadline{};
+    /**
+     * Side channel for sampled simulation: when non-null, a
+     * SimulateFn running a sampled job writes its SampleSummary here
+     * (the primary return value stays the scalar response, so every
+     * existing executor — fault injectors, sandbox dispatch, test
+     * stubs — composes unchanged). Not owned.
+     */
+    sample::SampleSummary *sampleOut = nullptr;
 
     bool hasDeadline() const { return deadlineBudget.count() > 0; }
 

@@ -136,6 +136,7 @@ JobRequest::serialize(Writer &out) const
     out.pod(jobIndex);
     out.pod(attempt);
     out.pod(static_cast<std::int64_t>(deadlineBudget.count()));
+    out.pod(sampling);
 }
 
 JobRequest
@@ -152,6 +153,7 @@ JobRequest::deserialize(Reader &in)
     req.attempt = in.pod<std::uint32_t>();
     req.deadlineBudget =
         std::chrono::milliseconds(in.pod<std::int64_t>());
+    req.sampling = in.pod<sample::SamplingOptions>();
     return req;
 }
 
@@ -162,6 +164,8 @@ JobResult::serialize(Writer &out) const
     out.pod(cycles);
     out.pod(wallSeconds);
     out.str(message);
+    out.pod(hasSample);
+    out.pod(sample);
 }
 
 JobResult
@@ -172,6 +176,8 @@ JobResult::deserialize(Reader &in)
     result.cycles = in.pod<double>();
     result.wallSeconds = in.pod<double>();
     result.message = in.str();
+    result.hasSample = in.pod<bool>();
+    result.sample = in.pod<sample::SampleSummary>();
     return result;
 }
 

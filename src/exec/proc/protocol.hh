@@ -37,6 +37,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "sample/sampling.hh"
 #include "sim/config.hh"
 #include "trace/workload_profile.hh"
 
@@ -154,6 +155,8 @@ struct JobRequest
     std::uint32_t attempt = 1;
     /** Cooperative per-attempt deadline; zero = none. */
     std::chrono::milliseconds deadlineBudget{0};
+    /** Sampled-simulation schedule (trivially copyable pod). */
+    sample::SamplingOptions sampling;
 
     void serialize(Writer &out) const;
     static JobRequest deserialize(Reader &in);
@@ -169,6 +172,11 @@ struct JobResult
     double wallSeconds = 0.0;
     /** Failure message; empty for Ok. */
     std::string message;
+    /** True when sample holds a sampled-run summary (Ok + sampling
+     *  enabled in the request). */
+    bool hasSample = false;
+    /** Sampled-run summary (trivially copyable pod). */
+    sample::SampleSummary sample;
 
     void serialize(Writer &out) const;
     static JobResult deserialize(Reader &in);

@@ -96,6 +96,7 @@ runSandboxChild(int request_fd, int result_fd,
         job.config = request.config;
         job.instructions = request.instructions;
         job.warmupInstructions = request.warmupInstructions;
+        job.sampling = request.sampling;
         job.label = !request.label.empty() ? request.label
                                            : request.profile.name;
         if (request.hasHook && context.hookFactory) {
@@ -113,12 +114,18 @@ runSandboxChild(int request_fd, int result_fd,
         if (ctx.hasDeadline())
             ctx.deadline = std::chrono::steady_clock::now() +
                            request.deadlineBudget;
+        sample::SampleSummary sample_summary;
+        ctx.sampleOut = &sample_summary;
 
         JobResult result;
         const auto start = std::chrono::steady_clock::now();
         try {
             result.cycles = simulate(job, ctx);
             result.status = ResultStatus::Ok;
+            if (request.sampling.enabled) {
+                result.hasSample = true;
+                result.sample = sample_summary;
+            }
         } catch (const std::bad_alloc &) {
             // The memory cap is exhausted; composing a message could
             // throw again, so report through the exit code instead.

@@ -71,6 +71,7 @@ jobIdentity(const SimJob &job)
     key.instructions = job.instructions;
     key.warmupInstructions = job.warmupInstructions;
     key.hookId = job.hookId;
+    key.samplingId = job.sampling.id();
     return label + " (run key " + key.toString() + ")";
 }
 
@@ -266,6 +267,7 @@ ProcWorkerPool::execute(const SimJob &job, const AttemptContext &ctx)
     request.jobIndex = ctx.jobIndex;
     request.attempt = ctx.attempt;
     request.deadlineBudget = ctx.deadlineBudget;
+    request.sampling = job.sampling;
     Writer writer;
     request.serialize(writer);
 
@@ -349,6 +351,8 @@ ProcWorkerPool::execute(const SimJob &job, const AttemptContext &ctx)
         const JobResult result = JobResult::deserialize(reader);
         switch (result.status) {
           case ResultStatus::Ok:
+            if (result.hasSample && ctx.sampleOut != nullptr)
+                *ctx.sampleOut = result.sample;
             return result.cycles;
           case ResultStatus::Transient:
             throw TransientFault(result.message);

@@ -17,6 +17,7 @@ RunKey::hash() const
     mix(std::hash<std::uint64_t>{}(instructions));
     mix(std::hash<std::uint64_t>{}(warmupInstructions));
     mix(std::hash<std::string>{}(hookId));
+    mix(std::hash<std::string>{}(samplingId));
     return seed;
 }
 
@@ -27,6 +28,10 @@ RunKey::toString() const
     os << std::hex << config.hash() << std::dec << '|' << instructions
        << '|' << warmupInstructions << '|' << workload << '|'
        << hookId;
+    // Appended only for sampled runs so full-run keys (and existing
+    // journals of them) keep their historical shape.
+    if (!samplingId.empty())
+        os << '|' << samplingId;
     return os.str();
 }
 

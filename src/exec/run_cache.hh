@@ -41,6 +41,10 @@ struct RunKey
     std::uint64_t warmupInstructions = 0;
     /** Identity of the enhancement hook; empty = no hook. */
     std::string hookId;
+    /** Sampling-schedule identity (SamplingOptions::id()); empty =
+     *  full run. Keeps sampled and full responses from ever sharing
+     *  a cache or journal entry. */
+    std::string samplingId;
 
     bool operator==(const RunKey &) const = default;
 
@@ -48,10 +52,11 @@ struct RunKey
 
     /**
      * Stable composed identity: "confighash|instructions|warmup|
-     * workload|hookid" with the configuration hash in hex. This is
-     * the journal's on-disk record key and the manifest's per-cell
-     * `key` field, so a replayed run can be traced back to the exact
-     * configuration that produced it.
+     * workload|hookid" with the configuration hash in hex, plus a
+     * "|samplingid" suffix for sampled runs. This is the journal's
+     * on-disk record key and the manifest's per-cell `key` field, so
+     * a replayed run can be traced back to the exact configuration
+     * that produced it.
      */
     std::string toString() const;
 };

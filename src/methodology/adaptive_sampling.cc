@@ -1,0 +1,261 @@
+#include "methodology/adaptive_sampling.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "doe/ranking.hh"
+#include "methodology/parameter_space.hh"
+#include "methodology/rank_table.hh"
+
+namespace rigor::methodology
+{
+
+namespace
+{
+
+/**
+ * Per-run CI half-widths in *cycles*, captured from the engine's job
+ * events and keyed by benchmark name so refinement rounds (which run
+ * a benchmark subset, renumbering job indices) splice cleanly. Cache
+ * and journal hits replay only the response, so their half-width is
+ * recorded as zero — an understatement the adaptive loop tolerates:
+ * a hit means the identical schedule already ran, and its ambiguity
+ * was judged when it was fresh.
+ */
+using HalfWidthsByBench =
+    std::unordered_map<std::string, std::vector<double>>;
+
+/**
+ * RAII: chain a capture observer onto the engine for one round,
+ * restoring the previous observer on destruction (throw-safe). The
+ * driver-side EngineSinkScope inside runPbExperiment chains on top,
+ * so the manifest feed keeps flowing.
+ */
+class ObserverScope
+{
+  public:
+    ObserverScope(exec::SimulationEngine &engine,
+                  exec::JobObserver added)
+        : _engine(engine), _previous(engine.jobObserver())
+    {
+        if (_previous) {
+            _engine.setJobObserver(
+                [previous = _previous, added = std::move(added)](
+                    const exec::JobEvent &event) {
+                    previous(event);
+                    added(event);
+                });
+        } else {
+            _engine.setJobObserver(std::move(added));
+        }
+    }
+
+    ~ObserverScope() { _engine.setJobObserver(std::move(_previous)); }
+
+    ObserverScope(const ObserverScope &) = delete;
+    ObserverScope &operator=(const ObserverScope &) = delete;
+
+  private:
+    exec::SimulationEngine &_engine;
+    exec::JobObserver _previous;
+};
+
+/** One sampled runPbExperiment call with half-width capture. */
+PbExperimentResult
+runRound(std::span<const trace::WorkloadProfile> workloads,
+         const PbExperimentOptions &options,
+         exec::SimulationEngine &engine, HalfWidthsByBench &half)
+{
+    // jobIndex -> CI half-width in cycles, raw; mapped onto
+    // (benchmark, row) once the design's row count is known.
+    std::mutex mutex;
+    std::unordered_map<std::size_t, double> by_job;
+    ObserverScope capture(
+        engine, [&mutex, &by_job](const exec::JobEvent &event) {
+            if (!event.ok)
+                return;
+            const double cycles_half =
+                event.sampled
+                    ? event.sample.ciHalfWidth *
+                          static_cast<double>(
+                              event.sample.streamInstructions)
+                    : 0.0;
+            const std::scoped_lock lock(mutex);
+            by_job[event.jobIndex] = cycles_half;
+        });
+
+    PbExperimentResult result = runPbExperiment(workloads, options);
+
+    const std::size_t num_runs = result.design.numRows();
+    for (const auto &[job_index, cycles_half] : by_job) {
+        const std::size_t bench = job_index / num_runs;
+        if (bench >= workloads.size())
+            continue;
+        std::vector<double> &row_halves =
+            half[workloads[bench].name];
+        row_halves.resize(num_runs, 0.0);
+        row_halves[job_index % num_runs] = cycles_half;
+    }
+    return result;
+}
+
+/** Ambiguous (benchmark, top-K factor) pairs of the current table. */
+struct Ambiguity
+{
+    std::set<std::string> benchmarks;
+    std::size_t pairs = 0;
+};
+
+Ambiguity
+findAmbiguity(const PbExperimentResult &result,
+              const HalfWidthsByBench &half,
+              const std::vector<std::string> &factor_names,
+              const AdaptiveSamplingOptions &options)
+{
+    Ambiguity out;
+    const std::vector<std::string> top = topFactorNames(
+        result.summaries,
+        std::min(options.topFactors, result.summaries.size()));
+    std::vector<std::size_t> top_indices;
+    top_indices.reserve(top.size());
+    for (const std::string &name : top) {
+        const auto it = std::find(factor_names.begin(),
+                                  factor_names.end(), name);
+        if (it != factor_names.end())
+            top_indices.push_back(static_cast<std::size_t>(
+                it - factor_names.begin()));
+    }
+
+    for (std::size_t b = 0; b < result.benchmarks.size(); ++b) {
+        const auto it = half.find(result.benchmarks[b]);
+        if (it == half.end())
+            continue;
+        // The effect is sum(sign_r * response_r); with independent
+        // per-run errors h_r its propagated uncertainty is
+        // sqrt(sum h_r^2) regardless of the signs.
+        double sum_sq = 0.0;
+        for (const double h : it->second)
+            sum_sq += h * h;
+        const double threshold =
+            options.ambiguityFactor * std::sqrt(sum_sq);
+        if (threshold <= 0.0)
+            continue;
+        const std::vector<double> &effects = result.effects[b];
+        for (const std::size_t f : top_indices) {
+            if (f < effects.size() &&
+                std::abs(effects[f]) <= threshold) {
+                ++out.pairs;
+                out.benchmarks.insert(result.benchmarks[b]);
+            }
+        }
+    }
+    return out;
+}
+
+/** Overwrite the master's per-benchmark vectors with refined ones. */
+void
+splice(PbExperimentResult &master, const PbExperimentResult &refined)
+{
+    for (std::size_t s = 0; s < refined.benchmarks.size(); ++s) {
+        const auto it = std::find(master.benchmarks.begin(),
+                                  master.benchmarks.end(),
+                                  refined.benchmarks[s]);
+        if (it == master.benchmarks.end())
+            continue;
+        const std::size_t b = static_cast<std::size_t>(
+            it - master.benchmarks.begin());
+        master.responses[b] = refined.responses[s];
+        master.effects[b] = refined.effects[s];
+        master.ranks[b] = refined.ranks[s];
+    }
+    master.summaries =
+        doe::aggregateRanks(factorNames(), master.effects);
+}
+
+} // namespace
+
+AdaptiveSamplingResult
+runAdaptivePbExperiment(
+    std::span<const trace::WorkloadProfile> workloads,
+    const AdaptiveSamplingOptions &options)
+{
+    if (!options.base.campaign.sampling.enabled)
+        throw std::invalid_argument(
+            "runAdaptivePbExperiment: campaign.sampling must be "
+            "enabled; full runs carry no CI to refine against");
+    if (options.maxRounds == 0)
+        throw std::invalid_argument(
+            "runAdaptivePbExperiment: maxRounds must be >= 1");
+
+    PbExperimentOptions opts = options.base;
+    exec::SimulationEngine local_engine(
+        exec::EngineOptions{opts.campaign.threads, true});
+    exec::SimulationEngine &engine = opts.campaign.engine
+                                         ? *opts.campaign.engine
+                                         : local_engine;
+    opts.campaign.engine = &engine;
+
+    AdaptiveSamplingResult out;
+    HalfWidthsByBench half;
+    const std::vector<std::string> names = factorNames();
+
+    // Round 0: the full sampled screen.
+    out.result = runRound(workloads, opts, engine, half);
+    {
+        AdaptiveRound round;
+        round.sampling = opts.campaign.sampling;
+        round.simulatedBenchmarks = out.result.benchmarks;
+        out.rounds.push_back(std::move(round));
+    }
+
+    const std::string base_name = opts.experimentName;
+    for (unsigned round = 0;; ++round) {
+        const Ambiguity ambiguity =
+            findAmbiguity(out.result, half, names, options);
+        out.rounds.back().ambiguousPairs = ambiguity.pairs;
+        if (ambiguity.pairs == 0) {
+            out.converged = true;
+            break;
+        }
+        if (round + 1 >= options.maxRounds)
+            break;
+
+        // Lengthen the schedule: halve the fast-forward interval so
+        // each stream yields ~2x the measured units, clamped so the
+        // detailed phase still fits one period.
+        sample::SamplingOptions &sampling = opts.campaign.sampling;
+        const std::uint64_t detail = sampling.warmupInstructions +
+                                     sampling.unitInstructions;
+        const std::uint64_t next = std::max(
+            detail, sampling.intervalInstructions / 2);
+        if (next == sampling.intervalInstructions)
+            break; // cannot refine further
+        sampling.intervalInstructions = next;
+        opts.experimentName =
+            base_name + "/refine-" + std::to_string(round + 1);
+
+        std::vector<trace::WorkloadProfile> subset;
+        for (const trace::WorkloadProfile &w : workloads)
+            if (ambiguity.benchmarks.count(w.name))
+                subset.push_back(w);
+        if (subset.empty())
+            break;
+
+        const PbExperimentResult refined =
+            runRound(subset, opts, engine, half);
+        splice(out.result, refined);
+
+        AdaptiveRound record;
+        record.sampling = sampling;
+        record.simulatedBenchmarks = refined.benchmarks;
+        out.rounds.push_back(std::move(record));
+    }
+    return out;
+}
+
+} // namespace rigor::methodology

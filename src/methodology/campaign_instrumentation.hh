@@ -262,6 +262,12 @@ manifestCellObserver(obs::CampaignManifest *manifest,
         cell.attempts = event.attempts;
         cell.wallSeconds = event.wallSeconds;
         cell.response = event.response;
+        if (event.sampled) {
+            cell.sampled = true;
+            cell.sampleUnits = event.sample.units;
+            cell.sampleRelativeError = event.sample.relativeError;
+            cell.sampleCiHalfWidth = event.sample.ciHalfWidth;
+        }
         manifest->addCell(cell);
     };
 }

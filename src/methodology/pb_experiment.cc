@@ -114,6 +114,7 @@ pbSimJobs(std::span<const trace::WorkloadProfile> workloads,
             job.config = configForLevels(design.row(run));
             job.instructions = options.instructionsPerRun;
             job.warmupInstructions = options.warmupInstructions;
+            job.sampling = options.campaign.sampling;
             if (options.hookFactory) {
                 job.makeHook = [&factory = options.hookFactory,
                                 &workload]() {
@@ -168,6 +169,7 @@ runPbExperiment(std::span<const trace::WorkloadProfile> workloads,
         info.workloads = result.benchmarks;
         info.instructionsPerRun = options.instructionsPerRun;
         info.warmupInstructions = options.warmupInstructions;
+        info.sampling = campaign.sampling;
         campaign.manifest->beginCampaign(info);
     }
 
@@ -185,6 +187,7 @@ runPbExperiment(std::span<const trace::WorkloadProfile> workloads,
         plan.auditParameterSpace = true;
         plan.instructionsPerRun = options.instructionsPerRun;
         plan.warmupInstructions = options.warmupInstructions;
+        plan.sampling = campaign.sampling;
         check::preflightOrThrow(plan, "runPbExperiment");
     }
 

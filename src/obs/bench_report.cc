@@ -33,6 +33,18 @@ toJson(const BenchReport &report)
     out += std::to_string(report.cacheHits);
     out += ",\"journal_hits\":";
     out += std::to_string(report.journalHits);
+    if (report.sampled) {
+        out += ",\"sampled\":true,\"full_mips\":";
+        out += jsonNumber(report.fullMips);
+        out += ",\"sampled_mips\":";
+        out += jsonNumber(report.sampledMips);
+        out += ",\"detailed_instruction_ratio\":";
+        out += jsonNumber(report.detailedInstructionRatio);
+        out += ",\"sample_rel_error\":";
+        out += jsonNumber(report.sampleRelError);
+        out += ",\"sample_units\":";
+        out += jsonNumber(report.sampleUnits);
+    }
     out += '}';
     return out;
 }

@@ -36,6 +36,20 @@ struct BenchReport
     unsigned threads = 0;
     std::uint64_t cacheHits = 0;
     std::uint64_t journalHits = 0;
+    /** Sampled-simulation comparison block; the five fields below
+     *  are rendered only when this is true. */
+    bool sampled = false;
+    /** Detailed-instruction throughput of the full-run baseline. */
+    double fullMips = 0.0;
+    /** Detailed-instruction throughput of the sampled campaign. */
+    double sampledMips = 0.0;
+    /** Full detailed instructions / sampled detailed instructions
+     *  (the sampling speed-up in simulated work). */
+    double detailedInstructionRatio = 0.0;
+    /** Mean relative CPI CI half-width across sampled runs. */
+    double sampleRelError = 0.0;
+    /** Mean measured units per sampled run. */
+    double sampleUnits = 0.0;
 };
 
 /** Render @p report as a single JSON object. */

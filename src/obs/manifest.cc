@@ -45,6 +45,20 @@ CampaignManifest::beginCampaign(const CampaignInfo &info)
     line += std::to_string(info.instructionsPerRun);
     line += ",\"warmup_instructions\":";
     line += std::to_string(info.warmupInstructions);
+    line += ",\"sampling\":";
+    line += info.sampling.enabled ? "true" : "false";
+    if (info.sampling.enabled) {
+        line += ",\"sample_unit\":";
+        line += std::to_string(info.sampling.unitInstructions);
+        line += ",\"sample_warmup\":";
+        line += std::to_string(info.sampling.warmupInstructions);
+        line += ",\"sample_interval\":";
+        line += std::to_string(info.sampling.intervalInstructions);
+        line += ",\"sample_target_rel_error\":";
+        line += jsonNumber(info.sampling.targetRelativeError);
+        line += ",\"sample_confidence\":";
+        line += jsonNumber(info.sampling.confidence);
+    }
     line += '}';
     append(std::move(line));
 }
@@ -66,6 +80,14 @@ CampaignManifest::addCell(const CellRecord &cell)
     line += jsonNumber(cell.wallSeconds);
     line += ",\"response\":";
     line += jsonNumber(cell.response);
+    if (cell.sampled) {
+        line += ",\"sampled\":true,\"sample_units\":";
+        line += std::to_string(cell.sampleUnits);
+        line += ",\"sample_rel_error\":";
+        line += jsonNumber(cell.sampleRelativeError);
+        line += ",\"sample_half_width\":";
+        line += jsonNumber(cell.sampleCiHalfWidth);
+    }
     line += '}';
     append(std::move(line));
 }

@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "sample/sampling.hh"
+
 namespace rigor::obs
 {
 
@@ -46,6 +48,8 @@ struct CampaignInfo
     std::vector<std::string> workloads;
     std::uint64_t instructionsPerRun = 0;
     std::uint64_t warmupInstructions = 0;
+    /** Sampled-simulation schedule; rendered only when enabled. */
+    sample::SamplingOptions sampling;
 };
 
 /** One completed or quarantined (benchmark, row) response cell. */
@@ -62,6 +66,12 @@ struct CellRecord
     double wallSeconds = 0.0;
     /** Measured cycles; NaN renders as null for quarantined cells. */
     double response = 0.0;
+    /** True when this cell was freshly simulated under sampling; the
+     *  three fields below are rendered only then. */
+    bool sampled = false;
+    std::uint64_t sampleUnits = 0;
+    double sampleRelativeError = 0.0;
+    double sampleCiHalfWidth = 0.0;
 };
 
 /** Terminal accounting of one campaign (the "summary" record). */

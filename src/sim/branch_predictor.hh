@@ -64,6 +64,13 @@ class BranchPredictor
     /** Record a resolved prediction in the statistics. */
     void recordOutcome(bool correct);
 
+    /**
+     * Restore construction-time state: tables, histories, and the
+     * outcome statistics. A reset predictor behaves bit-identically
+     * to a freshly constructed one.
+     */
+    virtual void reset() { _stats = BranchPredictorStats{}; }
+
     const BranchPredictorStats &stats() const { return _stats; }
 
   private:
@@ -88,6 +95,7 @@ class TwoLevelPredictor : public BranchPredictor
     bool predict(std::uint64_t pc) override;
     void updateHistory(bool taken) override;
     void updateCounters(std::uint64_t pc, bool taken) override;
+    void reset() override;
 
   private:
     std::vector<std::uint8_t> _counters;
@@ -107,6 +115,7 @@ class BimodalPredictor : public BranchPredictor
     bool predict(std::uint64_t pc) override;
     void updateHistory(bool taken) override;
     void updateCounters(std::uint64_t pc, bool taken) override;
+    void reset() override;
 
   private:
     std::vector<std::uint8_t> _counters;
@@ -134,6 +143,7 @@ class LocalTwoLevelPredictor : public BranchPredictor
     bool predict(std::uint64_t pc) override;
     void updateHistory(bool taken) override;
     void updateCounters(std::uint64_t pc, bool taken) override;
+    void reset() override;
 
   private:
     std::vector<std::uint16_t> _histories;
@@ -159,6 +169,7 @@ class TournamentPredictor : public BranchPredictor
     bool predict(std::uint64_t pc) override;
     void updateHistory(bool taken) override;
     void updateCounters(std::uint64_t pc, bool taken) override;
+    void reset() override;
 
   private:
     TwoLevelPredictor _global;
@@ -179,6 +190,7 @@ class PerfectPredictor : public BranchPredictor
     bool predict(std::uint64_t pc) override;
     void updateHistory(bool taken) override;
     void updateCounters(std::uint64_t pc, bool taken) override;
+    void reset() override;
 
   private:
     bool _next = false;

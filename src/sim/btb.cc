@@ -52,4 +52,11 @@ Btb::update(std::uint64_t pc, std::uint64_t target)
     _tags.insert(set, tag, target);
 }
 
+void
+Btb::reset()
+{
+    _tags.flush();
+    _stats = BtbStats{};
+}
+
 } // namespace rigor::sim

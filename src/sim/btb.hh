@@ -52,6 +52,9 @@ class Btb
     /** Install or refresh the target of a taken branch. */
     void update(std::uint64_t pc, std::uint64_t target);
 
+    /** Invalidate all entries and clear the statistics. */
+    void reset();
+
     const BtbStats &stats() const { return _stats; }
 
   private:

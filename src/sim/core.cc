@@ -1,6 +1,8 @@
 #include "sim/core.hh"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace rigor::sim
 {
@@ -44,6 +46,13 @@ SlotAllocator::allocate(std::uint64_t earliest)
         }
         ++cycle;
     }
+}
+
+void
+SlotAllocator::reset()
+{
+    std::fill(_tags.begin(), _tags.end(), ~std::uint64_t{0});
+    std::fill(_counts.begin(), _counts.end(), 0);
 }
 
 // ---------------------------------------------------------------------
@@ -171,6 +180,26 @@ SuperscalarCore::run(trace::TraceSource &source,
     const std::uint32_t lsq = _config.lsqEntries();
     const std::uint64_t block_mask =
         ~(std::uint64_t{_config.l1i.blockBytes} - 1);
+
+    // An over-long warm-up would consume the whole stream: the latch
+    // below would never fire, warmupCycles would stay 0, and
+    // measuredCycles() would silently include the warm-up. Reject it
+    // up front instead of returning a corrupted response.
+    if (warmup_instructions > 0 &&
+        warmup_instructions >= source.length())
+        throw std::invalid_argument(
+            "SuperscalarCore::run: warm-up of " +
+            std::to_string(warmup_instructions) +
+            " instructions consumes the whole " +
+            std::to_string(source.length()) +
+            "-instruction stream; nothing would be measured");
+
+    // run() accumulates across calls, so the latch must compare
+    // against this call's instruction count, not the lifetime total.
+    const std::uint64_t warmup_target =
+        warmup_instructions == 0
+            ? 0
+            : _stats.instructions + warmup_instructions;
 
     while (source.next(inst)) {
         // ---------------- Fetch ----------------
@@ -388,13 +417,116 @@ SuperscalarCore::run(trace::TraceSource &source,
         ++_instrIndex;
         ++_stats.instructions;
         _stats.cycles = std::max(_stats.cycles, commit);
-        if (_stats.instructions == warmup_instructions) {
-            _stats.warmupInstructions = warmup_instructions;
+        if (warmup_target != 0 &&
+            _stats.instructions == warmup_target) {
+            _stats.warmupInstructions = _stats.instructions;
             _stats.warmupCycles = _stats.cycles;
         }
     }
 
     return _stats;
+}
+
+std::uint64_t
+SuperscalarCore::warm(trace::TraceSource &source,
+                      std::uint64_t max_instructions)
+{
+    Instruction inst;
+    const std::uint64_t block_mask =
+        ~(std::uint64_t{_config.l1i.blockBytes} - 1);
+
+    // Time does not advance in functional mode; queued commit-time
+    // predictor updates from a preceding detailed stretch all become
+    // visible "now".
+    drainPredictorUpdates(~std::uint64_t{0});
+
+    std::uint64_t consumed = 0;
+    while (consumed < max_instructions && source.next(inst)) {
+        ++consumed;
+        const std::uint64_t block = inst.pc & block_mask;
+        if (block != _lastFetchBlock) {
+            _memory.warmInstructionFetch(inst.pc);
+            _lastFetchBlock = block;
+        }
+        if (trace::isControlOp(inst.op)) {
+            warmControl(inst);
+            if (inst.taken)
+                _lastFetchBlock = ~std::uint64_t{0};
+        }
+        if (trace::isMemOp(inst.op))
+            _memory.warmDataAccess(inst.memAddr);
+    }
+    return consumed;
+}
+
+void
+SuperscalarCore::warmControl(const Instruction &inst)
+{
+    if (_config.bpred == BranchPredictorKind::Perfect)
+        return; // nothing to train
+
+    if (inst.op == OpClass::Return) {
+        _ras.pop();
+        return;
+    }
+    if (inst.op == OpClass::Call) {
+        _ras.push(inst.retAddr);
+    } else {
+        // Train with the fetch-order prediction consumed, matching
+        // the detailed path's predict-then-update sequence.
+        const bool predicted_taken = _predictor->predict(inst.pc);
+        if (inst.op == OpClass::Branch) {
+            _predictor->updateHistory(inst.taken);
+            _predictor->updateCounters(inst.pc, inst.taken);
+        }
+        if (predicted_taken != inst.taken)
+            return; // detailed path skips BTB work on a mispredict
+    }
+
+    if (inst.taken) {
+        std::uint64_t target = 0;
+        _btb.lookup(inst.pc, &target);
+        _btb.update(inst.pc, inst.target);
+    }
+}
+
+void
+SuperscalarCore::reset()
+{
+    _memory.reset();
+    _predictor->reset();
+    _btb.reset();
+    _ras.reset();
+    _intAlu.reset();
+    _fpAlu.reset();
+    _intMultDiv.reset();
+    _fpMultDiv.reset();
+    _issueSlots.reset();
+    _memPorts.reset();
+
+    _stats = CoreStats{};
+
+    _nextFetchCycle = 0;
+    _fetchSlotsLeft = _config.machineWidth;
+    _lastFetchBlock = ~std::uint64_t{0};
+    _redirectCycle = 0;
+
+    std::fill(_dispatchHist.begin(), _dispatchHist.end(), 0);
+    std::fill(_commitHist.begin(), _commitHist.end(), 0);
+    std::fill(_memCommitHist.begin(), _memCommitHist.end(), 0);
+    _instrIndex = 0;
+    _memIndex = 0;
+
+    std::fill(_regReady.begin(), _regReady.end(), 0);
+
+    _dispatchCycleCur = 0;
+    _dispatchSlotsUsed = 0;
+    _commitCycleCur = 0;
+    _commitSlotsUsed = 0;
+    _prevCommitCycle = 0;
+
+    _pendingUpdates.clear();
+    _branchMispredicted = false;
 }
 
 } // namespace rigor::sim

@@ -122,6 +122,9 @@ class SlotAllocator
      */
     std::uint64_t allocate(std::uint64_t earliest);
 
+    /** Release every booking, as if freshly constructed. */
+    void reset();
+
   private:
     static constexpr std::size_t ringSize = 1u << 17;
 
@@ -151,6 +154,32 @@ class SuperscalarCore
     CoreStats run(trace::TraceSource &source,
                   std::uint64_t warmup_instructions = 0);
 
+    /**
+     * Functional-only execution: consume up to @p max_instructions
+     * from @p source, advancing the caches, TLBs, BTB, branch
+     * predictor, and RAS — but no cycle accounting. CoreStats is left
+     * untouched, so a detailed run() may continue afterwards with its
+     * cycle count unperturbed. This is the fast-forward mode of
+     * SMARTS-style sampled simulation: microarchitectural state stays
+     * warm between detailed sampling units at a fraction of the cost.
+     *
+     * @return the number of instructions actually consumed (less than
+     *         @p max_instructions only when the source runs dry)
+     */
+    std::uint64_t warm(trace::TraceSource &source,
+                       std::uint64_t max_instructions);
+
+    /**
+     * Restore construction-time state: pipeline occupancy, memory
+     * hierarchy, predictor structures, and statistics. A reset core
+     * re-running a rewound TraceSource produces bit-identical
+     * CoreStats.
+     */
+    void reset();
+
+    /** Cumulative statistics across all run() calls so far. */
+    const CoreStats &stats() const { return _stats; }
+
     const MemorySystem &memory() const { return _memory; }
     const BranchPredictor &predictor() const { return *_predictor; }
     const Btb &btb() const { return _btb; }
@@ -166,6 +195,9 @@ class SuperscalarCore
     /** Handle prediction/redirect bookkeeping of a control op. */
     void handleControl(const trace::Instruction &inst,
                        std::uint64_t fetch_cycle);
+    /** Functional-mode counterpart of handleControl: trains the
+     *  predictor, BTB, and RAS without any timing side effects. */
+    void warmControl(const trace::Instruction &inst);
     /** Apply queued commit-time predictor updates visible by @p cycle. */
     void drainPredictorUpdates(std::uint64_t cycle);
 

@@ -93,4 +93,50 @@ MemorySystem::dataAccess(std::uint64_t cycle, std::uint64_t addr,
     return latency;
 }
 
+void
+MemorySystem::warmInstructionFetch(std::uint64_t pc)
+{
+    ++_stats.instructionFetches;
+    _itlb.access(pc);
+    if (!_l1i.access(pc)) {
+        ++_stats.l2Accesses;
+        if (!_l2.access(pc))
+            ++_stats.memoryTransfers;
+    }
+    if (_nextLinePrefetch) {
+        const std::uint64_t next =
+            (pc | (_l1i.geometry().blockBytes - 1)) + 1;
+        if (!_l1i.contains(next)) {
+            ++_stats.instructionPrefetches;
+            _l1i.access(next);
+            if (!_l2.access(next))
+                ++_stats.memoryTransfers;
+        }
+    }
+}
+
+void
+MemorySystem::warmDataAccess(std::uint64_t addr)
+{
+    ++_stats.dataAccesses;
+    _dtlb.access(addr);
+    if (!_l1d.access(addr)) {
+        ++_stats.l2Accesses;
+        if (!_l2.access(addr))
+            ++_stats.memoryTransfers;
+    }
+}
+
+void
+MemorySystem::reset()
+{
+    _l1i.reset();
+    _l1d.reset();
+    _l2.reset();
+    _itlb.reset();
+    _dtlb.reset();
+    _memFreeCycle = 0;
+    _stats = MemorySystemStats{};
+}
+
 } // namespace rigor::sim

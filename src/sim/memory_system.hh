@@ -67,6 +67,22 @@ class MemorySystem
     std::uint64_t dataAccess(std::uint64_t cycle, std::uint64_t addr,
                              bool is_store);
 
+    /**
+     * Functionally warm the instruction side: advance TLB, L1I, and
+     * L2 contents for a fetch of @p pc without any cycle accounting.
+     * The access counters still tick; the bus/queue state does not.
+     */
+    void warmInstructionFetch(std::uint64_t pc);
+
+    /** Functionally warm the data side (TLB, L1D, L2) for @p addr. */
+    void warmDataAccess(std::uint64_t addr);
+
+    /**
+     * Restore construction-time state: flush all caches and TLBs,
+     * clear the statistics, and free the memory channel.
+     */
+    void reset();
+
     const Cache &l1i() const { return _l1i; }
     const Cache &l1d() const { return _l1d; }
     const Cache &l2() const { return _l2; }

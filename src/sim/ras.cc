@@ -1,5 +1,6 @@
 #include "sim/ras.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace rigor::sim
@@ -36,6 +37,15 @@ ReturnAddressStack::pop()
     _top = (_top + capacity() - 1) % capacity();
     --_depth;
     return _entries[_top];
+}
+
+void
+ReturnAddressStack::reset()
+{
+    std::fill(_entries.begin(), _entries.end(), 0);
+    _top = 0;
+    _depth = 0;
+    _stats = RasStats{};
 }
 
 } // namespace rigor::sim

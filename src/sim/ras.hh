@@ -40,6 +40,9 @@ class ReturnAddressStack
      */
     std::optional<std::uint64_t> pop();
 
+    /** Empty the stack and clear the statistics. */
+    void reset();
+
     std::uint32_t capacity() const
     {
         return static_cast<std::uint32_t>(_entries.size());

@@ -8,7 +8,7 @@ namespace rigor::sim
 TagStore::TagStore(std::uint32_t num_sets, std::uint32_t assoc,
                    ReplacementKind replacement, std::uint64_t seed)
     : _numSets(num_sets), _assoc(assoc), _replacement(replacement),
-      _tick(0), _rngState(seed | 1),
+      _seed(seed), _tick(0), _rngState(seed | 1),
       _ways(static_cast<std::size_t>(num_sets) * assoc)
 {
     if (num_sets == 0 || assoc == 0)
@@ -125,7 +125,9 @@ void
 TagStore::flush()
 {
     for (Way &way : _ways)
-        way.valid = false;
+        way = Way{};
+    _tick = 0;
+    _rngState = _seed | 1;
 }
 
 } // namespace rigor::sim

@@ -57,7 +57,11 @@ class TagStore
     bool insert(std::uint32_t set, std::uint64_t tag,
                 std::uint64_t payload = 0);
 
-    /** Invalidate everything. */
+    /**
+     * Invalidate everything and restore construction-time replacement
+     * state (LRU clock, Random PRNG). A flushed store behaves
+     * bit-identically to a freshly constructed one.
+     */
     void flush();
 
   private:
@@ -72,6 +76,7 @@ class TagStore
     std::uint32_t _numSets;
     std::uint32_t _assoc;
     ReplacementKind _replacement;
+    std::uint64_t _seed;
     std::uint64_t _tick;
     std::uint64_t _rngState;
     std::vector<Way> _ways;

@@ -110,3 +110,66 @@ TEST(WorkloadCheck, WindowShorterThanHotCodeWarns)
     EXPECT_TRUE(sink.hasRule(rules::kRunWindowBelowHotCode));
     EXPECT_EQ(sink.errorCount(), 0u);
 }
+
+namespace
+{
+
+rigor::sample::SamplingOptions
+sampledSchedule()
+{
+    rigor::sample::SamplingOptions sampling;
+    sampling.enabled = true;
+    sampling.unitInstructions = 250;
+    sampling.warmupInstructions = 250;
+    sampling.intervalInstructions = 2500;
+    return sampling;
+}
+
+} // namespace
+
+TEST(SamplingPlanCheck, DisabledSamplingIsAlwaysClean)
+{
+    rigor::sample::SamplingOptions sampling; // disabled
+    sampling.unitInstructions = 0;           // would be invalid
+    check::DiagnosticSink sink;
+    EXPECT_TRUE(check::checkSamplingPlan(sampling, 100, 0, sink));
+    EXPECT_EQ(sink.diagnostics().size(), 0u);
+}
+
+TEST(SamplingPlanCheck, MalformedScheduleRejected)
+{
+    rigor::sample::SamplingOptions sampling = sampledSchedule();
+    sampling.intervalInstructions = 400; // detailed phase > period
+    check::DiagnosticSink sink;
+    EXPECT_FALSE(
+        check::checkSamplingPlan(sampling, 200000, 0, sink));
+    EXPECT_TRUE(sink.hasRule(rules::kSampleScheduleInvalid));
+}
+
+TEST(SamplingPlanCheck, StreamShorterThanOneUnitRejected)
+{
+    check::DiagnosticSink sink;
+    // stream = 300 + 100 < 500 detailed instructions per unit.
+    EXPECT_FALSE(
+        check::checkSamplingPlan(sampledSchedule(), 300, 100, sink));
+    EXPECT_TRUE(sink.hasRule(rules::kSampleNoUnits));
+}
+
+TEST(SamplingPlanCheck, FewUnitsWarns)
+{
+    check::DiagnosticSink sink;
+    // 10000 instructions / 2500 interval = 4 units, far below 30.
+    EXPECT_TRUE(
+        check::checkSamplingPlan(sampledSchedule(), 10000, 0, sink));
+    EXPECT_TRUE(sink.hasRule(rules::kSampleFewUnits));
+    EXPECT_EQ(sink.errorCount(), 0u);
+}
+
+TEST(SamplingPlanCheck, DenseScheduleIsClean)
+{
+    check::DiagnosticSink sink;
+    // 200000 / 2500 = 80 units.
+    EXPECT_TRUE(check::checkSamplingPlan(sampledSchedule(), 200000,
+                                         0, sink));
+    EXPECT_EQ(sink.diagnostics().size(), 0u) << sink.toString();
+}

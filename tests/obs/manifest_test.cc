@@ -46,7 +46,58 @@ TEST(CampaignManifest, GoldenCampaignRecord)
               "\"design_digest\":\"0011223344556677\","
               "\"workloads\":[\"gzip\",\"mcf\"],"
               "\"instructions_per_run\":200000,"
-              "\"warmup_instructions\":1000}\n");
+              "\"warmup_instructions\":1000,"
+              "\"sampling\":false}\n");
+}
+
+TEST(CampaignManifest, GoldenSampledCampaignRecord)
+{
+    obs::CampaignInfo info = sampleCampaign();
+    info.sampling.enabled = true;
+    info.sampling.unitInstructions = 250;
+    info.sampling.warmupInstructions = 250;
+    info.sampling.intervalInstructions = 2500;
+    info.sampling.targetRelativeError = 0.05;
+    info.sampling.confidence = 0.95;
+    obs::CampaignManifest manifest;
+    manifest.beginCampaign(info);
+    EXPECT_EQ(manifest.toJsonl(),
+              "{\"type\":\"campaign\",\"experiment\":\"pb_screen\","
+              "\"factors\":43,\"rows\":88,\"foldover\":true,"
+              "\"design_digest\":\"0011223344556677\","
+              "\"workloads\":[\"gzip\",\"mcf\"],"
+              "\"instructions_per_run\":200000,"
+              "\"warmup_instructions\":1000,"
+              "\"sampling\":true,\"sample_unit\":250,"
+              "\"sample_warmup\":250,\"sample_interval\":2500,"
+              "\"sample_target_rel_error\":0.05,"
+              "\"sample_confidence\":0.95}\n");
+}
+
+TEST(CampaignManifest, GoldenSampledCellRecord)
+{
+    obs::CampaignManifest manifest;
+    obs::CellRecord cell;
+    cell.benchmark = "gzip";
+    cell.row = 7;
+    cell.runKey = "deadbeef|200000|0|gzip|s:u250:w250:i2500";
+    cell.source = "simulated";
+    cell.attempts = 1;
+    cell.wallSeconds = 0.25;
+    cell.response = 123456;
+    cell.sampled = true;
+    cell.sampleUnits = 80;
+    cell.sampleRelativeError = 0.125;
+    cell.sampleCiHalfWidth = 0.25;
+    manifest.addCell(cell);
+    EXPECT_EQ(manifest.toJsonl(),
+              "{\"type\":\"cell\",\"benchmark\":\"gzip\",\"row\":7,"
+              "\"key\":\"deadbeef|200000|0|gzip|s:u250:w250:i2500\","
+              "\"source\":\"simulated\",\"attempts\":1,"
+              "\"wall_seconds\":0.25,\"response\":123456,"
+              "\"sampled\":true,\"sample_units\":80,"
+              "\"sample_rel_error\":0.125,"
+              "\"sample_half_width\":0.25}\n");
 }
 
 TEST(CampaignManifest, GoldenCellRecord)

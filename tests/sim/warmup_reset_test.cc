@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "methodology/parameter_space.hh"
+#include "sim/core.hh"
+#include "trace/generator.hh"
+#include "trace/workloads.hh"
+
+namespace doe = rigor::doe;
+namespace methodology = rigor::methodology;
+namespace sim = rigor::sim;
+namespace trace = rigor::trace;
+
+namespace
+{
+
+trace::WorkloadProfile
+workload()
+{
+    return trace::workloadByName("gzip");
+}
+
+sim::ProcessorConfig
+configWithPredictor(sim::BranchPredictorKind kind)
+{
+    sim::ProcessorConfig config =
+        methodology::uniformConfig(doe::Level::High);
+    config.bpred = kind;
+    config.validate();
+    return config;
+}
+
+void
+expectSameStats(const sim::CoreStats &a, const sim::CoreStats &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.btbMisfetches, b.btbMisfetches);
+    EXPECT_EQ(a.rasMispredicts, b.rasMispredicts);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.interceptedInstructions, b.interceptedInstructions);
+    EXPECT_EQ(a.warmupInstructions, b.warmupInstructions);
+    EXPECT_EQ(a.warmupCycles, b.warmupCycles);
+}
+
+} // namespace
+
+// ----- Warm-up vs stream-length boundaries -----
+
+TEST(WarmupAccounting, WarmupEqualToStreamLengthIsRejected)
+{
+    const trace::WorkloadProfile profile = workload();
+    trace::SyntheticTraceGenerator gen(profile, 5000);
+    sim::SuperscalarCore core(
+        configWithPredictor(sim::BranchPredictorKind::TwoLevel));
+    EXPECT_THROW(core.run(gen, 5000), std::invalid_argument);
+}
+
+TEST(WarmupAccounting, WarmupLongerThanStreamIsRejected)
+{
+    const trace::WorkloadProfile profile = workload();
+    trace::SyntheticTraceGenerator gen(profile, 5000);
+    sim::SuperscalarCore core(
+        configWithPredictor(sim::BranchPredictorKind::TwoLevel));
+    EXPECT_THROW(core.run(gen, 5001), std::invalid_argument);
+}
+
+TEST(WarmupAccounting, ZeroWarmupMeasuresEverything)
+{
+    const trace::WorkloadProfile profile = workload();
+    trace::SyntheticTraceGenerator gen(profile, 5000);
+    sim::SuperscalarCore core(
+        configWithPredictor(sim::BranchPredictorKind::TwoLevel));
+    const sim::CoreStats stats = core.run(gen, 0);
+    EXPECT_EQ(stats.warmupInstructions, 0u);
+    EXPECT_EQ(stats.warmupCycles, 0u);
+    EXPECT_EQ(stats.measuredInstructions(), stats.instructions);
+    EXPECT_EQ(stats.measuredCycles(), stats.cycles);
+}
+
+TEST(WarmupAccounting, WarmupOneShortOfStreamLatches)
+{
+    // The historic latch compared against a cumulative counter and
+    // could only fire mid-run; a warm-up one instruction short of
+    // the stream is the tightest boundary that must still latch.
+    const trace::WorkloadProfile profile = workload();
+    trace::SyntheticTraceGenerator gen(profile, 5000);
+    sim::SuperscalarCore core(
+        configWithPredictor(sim::BranchPredictorKind::TwoLevel));
+    const sim::CoreStats stats = core.run(gen, 4999);
+    EXPECT_EQ(stats.warmupInstructions, 4999u);
+    EXPECT_GT(stats.warmupCycles, 0u);
+    EXPECT_EQ(stats.measuredInstructions(), 1u);
+}
+
+TEST(WarmupAccounting, LatchFiresOnSecondRunOfSameCore)
+{
+    // The cumulative-stats core runs batch after batch; the warm-up
+    // target must be relative to the instructions already retired,
+    // not an absolute count that only ever matches on the first run.
+    const trace::WorkloadProfile profile = workload();
+    sim::SuperscalarCore core(
+        configWithPredictor(sim::BranchPredictorKind::TwoLevel));
+    trace::SyntheticTraceGenerator first(profile, 4000);
+    core.run(first, 1000);
+    trace::SyntheticTraceGenerator second(profile, 4000);
+    const sim::CoreStats stats = core.run(second, 1000);
+    // The second run's warm-up latched at 4000 (first run) + 1000.
+    EXPECT_EQ(stats.warmupInstructions, 5000u);
+    EXPECT_EQ(stats.instructions, 8000u);
+}
+
+// ----- run -> reset -> run bit-identity -----
+
+TEST(CoreReset, RunResetRunIsBitIdentical)
+{
+    const trace::WorkloadProfile profile = workload();
+    for (const sim::BranchPredictorKind kind :
+         {sim::BranchPredictorKind::TwoLevel,
+          sim::BranchPredictorKind::Bimodal,
+          sim::BranchPredictorKind::LocalTwoLevel,
+          sim::BranchPredictorKind::Tournament,
+          sim::BranchPredictorKind::Perfect}) {
+        SCOPED_TRACE(static_cast<int>(kind));
+        sim::SuperscalarCore core(configWithPredictor(kind));
+
+        trace::SyntheticTraceGenerator first(profile, 8000);
+        const sim::CoreStats cold = core.run(first, 500);
+
+        core.reset();
+        trace::SyntheticTraceGenerator second(profile, 8000);
+        const sim::CoreStats again = core.run(second, 500);
+        expectSameStats(cold, again);
+    }
+}
+
+TEST(CoreReset, ResetMatchesFreshCore)
+{
+    const trace::WorkloadProfile profile = workload();
+    const sim::ProcessorConfig config =
+        configWithPredictor(sim::BranchPredictorKind::Tournament);
+
+    sim::SuperscalarCore dirty(config);
+    trace::SyntheticTraceGenerator polluter(profile, 6000);
+    dirty.run(polluter);
+    dirty.reset();
+    trace::SyntheticTraceGenerator replay(profile, 6000);
+    const sim::CoreStats after_reset = dirty.run(replay);
+
+    sim::SuperscalarCore fresh(config);
+    trace::SyntheticTraceGenerator baseline(profile, 6000);
+    const sim::CoreStats from_fresh = fresh.run(baseline);
+
+    expectSameStats(after_reset, from_fresh);
+}
+
+// ----- Functional warming -----
+
+TEST(FunctionalWarm, LeavesTimingStatsUntouched)
+{
+    const trace::WorkloadProfile profile = workload();
+    sim::SuperscalarCore core(
+        configWithPredictor(sim::BranchPredictorKind::TwoLevel));
+    trace::SyntheticTraceGenerator gen(profile, 10000);
+    const std::uint64_t consumed = core.warm(gen, 4000);
+    EXPECT_EQ(consumed, 4000u);
+    EXPECT_EQ(core.stats().instructions, 0u);
+    EXPECT_EQ(core.stats().cycles, 0u);
+}
+
+TEST(FunctionalWarm, StopsAtStreamEnd)
+{
+    const trace::WorkloadProfile profile = workload();
+    sim::SuperscalarCore core(
+        configWithPredictor(sim::BranchPredictorKind::TwoLevel));
+    trace::SyntheticTraceGenerator gen(profile, 1000);
+    EXPECT_EQ(core.warm(gen, 5000), 1000u);
+}
+
+TEST(FunctionalWarm, WarmedCoreResetsToFreshState)
+{
+    const trace::WorkloadProfile profile = workload();
+    const sim::ProcessorConfig config =
+        configWithPredictor(sim::BranchPredictorKind::LocalTwoLevel);
+
+    sim::SuperscalarCore warmed(config);
+    trace::SyntheticTraceGenerator warm_stream(profile, 5000);
+    warmed.warm(warm_stream, 5000);
+    warmed.reset();
+    trace::SyntheticTraceGenerator replay(profile, 6000);
+    const sim::CoreStats after_reset = warmed.run(replay);
+
+    sim::SuperscalarCore fresh(config);
+    trace::SyntheticTraceGenerator baseline(profile, 6000);
+    expectSameStats(after_reset, fresh.run(baseline));
+}

@@ -39,6 +39,7 @@
 #include "cli_options.hh"
 #include "exec/fault_injection.hh"
 #include "exec/journal.hh"
+#include "methodology/adaptive_sampling.hh"
 #include "methodology/pb_experiment.hh"
 #include "methodology/rank_table.hh"
 #include "obs/bench_report.hh"
@@ -59,6 +60,9 @@ struct CliOptions
     std::vector<std::string> workloads;
     std::uint64_t instructions = 20000;
     std::uint64_t warmup = 0;
+    /** With --sample: refine statistically ambiguous cells for up
+     *  to N total rounds (0 = single-pass screen). */
+    unsigned adaptiveRounds = 0;
     CampaignCliOptions campaign;
     std::size_t crashAfter = 0; // 0 = no crash drill
     bool haveCrashAfter = false;
@@ -98,6 +102,10 @@ usage(const char *argv0)
         "  --instructions N       measured instructions per run\n"
         "  --warmup N             warm-up instructions per run\n"
         "%s"
+        "  --adaptive-rounds N    with --sample: re-run benchmarks\n"
+        "                         whose top-factor effects are inside\n"
+        "                         their CI with a denser schedule, up\n"
+        "                         to N total rounds\n"
         "  --crash-after N        crash drill: die after N appends\n"
         "  --inject J:A:KIND      fault job J, attempt A\n"
         "                         (KIND: transient|permanent|hang|\n"
@@ -188,6 +196,18 @@ parseArgs(int argc, char **argv, CliOptions &options)
             if (v == nullptr ||
                 !rigor::tools::parseUint64(v, options.warmup))
                 return false;
+        } else if (arg == "--adaptive-rounds") {
+            const char *v = args.valueFor("--adaptive-rounds");
+            if (v == nullptr ||
+                !rigor::tools::parseUnsigned(
+                    v, options.adaptiveRounds) ||
+                options.adaptiveRounds == 0) {
+                if (v != nullptr)
+                    std::fprintf(stderr,
+                                 "campaign: --adaptive-rounds must "
+                                 "be a positive round count\n");
+                return false;
+            }
         } else if (arg == "--crash-after") {
             const char *v = args.valueFor("--crash-after");
             if (v == nullptr ||
@@ -343,8 +363,46 @@ main(int argc, char **argv)
         if (!cli.campaign.manifestOut.empty())
             opts.campaign.manifest = &manifest;
 
-        const rigor::methodology::PbExperimentResult result =
-            rigor::methodology::runPbExperiment(workloads, opts);
+        if (cli.adaptiveRounds != 0 &&
+            !opts.campaign.sampling.enabled) {
+            std::fprintf(stderr,
+                         "campaign: --adaptive-rounds needs "
+                         "--sample\n");
+            return 2;
+        }
+
+        rigor::methodology::PbExperimentResult result;
+        if (cli.adaptiveRounds != 0) {
+            rigor::methodology::AdaptiveSamplingOptions adaptive;
+            adaptive.base = opts;
+            adaptive.maxRounds = cli.adaptiveRounds;
+            rigor::methodology::AdaptiveSamplingResult outcome =
+                rigor::methodology::runAdaptivePbExperiment(
+                    workloads, adaptive);
+            for (std::size_t r = 0; r < outcome.rounds.size(); ++r) {
+                const rigor::methodology::AdaptiveRound &round =
+                    outcome.rounds[r];
+                std::fprintf(
+                    stderr,
+                    "campaign: sampling round %zu: interval %llu, "
+                    "%zu benchmark(s), %zu ambiguous pair(s) "
+                    "remain\n",
+                    r,
+                    static_cast<unsigned long long>(
+                        round.sampling.intervalInstructions),
+                    round.simulatedBenchmarks.size(),
+                    round.ambiguousPairs);
+            }
+            std::fprintf(stderr,
+                         "campaign: adaptive sampling %s after %zu "
+                         "round(s)\n",
+                         outcome.converged ? "converged" : "stopped",
+                         outcome.rounds.size());
+            result = std::move(outcome.result);
+        } else {
+            result = rigor::methodology::runPbExperiment(workloads,
+                                                         opts);
+        }
 
         // Degradation trail first, table second: a reduced Table 9
         // is always preceded and suffixed by what it is missing.
@@ -391,6 +449,9 @@ main(int argc, char **argv)
             report.threads = engine.threads();
             report.cacheHits = progress.cacheHits;
             report.journalHits = progress.journalHits;
+            report.sampled = cli.campaign.sample;
+            if (report.sampled)
+                report.sampledMips = report.mips;
             rigor::obs::writeBenchReport(cli.campaign.benchOut,
                                          report);
         }

@@ -22,11 +22,13 @@ ArgCursor::valueFor(const char *flag)
 namespace
 {
 
-/** strtoull with whole-string and range enforcement. */
+/** strtoull with whole-string and range enforcement. Rejects a
+ *  leading sign: strtoull would silently wrap "-1" to 2^64-1, turning
+ *  a typo'd negative into an absurdly large limit. */
 bool
 parseRaw(const char *text, unsigned long long &out)
 {
-    if (text == nullptr || *text == '\0')
+    if (text == nullptr || *text < '0' || *text > '9')
         return false;
     char *end = nullptr;
     errno = 0;
@@ -213,10 +215,85 @@ CampaignCliOptions::tryParse(ArgCursor &args, const std::string &arg)
         }
         return Match::Consumed;
     }
-    if (name == "--mem-limit-mb")
-        return uint64_flag("--mem-limit-mb", memLimitMb);
-    if (name == "--hard-deadline-ms")
-        return unsigned_flag("--hard-deadline-ms", hardDeadlineMs);
+    if (name == "--mem-limit-mb") {
+        const Match m = uint64_flag("--mem-limit-mb", memLimitMb);
+        if (m == Match::Consumed && memLimitMb == 0) {
+            std::fprintf(stderr,
+                         "%s: --mem-limit-mb must be positive (omit "
+                         "the flag to disable the cap)\n",
+                         args.program().c_str());
+            return Match::Error;
+        }
+        return m;
+    }
+    if (name == "--hard-deadline-ms") {
+        const Match m =
+            unsigned_flag("--hard-deadline-ms", hardDeadlineMs);
+        if (m == Match::Consumed && hardDeadlineMs == 0) {
+            std::fprintf(stderr,
+                         "%s: --hard-deadline-ms must be positive "
+                         "(omit the flag to disable the watchdog)\n",
+                         args.program().c_str());
+            return Match::Error;
+        }
+        return m;
+    }
+    if (name == "--sample") {
+        bool on = false;
+        const Match m = bare(on);
+        if (m == Match::Consumed)
+            sample = true;
+        return m;
+    }
+    if (name == "--sample-unit") {
+        const Match m = uint64_flag("--sample-unit", sampleUnit);
+        if (m == Match::Consumed && sampleUnit == 0) {
+            std::fprintf(stderr,
+                         "%s: --sample-unit must be positive\n",
+                         args.program().c_str());
+            return Match::Error;
+        }
+        return m;
+    }
+    if (name == "--sample-warmup")
+        return uint64_flag("--sample-warmup", sampleWarmup);
+    if (name == "--sample-interval") {
+        const Match m =
+            uint64_flag("--sample-interval", sampleInterval);
+        if (m == Match::Consumed && sampleInterval == 0) {
+            std::fprintf(stderr,
+                         "%s: --sample-interval must be positive\n",
+                         args.program().c_str());
+            return Match::Error;
+        }
+        return m;
+    }
+    if (name == "--sample-rel-error") {
+        const char *v = value("--sample-rel-error");
+        if (v == nullptr || !parseDouble(v, sampleRelError) ||
+            sampleRelError <= 0.0 || sampleRelError >= 1.0) {
+            if (v != nullptr)
+                std::fprintf(stderr,
+                             "%s: bad --sample-rel-error value %s "
+                             "(want (0, 1))\n",
+                             args.program().c_str(), v);
+            return Match::Error;
+        }
+        return Match::Consumed;
+    }
+    if (name == "--sample-confidence") {
+        const char *v = value("--sample-confidence");
+        if (v == nullptr || !parseDouble(v, sampleConfidence) ||
+            sampleConfidence <= 0.0 || sampleConfidence >= 1.0) {
+            if (v != nullptr)
+                std::fprintf(stderr,
+                             "%s: bad --sample-confidence value %s "
+                             "(want (0, 1))\n",
+                             args.program().c_str(), v);
+            return Match::Error;
+        }
+        return Match::Consumed;
+    }
     if (name == "--collect") {
         bool on = false;
         const Match m = bare(on);
@@ -277,6 +354,12 @@ CampaignCliOptions::apply(exec::CampaignOptions &campaign) const
     campaign.isolation = isolation;
     campaign.memLimitMb = memLimitMb;
     campaign.hardDeadline = std::chrono::milliseconds(hardDeadlineMs);
+    campaign.sampling.enabled = sample;
+    campaign.sampling.unitInstructions = sampleUnit;
+    campaign.sampling.warmupInstructions = sampleWarmup;
+    campaign.sampling.intervalInstructions = sampleInterval;
+    campaign.sampling.targetRelativeError = sampleRelError;
+    campaign.sampling.confidence = sampleConfidence;
 }
 
 const char *
@@ -299,6 +382,18 @@ CampaignCliOptions::usageText()
         "  --hard-deadline-ms N   SIGKILL a sandbox attempt past this\n"
         "  --collect              quarantine failures, don't fail fast\n"
         "  --degrade MODE         abort | drop-benchmark (with --collect)\n"
+        "  --sample               SMARTS-style sampled simulation:\n"
+        "                         periodic detailed units with CPI CIs\n"
+        "                         instead of full detailed runs\n"
+        "  --sample-unit N        measured instructions per unit\n"
+        "                         (default 1000)\n"
+        "  --sample-warmup N      detailed warm-up before each unit\n"
+        "                         (default 2000)\n"
+        "  --sample-interval N    one unit every N instructions\n"
+        "                         (default 10000)\n"
+        "  --sample-rel-error F   target relative CI half-width on\n"
+        "                         CPI (default 0.05)\n"
+        "  --sample-confidence F  CI confidence level (default 0.95)\n"
         "  --journal PATH         crash-safe journal; rerun to resume\n"
         "  --metrics-out PATH     write the metrics registry as JSON\n"
         "  --trace-out PATH       write a Chrome/Perfetto trace JSON\n"

@@ -91,6 +91,18 @@ struct CampaignCliOptions
     unsigned hardDeadlineMs = 0;
     bool collect = false;
     check::DegradationMode degrade = check::DegradationMode::Abort;
+    /** SMARTS-style sampled simulation (off = full detailed runs). */
+    bool sample = false;
+    /** Measured detailed instructions per sampling unit. */
+    std::uint64_t sampleUnit = 1000;
+    /** Detailed warm-up instructions before each measured unit. */
+    std::uint64_t sampleWarmup = 2000;
+    /** Sampling period: one unit every this many instructions. */
+    std::uint64_t sampleInterval = 10000;
+    /** Target relative CI half-width on CPI (in (0, 1)). */
+    double sampleRelError = 0.05;
+    /** CI confidence level (in (0, 1)). */
+    double sampleConfidence = 0.95;
     std::string journalPath;
     /** Observability output paths; empty = sink disabled. */
     std::string metricsOut;
