@@ -44,9 +44,7 @@ isIgnorableColumn(const std::string &header_cell)
     if (lower == "run")
         return true;
     const std::string suffix = " cycles";
-    return lower.size() > suffix.size() &&
-           lower.compare(lower.size() - suffix.size(), suffix.size(),
-                         suffix) == 0;
+    return lower.size() > suffix.size() && lower.ends_with(suffix);
 }
 
 } // namespace

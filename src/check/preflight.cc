@@ -4,6 +4,7 @@
 
 #include "check/config_check.hh"
 #include "check/design_check.hh"
+#include "check/stability_check.hh"
 #include "check/workload_check.hh"
 
 namespace rigor::check
@@ -39,6 +40,8 @@ analyzeExperimentPlan(const ExperimentPlan &plan)
 
     checkSamplingPlan(plan.sampling, plan.instructionsPerRun,
                       plan.warmupInstructions, sink);
+
+    checkReplicationPlan(plan.replication, sink);
 
     return sink;
 }

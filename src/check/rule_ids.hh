@@ -145,6 +145,33 @@ inline constexpr const char *kCampaignNoCompleteBenchmarks =
 inline constexpr const char *kCampaignPairedDropMismatch =
     "campaign.paired-drop-mismatch";
 
+// ----- Rank-stability inference (stability_check) -----
+
+/**
+ * A replicated campaign was requested with fewer workload-generation
+ * replicates than the configured minimum: conclusions cannot
+ * distinguish workload-realization noise from parameter effects.
+ */
+inline constexpr const char *kCampaignUnderReplicated =
+    "campaign.under-replicated";
+/** Adjacent top-K factors whose bootstrap rank confidence intervals
+ *  overlap: their reported order is not resolved by the data. */
+inline constexpr const char *kStatsRankCiOverlap =
+    "stats.rank-ci-overlap";
+/** A reported rank inversion whose bootstrap flip probability
+ *  exceeds the threshold: the inversion is inside noise. */
+inline constexpr const char *kStatsRankFlipInsideNoise =
+    "stats.rank-flip-inside-noise";
+/** Sampled runs whose per-run CPI confidence intervals were not
+ *  root-sum-square-composed with the replication uncertainty: the
+ *  reported error understates the truth. */
+inline constexpr const char *kStatsCiComposeMissing =
+    "stats.ci-compose-missing";
+/** A stability report file failed to parse as the JSON the
+ *  --stability-out writer emits. */
+inline constexpr const char *kStatsReportSyntax =
+    "stats.report-syntax";
+
 // ----- File linting (csv_lint / spec_lint) -----
 
 /** CSV cell that should be a +1/-1 level failed to parse. */
@@ -162,6 +189,9 @@ inline constexpr const char *kSpecSyntax = "spec.syntax";
 /** Spec names an unknown built-in workload. */
 inline constexpr const char *kSpecUnknownWorkload =
     "spec.unknown-workload";
+/** A file handed to the linter could not be opened or read. */
+inline constexpr const char *kLintUnreadableFile =
+    "lint.unreadable-file";
 
 } // namespace rigor::check::rules
 

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The single authoritative registry of rigor-lint rules.
+ *
+ * Every stable rule id from rule_ids.hh appears here exactly once
+ * with its default severity and a one-line summary. The table backs
+ * `tools/rigor_lint --list-rules`, and the rule-docs regression test
+ * asserts three-way consistency between this table, the constants in
+ * rule_ids.hh, and the rule table in EXPERIMENTS.md — so the code
+ * and the documentation cannot drift apart again.
+ */
+
+#ifndef RIGOR_CHECK_RULE_TABLE_HH
+#define RIGOR_CHECK_RULE_TABLE_HH
+
+#include <span>
+
+#include "check/diagnostic.hh"
+
+namespace rigor::check
+{
+
+/** One registered rule: id, default severity, one-line summary. */
+struct RuleInfo
+{
+    /** Stable dotted id; points at the rule_ids.hh constant. */
+    const char *id;
+    /**
+     * Severity the analyzer reports by default. Rules that escalate
+     * contextually (e.g. workload.fp-mix) list their most severe
+     * form.
+     */
+    Severity defaultSeverity;
+    /** One-line description of what the rule checks. */
+    const char *summary;
+};
+
+/** All registered rules, grouped by analyzer, ids unique. */
+std::span<const RuleInfo> ruleTable();
+
+/** Look up a rule by id; nullptr when unknown. */
+const RuleInfo *findRule(const char *id);
+
+} // namespace rigor::check
+
+#endif // RIGOR_CHECK_RULE_TABLE_HH

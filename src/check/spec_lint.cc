@@ -100,7 +100,7 @@ applyKey(ExperimentSpec &spec, const std::string &key,
         spec.hasWorkload = true;
         return true;
     }
-    if (key.rfind("workload.", 0) == 0) {
+    if (key.starts_with("workload.")) {
         spec.hasWorkload = true;
         const std::string field = key.substr(9);
         if (field == "name") {
@@ -152,7 +152,7 @@ applyKey(ExperimentSpec &spec, const std::string &key,
     }
 
     // ----- Processor configuration -----
-    if (key.rfind("config.", 0) != 0)
+    if (!key.starts_with("config."))
         return false;
     const std::string field = key.substr(7);
 
@@ -232,7 +232,7 @@ applyKey(ExperimentSpec &spec, const std::string &key,
         {"l2.", &sim::ProcessorConfig::l2},
     };
     for (const auto &cache : caches) {
-        if (field.rfind(cache.prefix, 0) != 0)
+        if (!field.starts_with(cache.prefix))
             continue;
         sim::CacheGeometry &g = c.*(cache.member);
         const std::string sub =
@@ -256,7 +256,7 @@ applyKey(ExperimentSpec &spec, const std::string &key,
         {"dtlb.", &sim::ProcessorConfig::dtlb},
     };
     for (const auto &tlb : tlbs) {
-        if (field.rfind(tlb.prefix, 0) != 0)
+        if (!field.starts_with(tlb.prefix))
             continue;
         sim::TlbGeometry &g = c.*(tlb.member);
         const std::string sub =

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "doe/ranking.hh"
+#include "methodology/campaign_instrumentation.hh"
 #include "methodology/parameter_space.hh"
 #include "methodology/rank_table.hh"
 
@@ -30,40 +31,7 @@ namespace
 using HalfWidthsByBench =
     std::unordered_map<std::string, std::vector<double>>;
 
-/**
- * RAII: chain a capture observer onto the engine for one round,
- * restoring the previous observer on destruction (throw-safe). The
- * driver-side EngineSinkScope inside runPbExperiment chains on top,
- * so the manifest feed keeps flowing.
- */
-class ObserverScope
-{
-  public:
-    ObserverScope(exec::SimulationEngine &engine,
-                  exec::JobObserver added)
-        : _engine(engine), _previous(engine.jobObserver())
-    {
-        if (_previous) {
-            _engine.setJobObserver(
-                [previous = _previous, added = std::move(added)](
-                    const exec::JobEvent &event) {
-                    previous(event);
-                    added(event);
-                });
-        } else {
-            _engine.setJobObserver(std::move(added));
-        }
-    }
-
-    ~ObserverScope() { _engine.setJobObserver(std::move(_previous)); }
-
-    ObserverScope(const ObserverScope &) = delete;
-    ObserverScope &operator=(const ObserverScope &) = delete;
-
-  private:
-    exec::SimulationEngine &_engine;
-    exec::JobObserver _previous;
-};
+using detail::ObserverScope;
 
 /** One sampled runPbExperiment call with half-width capture. */
 PbExperimentResult

@@ -53,6 +53,42 @@ designDigest(const doe::DesignMatrix &design)
 }
 
 /**
+ * RAII: chain an additional job observer onto the engine for one
+ * scope, restoring the previous observer on destruction (throw-safe).
+ * The driver-side EngineSinkScope inside runPbExperiment chains on
+ * top, so e.g. the manifest feed keeps flowing while an adaptive or
+ * replicated driver captures per-job sampling CIs.
+ */
+class ObserverScope
+{
+  public:
+    ObserverScope(exec::SimulationEngine &engine,
+                  exec::JobObserver added)
+        : _engine(engine), _previous(engine.jobObserver())
+    {
+        if (_previous) {
+            _engine.setJobObserver(
+                [previous = _previous, added = std::move(added)](
+                    const exec::JobEvent &event) {
+                    previous(event);
+                    added(event);
+                });
+        } else {
+            _engine.setJobObserver(std::move(added));
+        }
+    }
+
+    ~ObserverScope() { _engine.setJobObserver(std::move(_previous)); }
+
+    ObserverScope(const ObserverScope &) = delete;
+    ObserverScope &operator=(const ObserverScope &) = delete;
+
+  private:
+    exec::SimulationEngine &_engine;
+    exec::JobObserver _previous;
+};
+
+/**
  * RAII: attach the campaign's sinks to @p engine, restoring the
  * engine's previous sinks on destruction (throw-safe — a shared
  * engine leaves with exactly the journal/metrics/trace/observer it

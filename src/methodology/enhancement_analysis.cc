@@ -132,6 +132,7 @@ runEnhancementExperiment(
         plan.auditParameterSpace = true;
         plan.instructionsPerRun = options.instructionsPerRun;
         plan.warmupInstructions = options.warmupInstructions;
+        plan.replication = options.campaign.replication;
         check::preflightOrThrow(plan, "runEnhancementExperiment");
     }
 

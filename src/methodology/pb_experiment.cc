@@ -188,6 +188,7 @@ runPbExperiment(std::span<const trace::WorkloadProfile> workloads,
         plan.instructionsPerRun = options.instructionsPerRun;
         plan.warmupInstructions = options.warmupInstructions;
         plan.sampling = campaign.sampling;
+        plan.replication = campaign.replication;
         check::preflightOrThrow(plan, "runPbExperiment");
     }
 

@@ -176,6 +176,7 @@ runRecommendedWorkflow(
         plan.instructionsPerRun = options.instructionsPerRun;
         plan.warmupInstructions = options.warmupInstructions;
         plan.workloads = workloads;
+        plan.replication = options.campaign.replication;
         check::preflightOrThrow(plan,
                                 "runRecommendedWorkflow (step 3)");
     }

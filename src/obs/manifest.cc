@@ -131,6 +131,44 @@ CampaignManifest::addSummary(const SummaryRecord &summary)
     append(std::move(line));
 }
 
+void
+CampaignManifest::addStability(const StabilityRecord &stability)
+{
+    std::string line = "{\"type\":\"stability\",\"replicates\":";
+    line += std::to_string(stability.replicates);
+    line += ",\"bootstrap_iterations\":";
+    line += std::to_string(stability.bootstrapIterations);
+    line += ",\"bootstrap_seed\":";
+    line += std::to_string(stability.bootstrapSeed);
+    line += ",\"confidence\":";
+    line += jsonNumber(stability.confidence);
+    line += ",\"sampled\":";
+    line += stability.sampled ? "true" : "false";
+    line += ",\"sampling_ci_composed\":";
+    line += stability.samplingCiComposed ? "true" : "false";
+    line += ",\"factors\":[";
+    for (std::size_t f = 0; f < stability.factors.size(); ++f) {
+        const StabilityFactor &factor = stability.factors[f];
+        if (f != 0)
+            line += ',';
+        line += "{\"name\":";
+        appendJsonString(line, factor.name);
+        line += ",\"rank\":";
+        line += std::to_string(factor.rank);
+        line += ",\"rank_lower\":";
+        line += jsonNumber(factor.rankLower);
+        line += ",\"rank_upper\":";
+        line += jsonNumber(factor.rankUpper);
+        line += '}';
+    }
+    line += "],\"max_flip_probability\":";
+    line += jsonNumber(stability.maxFlipProbability);
+    line += ",\"report_digest\":";
+    appendJsonString(line, stability.reportDigest);
+    line += '}';
+    append(std::move(line));
+}
+
 std::size_t
 CampaignManifest::recordCount() const
 {

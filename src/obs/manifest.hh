@@ -17,6 +17,10 @@
  *  - {"type":"summary", ...}   terminal accounting: run totals,
  *    cache/journal hits, retries, failures, dropped cells and
  *    benchmarks, and the final rank-table digest.
+ *  - {"type":"stability", ...} rank-stability provenance of a
+ *    replicated campaign: replicate count, bootstrap schedule,
+ *    top-factor rank CIs, the worst top-K flip probability, and a
+ *    digest of the full stability report.
  *
  * Appends are mutex-serialized (cells arrive from every worker); each
  * record is rendered outside any lock the simulation fast path takes.
@@ -91,6 +95,33 @@ struct SummaryRecord
     std::string rankTableDigest;
 };
 
+/** One top-K factor's rank interval in the stability record. */
+struct StabilityFactor
+{
+    std::string name;
+    /** Reported aggregate rank (1 = most significant). */
+    unsigned rank = 0;
+    double rankLower = 0.0;
+    double rankUpper = 0.0;
+};
+
+/** Rank-stability provenance of one replicated campaign. */
+struct StabilityRecord
+{
+    unsigned replicates = 0;
+    std::uint64_t bootstrapIterations = 0;
+    std::uint64_t bootstrapSeed = 0;
+    double confidence = 0.0;
+    bool sampled = false;
+    bool samplingCiComposed = false;
+    /** Top-K factors in reported rank order. */
+    std::vector<StabilityFactor> factors;
+    /** Worst pairwise flip probability over the reported top-K. */
+    double maxFlipProbability = 0.0;
+    /** FNV-1a digest (hex) of the full --stability-out JSON. */
+    std::string reportDigest;
+};
+
 /** Thread-safe JSONL accumulator. */
 class CampaignManifest
 {
@@ -99,6 +130,7 @@ class CampaignManifest
     void addCell(const CellRecord &cell);
     void addPhase(const std::string &name, double wall_seconds);
     void addSummary(const SummaryRecord &summary);
+    void addStability(const StabilityRecord &stability);
 
     std::size_t recordCount() const;
 

@@ -1,0 +1,231 @@
+#include "stats/bootstrap.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hh"
+#include "stats/distributions.hh"
+
+namespace rigor::stats
+{
+
+namespace
+{
+
+/** SplitMix64 output mix (Steele, Lea, Flood 2014). */
+std::uint64_t
+splitmix(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+BootstrapRng::next()
+{
+    return splitmix(_state);
+}
+
+std::uint64_t
+BootstrapRng::nextBelow(std::uint64_t bound)
+{
+    if (bound == 0)
+        throw std::invalid_argument(
+            "BootstrapRng::nextBelow: bound must be non-zero");
+    // Rejection sampling kills the modulo bias; the loop terminates
+    // almost immediately for the tiny bounds used here.
+    const std::uint64_t limit = bound * ((~0ull) / bound);
+    std::uint64_t draw;
+    do {
+        draw = next();
+    } while (draw >= limit);
+    return draw % bound;
+}
+
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t index)
+{
+    std::uint64_t state = seed ^ (index * 0xff51afd7ed558ccdull);
+    return splitmix(state);
+}
+
+void
+BootstrapOptions::validate() const
+{
+    if (iterations == 0)
+        throw std::invalid_argument(
+            "BootstrapOptions: iterations must be non-zero");
+    if (!(confidence > 0.0 && confidence < 1.0))
+        throw std::invalid_argument(
+            "BootstrapOptions: confidence must be in (0, 1)");
+}
+
+double
+quantileSorted(std::span<const double> sorted, double p)
+{
+    if (sorted.empty())
+        throw std::invalid_argument(
+            "quantileSorted: empty sample");
+    p = std::clamp(p, 0.0, 1.0);
+    const double position =
+        p * static_cast<double>(sorted.size() - 1);
+    const std::size_t below = static_cast<std::size_t>(position);
+    const double frac = position - static_cast<double>(below);
+    if (below + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[below] * (1.0 - frac) + sorted[below + 1] * frac;
+}
+
+void
+resampleIndices(BootstrapRng &rng, std::size_t n,
+                std::span<std::size_t> out)
+{
+    if (n == 0)
+        throw std::invalid_argument(
+            "resampleIndices: empty population");
+    for (std::size_t &index : out)
+        index = static_cast<std::size_t>(rng.nextBelow(n));
+}
+
+namespace
+{
+
+/**
+ * BCa percentile positions (alpha1, alpha2) from the bootstrap
+ * distribution and a jackknife over the original sample. Returns
+ * false (caller falls back to the plain percentile interval) when
+ * the correction is undefined: a degenerate bootstrap distribution
+ * or a flat jackknife.
+ */
+bool
+bcaAlphas(std::span<const double> sample, const StatisticFn &statistic,
+          std::span<const double> boot_sorted, double estimate,
+          double confidence, double &alpha1, double &alpha2)
+{
+    // Median-bias correction z0: the normal quantile of the fraction
+    // of bootstrap replicates below the full-sample estimate (ties
+    // count half, keeping z0 finite and symmetric on discrete
+    // statistics such as ranks).
+    std::size_t below = 0;
+    std::size_t equal = 0;
+    for (const double value : boot_sorted) {
+        if (value < estimate)
+            ++below;
+        else if (value == estimate)
+            ++equal;
+    }
+    const double n_boot = static_cast<double>(boot_sorted.size());
+    const double fraction =
+        (static_cast<double>(below) +
+         0.5 * static_cast<double>(equal)) /
+        n_boot;
+    if (fraction <= 0.0 || fraction >= 1.0)
+        return false;
+
+    const NormalDistribution normal;
+    const double z0 = normal.quantile(fraction);
+
+    // Acceleration from the jackknife: skewness of the leave-one-out
+    // statistics.
+    const std::size_t n = sample.size();
+    std::vector<double> jack(n, 0.0);
+    std::vector<double> loo;
+    loo.reserve(n - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        loo.clear();
+        for (std::size_t j = 0; j < n; ++j)
+            if (j != i)
+                loo.push_back(sample[j]);
+        jack[i] = statistic(loo);
+    }
+    const double jack_mean = mean(jack);
+    double sum_sq = 0.0;
+    double sum_cu = 0.0;
+    for (const double value : jack) {
+        const double d = jack_mean - value;
+        sum_sq += d * d;
+        sum_cu += d * d * d;
+    }
+    const double accel =
+        sum_sq > 0.0 ? sum_cu / (6.0 * std::pow(sum_sq, 1.5)) : 0.0;
+
+    const double alpha = 1.0 - confidence;
+    const double z_lo = normal.quantile(alpha / 2.0);
+    const double z_hi = normal.quantile(1.0 - alpha / 2.0);
+    const double denom_lo = 1.0 - accel * (z0 + z_lo);
+    const double denom_hi = 1.0 - accel * (z0 + z_hi);
+    if (denom_lo <= 0.0 || denom_hi <= 0.0)
+        return false;
+    alpha1 = normal.cdf(z0 + (z0 + z_lo) / denom_lo);
+    alpha2 = normal.cdf(z0 + (z0 + z_hi) / denom_hi);
+    return alpha1 < alpha2;
+}
+
+} // namespace
+
+BootstrapInterval
+bootstrapCi(std::span<const double> sample,
+            const StatisticFn &statistic,
+            const BootstrapOptions &options)
+{
+    options.validate();
+    if (sample.empty())
+        throw std::invalid_argument("bootstrapCi: empty sample");
+    if (!statistic)
+        throw std::invalid_argument("bootstrapCi: null statistic");
+
+    BootstrapInterval interval;
+    interval.estimate = statistic(sample);
+    if (sample.size() == 1) {
+        interval.lower = interval.upper = interval.estimate;
+        return interval;
+    }
+
+    const std::size_t n = sample.size();
+    std::vector<std::size_t> indices(n, 0);
+    std::vector<double> resample(n, 0.0);
+    std::vector<double> boot;
+    boot.reserve(options.iterations);
+    for (std::uint64_t b = 0; b < options.iterations; ++b) {
+        BootstrapRng rng(mixSeed(options.seed, b));
+        resampleIndices(rng, n, indices);
+        for (std::size_t i = 0; i < n; ++i)
+            resample[i] = sample[indices[i]];
+        boot.push_back(statistic(resample));
+    }
+    std::sort(boot.begin(), boot.end());
+
+    const double alpha = 1.0 - options.confidence;
+    double alpha1 = alpha / 2.0;
+    double alpha2 = 1.0 - alpha / 2.0;
+    if (options.method == BootstrapMethod::Bca &&
+        boot.front() != boot.back()) {
+        double a1 = 0.0;
+        double a2 = 0.0;
+        if (bcaAlphas(sample, statistic, boot, interval.estimate,
+                      options.confidence, a1, a2)) {
+            alpha1 = a1;
+            alpha2 = a2;
+        }
+    }
+    interval.lower = quantileSorted(boot, alpha1);
+    interval.upper = quantileSorted(boot, alpha2);
+    return interval;
+}
+
+BootstrapInterval
+bootstrapMeanCi(std::span<const double> sample,
+                const BootstrapOptions &options)
+{
+    return bootstrapCi(
+        sample, [](std::span<const double> xs) { return mean(xs); },
+        options);
+}
+
+} // namespace rigor::stats

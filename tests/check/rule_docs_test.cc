@@ -1,0 +1,166 @@
+/**
+ * Three-way rule-registry consistency: the constants in
+ * src/check/rule_ids.hh, the in-code registry in
+ * src/check/rule_table.cc, and the rule table in EXPERIMENTS.md must
+ * name exactly the same set of rule ids. This is the regression net
+ * for the documented-rule drift class of bug (a rule id used in code
+ * but never declared, or declared but never documented).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "check/rule_table.hh"
+
+#ifndef RIGOR_SOURCE_DIR
+#error "RIGOR_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace check = rigor::check;
+
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "cannot open " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+bool
+looksLikeRuleId(const std::string &token)
+{
+    // Dotted lowercase id, e.g. "design.empty". Rejects prose and
+    // spec keys by requiring exactly one dot and [a-z-] segments.
+    const std::size_t dot = token.find('.');
+    if (dot == std::string::npos || dot == 0 ||
+        dot + 1 >= token.size())
+        return false;
+    if (token.find('.', dot + 1) != std::string::npos)
+        return false;
+    return std::all_of(token.begin(), token.end(), [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+               c == '-' || c == '.';
+    });
+}
+
+/** Every double-quoted dotted id in rule_ids.hh. */
+std::set<std::string>
+idsFromHeader()
+{
+    const std::string text = readFile(
+        std::string(RIGOR_SOURCE_DIR) + "/src/check/rule_ids.hh");
+    std::set<std::string> ids;
+    std::size_t pos = 0;
+    while ((pos = text.find('"', pos)) != std::string::npos) {
+        const std::size_t end = text.find('"', pos + 1);
+        if (end == std::string::npos)
+            break;
+        const std::string token = text.substr(pos + 1, end - pos - 1);
+        if (looksLikeRuleId(token))
+            ids.insert(token);
+        pos = end + 1;
+    }
+    return ids;
+}
+
+/** Every `rule.id` table row in the EXPERIMENTS.md rule table. */
+std::set<std::string>
+idsFromDocs()
+{
+    const std::string text =
+        readFile(std::string(RIGOR_SOURCE_DIR) + "/EXPERIMENTS.md");
+    std::set<std::string> ids;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        // Rule rows look like: | `design.empty` | ... |
+        if (line.rfind("| `", 0) != 0)
+            continue;
+        const std::size_t end = line.find('`', 3);
+        if (end == std::string::npos)
+            continue;
+        const std::string token = line.substr(3, end - 3);
+        if (looksLikeRuleId(token))
+            ids.insert(token);
+    }
+    return ids;
+}
+
+std::set<std::string>
+idsFromTable()
+{
+    std::set<std::string> ids;
+    for (const check::RuleInfo &rule : check::ruleTable())
+        ids.insert(rule.id);
+    return ids;
+}
+
+std::string
+joinDifference(const std::set<std::string> &a,
+               const std::set<std::string> &b)
+{
+    std::string out;
+    for (const std::string &id : a)
+        if (b.count(id) == 0)
+            out += id + " ";
+    return out;
+}
+
+} // namespace
+
+TEST(RuleDocs, TableHasUniqueNonEmptyEntries)
+{
+    const auto table = check::ruleTable();
+    EXPECT_FALSE(table.empty());
+    std::set<std::string> seen;
+    for (const check::RuleInfo &rule : table) {
+        EXPECT_TRUE(looksLikeRuleId(rule.id))
+            << "malformed id: " << rule.id;
+        EXPECT_TRUE(seen.insert(rule.id).second)
+            << "duplicate id: " << rule.id;
+        EXPECT_NE(rule.summary, nullptr);
+        EXPECT_NE(std::string(rule.summary), "");
+    }
+}
+
+TEST(RuleDocs, FindRuleResolvesEveryIdAndRejectsUnknown)
+{
+    for (const check::RuleInfo &rule : check::ruleTable()) {
+        const check::RuleInfo *found = check::findRule(rule.id);
+        ASSERT_NE(found, nullptr) << rule.id;
+        EXPECT_EQ(found->defaultSeverity, rule.defaultSeverity);
+    }
+    EXPECT_EQ(check::findRule("no.such-rule"), nullptr);
+}
+
+TEST(RuleDocs, HeaderAndTableAgree)
+{
+    const std::set<std::string> header = idsFromHeader();
+    const std::set<std::string> table = idsFromTable();
+    EXPECT_EQ(header, table)
+        << "declared but not registered: "
+        << joinDifference(header, table)
+        << "| registered but not declared: "
+        << joinDifference(table, header);
+}
+
+TEST(RuleDocs, DocsAndTableAgree)
+{
+    const std::set<std::string> docs = idsFromDocs();
+    const std::set<std::string> table = idsFromTable();
+    EXPECT_EQ(docs, table)
+        << "documented but not registered: "
+        << joinDifference(docs, table)
+        << "| registered but not documented: "
+        << joinDifference(table, docs);
+}

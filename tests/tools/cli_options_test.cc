@@ -146,3 +146,43 @@ TEST(CampaignCliOptions, UnknownFlagIsNotMine)
     tools::CampaignCliOptions options;
     EXPECT_EQ(parse(options, {"--frobnicate"}), Match::NotMine);
 }
+
+// ----- Replication / bootstrap flags -----
+
+TEST(CampaignCliOptions, ParsesReplicationFlags)
+{
+    tools::CampaignCliOptions options;
+    EXPECT_EQ(parse(options, {"--replicates", "5"}),
+              Match::Consumed);
+    EXPECT_EQ(parse(options, {"--bootstrap-iters=800"}),
+              Match::Consumed);
+    EXPECT_EQ(parse(options, {"--bootstrap-seed", "12345"}),
+              Match::Consumed);
+    EXPECT_EQ(parse(options, {"--stability-out", "report.json"}),
+              Match::Consumed);
+    EXPECT_EQ(options.stabilityOut, "report.json");
+
+    exec::CampaignOptions campaign;
+    options.apply(campaign);
+    EXPECT_EQ(campaign.replication.replicates, 5u);
+    EXPECT_EQ(campaign.replication.bootstrap.iterations, 800u);
+    EXPECT_EQ(campaign.replication.bootstrap.seed, 12345u);
+}
+
+TEST(CampaignCliOptions, ReplicationDisabledByDefault)
+{
+    const tools::CampaignCliOptions options;
+    exec::CampaignOptions campaign;
+    options.apply(campaign);
+    EXPECT_FALSE(campaign.replication.enabled());
+}
+
+TEST(CampaignCliOptions, RejectsDegenerateReplicationValues)
+{
+    tools::CampaignCliOptions options;
+    EXPECT_EQ(parse(options, {"--replicates", "-2"}), Match::Error);
+    EXPECT_EQ(parse(options, {"--bootstrap-iters", "0"}),
+              Match::Error);
+    EXPECT_EQ(parse(options, {"--bootstrap-seed", "nope"}),
+              Match::Error);
+}

@@ -31,7 +31,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,7 @@
 #include "exec/journal.hh"
 #include "methodology/adaptive_sampling.hh"
 #include "methodology/pb_experiment.hh"
+#include "methodology/rank_stability.hh"
 #include "methodology/rank_table.hh"
 #include "obs/bench_report.hh"
 #include "obs/manifest.hh"
@@ -370,9 +373,50 @@ main(int argc, char **argv)
                          "--sample\n");
             return 2;
         }
+        if (cli.campaign.replicates != 0 &&
+            cli.adaptiveRounds != 0) {
+            std::fprintf(stderr,
+                         "campaign: --replicates and "
+                         "--adaptive-rounds are mutually "
+                         "exclusive\n");
+            return 2;
+        }
+        if (!cli.campaign.stabilityOut.empty() &&
+            cli.campaign.replicates == 0) {
+            std::fprintf(stderr,
+                         "campaign: --stability-out needs "
+                         "--replicates\n");
+            return 2;
+        }
 
         rigor::methodology::PbExperimentResult result;
-        if (cli.adaptiveRounds != 0) {
+        if (cli.campaign.replicates != 0) {
+            rigor::methodology::RankStabilityOptions stability;
+            stability.base = opts;
+            rigor::methodology::ReplicatedPbResult outcome =
+                rigor::methodology::runReplicatedPbExperiment(
+                    workloads, stability);
+            if (!cli.quiet)
+                std::fprintf(
+                    stdout, "%s",
+                    outcome.stability.toString().c_str());
+            if (!cli.campaign.stabilityOut.empty()) {
+                std::ofstream out(cli.campaign.stabilityOut,
+                                  std::ios::binary |
+                                      std::ios::trunc);
+                if (!out)
+                    throw std::runtime_error(
+                        "cannot open '" +
+                        cli.campaign.stabilityOut +
+                        "' for writing");
+                out << outcome.stability.toJson() << '\n';
+                if (!out)
+                    throw std::runtime_error(
+                        "write to '" + cli.campaign.stabilityOut +
+                        "' failed");
+            }
+            result = std::move(outcome.pooled);
+        } else if (cli.adaptiveRounds != 0) {
             rigor::methodology::AdaptiveSamplingOptions adaptive;
             adaptive.base = opts;
             adaptive.maxRounds = cli.adaptiveRounds;

@@ -108,7 +108,7 @@ CampaignCliOptions::tryParse(ArgCursor &args, const std::string &arg)
     std::string name = arg;
     std::string inline_value;
     bool has_inline = false;
-    if (arg.rfind("--", 0) == 0) {
+    if (arg.starts_with("--")) {
         const std::size_t eq = arg.find('=');
         if (eq != std::string::npos) {
             name = arg.substr(0, eq);
@@ -317,6 +317,23 @@ CampaignCliOptions::tryParse(ArgCursor &args, const std::string &arg)
         }
         return Match::Consumed;
     }
+    if (name == "--replicates")
+        return unsigned_flag("--replicates", replicates);
+    if (name == "--bootstrap-iters") {
+        const Match m =
+            uint64_flag("--bootstrap-iters", bootstrapIters);
+        if (m == Match::Consumed && bootstrapIters == 0) {
+            std::fprintf(stderr,
+                         "%s: --bootstrap-iters must be positive\n",
+                         args.program().c_str());
+            return Match::Error;
+        }
+        return m;
+    }
+    if (name == "--bootstrap-seed")
+        return uint64_flag("--bootstrap-seed", bootstrapSeed);
+    if (name == "--stability-out")
+        return path_flag("--stability-out", stabilityOut);
     if (name == "--journal")
         return path_flag("--journal", journalPath);
     if (name == "--metrics-out")
@@ -360,6 +377,9 @@ CampaignCliOptions::apply(exec::CampaignOptions &campaign) const
     campaign.sampling.intervalInstructions = sampleInterval;
     campaign.sampling.targetRelativeError = sampleRelError;
     campaign.sampling.confidence = sampleConfidence;
+    campaign.replication.replicates = replicates;
+    campaign.replication.bootstrap.iterations = bootstrapIters;
+    campaign.replication.bootstrap.seed = bootstrapSeed;
 }
 
 const char *
@@ -394,6 +414,13 @@ CampaignCliOptions::usageText()
         "  --sample-rel-error F   target relative CI half-width on\n"
         "                         CPI (default 0.05)\n"
         "  --sample-confidence F  CI confidence level (default 0.95)\n"
+        "  --replicates R         run R independently seeded workload\n"
+        "                         realizations and bootstrap rank CIs\n"
+        "                         (0 = single realization; the\n"
+        "                         pre-flight floor is 3)\n"
+        "  --bootstrap-iters N    bootstrap resamples (default 2000)\n"
+        "  --bootstrap-seed N     seed of the deterministic bootstrap\n"
+        "  --stability-out PATH   write the stability report JSON\n"
         "  --journal PATH         crash-safe journal; rerun to resume\n"
         "  --metrics-out PATH     write the metrics registry as JSON\n"
         "  --trace-out PATH       write a Chrome/Perfetto trace JSON\n"

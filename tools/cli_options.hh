@@ -103,6 +103,14 @@ struct CampaignCliOptions
     double sampleRelError = 0.05;
     /** CI confidence level (in (0, 1)). */
     double sampleConfidence = 0.95;
+    /** Workload-generation replicates (0 = single realization). */
+    unsigned replicates = 0;
+    /** Bootstrap iterations over the replicate responses. */
+    std::uint64_t bootstrapIters = 2000;
+    /** Seed of the deterministic bootstrap stream. */
+    std::uint64_t bootstrapSeed = 0x5eedb007u;
+    /** Where to write the stability report JSON; empty = stdout only. */
+    std::string stabilityOut;
     std::string journalPath;
     /** Observability output paths; empty = sink disabled. */
     std::string metricsOut;

@@ -12,11 +12,16 @@
  *     rigor_lint --factors 43 design.csv    # + column-count check
  *     rigor_lint experiment.spec            # config / workload / run lint
  *     rigor_lint --audit-parameter-space    # Tables 6-8 self-check
+ *     rigor_lint stability.json             # rank-stability report audit
+ *     rigor_lint --list-rules               # every rule id + severity
  *
- * Files ending in .csv are linted as designs; anything else as a
- * spec. Use --design / --spec before a file to force its kind.
+ * Files ending in .csv are linted as designs, files ending in .json
+ * as rank-stability reports (--stability-out output), and anything
+ * else as a spec. Use --design / --spec / --stability before a file
+ * to force its kind.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -26,7 +31,10 @@
 #include "check/config_check.hh"
 #include "check/csv_lint.hh"
 #include "check/diagnostic.hh"
+#include "check/rule_ids.hh"
+#include "check/rule_table.hh"
 #include "check/spec_lint.hh"
+#include "check/stability_check.hh"
 #include "cli_options.hh"
 
 namespace
@@ -43,12 +51,17 @@ enum class FileKind
     Auto,
     Design,
     Spec,
+    Stability,
 };
 
 struct CliOptions
 {
     DesignCheckOptions design;
+    rigor::check::StabilityCheckOptions stability;
+    /** campaign.under-replicated floor for stability reports. */
+    unsigned minReplicates = 3;
     bool auditParameterSpace = false;
+    bool listRules = false;
     bool warningsAsErrors = false;
     bool quiet = false;
     /** (kind, path) pairs in command-line order. */
@@ -68,10 +81,16 @@ usage(const char *argv0)
         "options:\n"
         "  --design               treat the next file as a CSV design\n"
         "  --spec                 treat the next file as an experiment spec\n"
+        "  --stability            treat the next file as a stability report\n"
         "  --foldover             require the exact foldover complement\n"
         "  --no-pb                drop the Plackett-Burman shape checks\n"
         "  --factors N            require exactly N factor columns\n"
+        "  --top-factors N        stability rules cover the top N factors\n"
+        "  --flip-threshold X     rank-flip probability that is an error\n"
+        "  --min-replicates N     replicate floor for stability reports\n"
         "  --audit-parameter-space  lint the built-in Tables 6-8 space\n"
+        "  --list-rules           print every rule id with its default\n"
+        "                         severity and description, then exit\n"
         "  --Werror               treat warnings as errors\n"
         "  --quiet                print only errors\n"
         "  --help                 show this help\n",
@@ -90,6 +109,8 @@ parseArgs(int argc, char **argv, CliOptions &options)
             next_kind = FileKind::Design;
         } else if (arg == "--spec") {
             next_kind = FileKind::Spec;
+        } else if (arg == "--stability") {
+            next_kind = FileKind::Stability;
         } else if (arg == "--foldover") {
             options.design.requireFoldover = true;
         } else if (arg == "--no-pb") {
@@ -100,8 +121,28 @@ parseArgs(int argc, char **argv, CliOptions &options)
                 !rigor::tools::parseSize(
                     v, options.design.expectedFactors))
                 return false;
+        } else if (arg == "--top-factors") {
+            const char *v = args.valueFor("--top-factors");
+            if (v == nullptr ||
+                !rigor::tools::parseUnsigned(
+                    v, options.stability.topFactors))
+                return false;
+        } else if (arg == "--flip-threshold") {
+            const char *v = args.valueFor("--flip-threshold");
+            if (v == nullptr ||
+                !rigor::tools::parseDouble(
+                    v, options.stability.flipThreshold))
+                return false;
+        } else if (arg == "--min-replicates") {
+            const char *v = args.valueFor("--min-replicates");
+            if (v == nullptr ||
+                !rigor::tools::parseUnsigned(
+                    v, options.minReplicates))
+                return false;
         } else if (arg == "--audit-parameter-space") {
             options.auditParameterSpace = true;
+        } else if (arg == "--list-rules") {
+            options.listRules = true;
         } else if (arg == "--Werror") {
             options.warningsAsErrors = true;
         } else if (arg == "--quiet") {
@@ -117,7 +158,39 @@ parseArgs(int argc, char **argv, CliOptions &options)
             next_kind = FileKind::Auto;
         }
     }
-    return options.auditParameterSpace || !options.files.empty();
+    return options.auditParameterSpace || options.listRules ||
+           !options.files.empty();
+}
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+    case Severity::Error:
+        return "error";
+    case Severity::Warning:
+        return "warning";
+    case Severity::Note:
+        return "note";
+    }
+    return "unknown";
+}
+
+/** --list-rules: the registry, one aligned row per rule. */
+int
+listRules()
+{
+    std::size_t width = 0;
+    for (const rigor::check::RuleInfo &rule :
+         rigor::check::ruleTable())
+        width = std::max(width, std::string(rule.id).size());
+    for (const rigor::check::RuleInfo &rule :
+         rigor::check::ruleTable())
+        std::fprintf(stdout, "%-*s  %-7s  %s\n",
+                     static_cast<int>(width), rule.id,
+                     severityName(rule.defaultSeverity),
+                     rule.summary);
+    return 0;
 }
 
 bool
@@ -132,14 +205,6 @@ readFile(const std::string &path, std::string &out)
     return true;
 }
 
-bool
-endsWith(const std::string &s, const std::string &suffix)
-{
-    return s.size() >= suffix.size() &&
-           s.compare(s.size() - suffix.size(), suffix.size(),
-                     suffix) == 0;
-}
-
 } // namespace
 
 int
@@ -149,6 +214,9 @@ main(int argc, char **argv)
     if (!parseArgs(argc, argv, options))
         return usage(argv[0]);
 
+    if (options.listRules)
+        return listRules();
+
     DiagnosticSink sink;
 
     if (options.auditParameterSpace)
@@ -157,18 +225,34 @@ main(int argc, char **argv)
     for (const auto &[kind, path] : options.files) {
         std::string text;
         if (!readFile(path, text)) {
-            sink.error("lint.unreadable-file",
+            sink.error(rigor::check::rules::kLintUnreadableFile,
                        "cannot read file", {path, 0, {}});
             continue;
         }
-        const bool as_design =
-            kind == FileKind::Design ||
-            (kind == FileKind::Auto && endsWith(path, ".csv"));
-        if (as_design)
+        FileKind resolved = kind;
+        if (resolved == FileKind::Auto) {
+            if (path.ends_with(".csv"))
+                resolved = FileKind::Design;
+            else if (path.ends_with(".json"))
+                resolved = FileKind::Stability;
+            else
+                resolved = FileKind::Spec;
+        }
+        switch (resolved) {
+        case FileKind::Design:
             rigor::check::lintDesignCsv(text, path, options.design,
                                         sink);
-        else
+            break;
+        case FileKind::Stability:
+            rigor::check::lintStabilityReport(text, path,
+                                              options.stability,
+                                              options.minReplicates,
+                                              sink);
+            break;
+        default:
             rigor::check::lintExperimentSpec(text, path, sink);
+            break;
+        }
     }
 
     for (const Diagnostic &d : sink.diagnostics()) {
