@@ -162,6 +162,42 @@ assessFactorialValidity(const std::vector<std::string> &workloads,
     return out;
 }
 
+void
+checkRemotePlan(const RemotePlan &plan, DiagnosticSink &sink)
+{
+    if (!plan.enabled)
+        return;
+    const SourceContext context{{}, 0, "remote campaign plan"};
+    if (plan.workers == 0)
+        sink.error(rules::kCampaignNoWorkers,
+                   "remote campaign expects 0 workers; every cell "
+                   "would queue on the controller forever (set "
+                   "--workers to the fleet size)",
+                   context);
+    if (plan.leaseMs <= plan.heartbeatMs)
+        sink.error(
+            rules::kCampaignLeaseShorterThanDeadline,
+            "lease duration (" + std::to_string(plan.leaseMs) +
+                " ms) does not exceed the heartbeat interval (" +
+                std::to_string(plan.heartbeatMs) +
+                " ms); every worker would lapse between beats and "
+                "its cells would migrate spuriously",
+            context);
+    const std::uint64_t deadline =
+        std::max(plan.attemptDeadlineMs, plan.hardDeadlineMs);
+    if (deadline > 0 && plan.leaseMs <= deadline)
+        sink.error(
+            rules::kCampaignLeaseShorterThanDeadline,
+            "lease duration (" + std::to_string(plan.leaseMs) +
+                " ms) does not exceed the configured attempt "
+                "deadline (" +
+                std::to_string(deadline) +
+                " ms); a worker legitimately running an attempt to "
+                "its deadline would be declared lapsed and the cell "
+                "migrated spuriously",
+            context);
+}
+
 namespace
 {
 

@@ -43,6 +43,8 @@ analyzeExperimentPlan(const ExperimentPlan &plan)
 
     checkReplicationPlan(plan.replication, sink);
 
+    checkRemotePlan(plan.remote, sink);
+
     return sink;
 }
 

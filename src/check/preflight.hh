@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "check/campaign_check.hh"
 #include "check/diagnostic.hh"
 #include "doe/design_matrix.hh"
 #include "sample/sampling.hh"
@@ -57,6 +58,8 @@ struct ExperimentPlan
     sample::SamplingOptions sampling;
     /** Workload-replication plan; analyzed only when enabled. */
     stats::ReplicationOptions replication;
+    /** Distributed-campaign topology; analyzed only when enabled. */
+    RemotePlan remote;
 };
 
 /**

@@ -145,6 +145,21 @@ inline constexpr const char *kCampaignNoCompleteBenchmarks =
 inline constexpr const char *kCampaignPairedDropMismatch =
     "campaign.paired-drop-mismatch";
 
+// ----- Distributed campaign plan (campaign_check) -----
+
+/**
+ * A remote campaign whose lease duration does not comfortably exceed
+ * the heartbeat interval and every configured attempt deadline: a
+ * healthy worker legitimately busy (or merely between heartbeats)
+ * would be declared lapsed and its cells migrated spuriously.
+ */
+inline constexpr const char *kCampaignLeaseShorterThanDeadline =
+    "campaign.lease-shorter-than-deadline";
+/** A remote campaign expecting zero workers: every cell would queue
+ *  on the controller forever. */
+inline constexpr const char *kCampaignNoWorkers =
+    "campaign.no-workers";
+
 // ----- Rank-stability inference (stability_check) -----
 
 /**

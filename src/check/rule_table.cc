@@ -19,7 +19,7 @@ using rules::kCampaignNoCompleteBenchmarks;
 using rules::kCampaignPairedDropMismatch;
 using rules::kCampaignUnderReplicated;
 
-constexpr std::array<RuleInfo, 52> kRules{{
+constexpr std::array<RuleInfo, 54> kRules{{
     // ----- design_check -----
     {rules::kDesignEmpty, Severity::Error,
      "design matrix has rows and columns"},
@@ -102,6 +102,10 @@ constexpr std::array<RuleInfo, 52> kRules{{
      "every benchmark degraded; no rank table possible"},
     {kCampaignPairedDropMismatch, Severity::Warning,
      "enhancement legs dropped different benchmark sets"},
+    {rules::kCampaignLeaseShorterThanDeadline, Severity::Error,
+     "remote lease exceeds heartbeat and attempt deadlines"},
+    {rules::kCampaignNoWorkers, Severity::Error,
+     "remote campaign expects at least one worker"},
     // ----- stability_check -----
     {kCampaignUnderReplicated, Severity::Error,
      "replicated campaign meets the configured replicate floor"},

@@ -50,6 +50,11 @@ namespace proc
 class ProcWorkerPool;
 } // namespace proc
 
+namespace net
+{
+class CampaignController;
+} // namespace net
+
 /** Execution knobs shared by every experiment driver. */
 struct CampaignOptions
 {
@@ -129,6 +134,33 @@ struct CampaignOptions
      * isolation.
      */
     proc::ProcWorkerPool *procPool = nullptr;
+
+    /**
+     * Remote isolation: the lease-granting controller that shards
+     * cells across the TCP worker fleet (not owned; must outlive the
+     * call). Required when isolation is Remote — the drivers swap the
+     * engine's simulate function for controller->simulateFn() exactly
+     * as they swap in a sandbox pool under Process isolation.
+     */
+    net::CampaignController *netController = nullptr;
+    /**
+     * Remote isolation: how long one handed-out cell may go without
+     * its worker heartbeating before the lease is reclaimed and the
+     * cell requeued elsewhere. Must comfortably exceed both the
+     * heartbeat interval and any per-attempt deadline, or healthy
+     * long-running cells get reclaimed spuriously — the pre-flight
+     * rule campaign.lease-shorter-than-deadline enforces this.
+     */
+    std::chrono::milliseconds leaseDuration{10000};
+    /** Remote isolation: expected worker heartbeat cadence
+     *  (advertised to workers in the handshake). */
+    std::chrono::milliseconds heartbeatInterval{1000};
+    /**
+     * Remote isolation: worker count the campaign expects to be
+     * served by (pre-flight rule campaign.no-workers rejects 0 — a
+     * remote campaign with no fleet would queue cells forever).
+     */
+    unsigned remoteWorkers = 0;
 
     /**
      * SMARTS-style sampled simulation (see sample/sampling.hh). When

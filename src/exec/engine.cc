@@ -260,6 +260,8 @@ SimulationEngine::runOne(const SimJob &job, std::size_t index,
                            policy.attemptDeadline;
         sample::SampleSummary sample_summary;
         ctx.sampleOut = &sample_summary;
+        std::string serving_host;
+        ctx.hostOut = &serving_host;
 
         bool retryable = false;
         try {
@@ -281,6 +283,7 @@ SimulationEngine::runOne(const SimJob &job, std::size_t index,
             outcome.response = response;
             outcome.sampled = job.sampling.enabled;
             outcome.sample = sample_summary;
+            outcome.host = std::move(serving_host);
             if (_instruments.simulated) {
                 _instruments.simulated->add();
                 _instruments.completed->add();
@@ -435,6 +438,7 @@ SimulationEngine::run(std::span<const SimJob> jobs,
                 event.runKey = outcome.runKey;
                 event.sampled = outcome.ok && outcome.sampled;
                 event.sample = outcome.sample;
+                event.host = outcome.host;
                 _observer(event);
             }
             if (outcome.ok) {

@@ -157,6 +157,9 @@ struct JobEvent
     bool sampled = false;
     /** Per-run sampling summary; meaningful only when sampled. */
     sample::SampleSummary sample;
+    /** Name of the remote worker that served the run; empty for
+     *  in-process execution, cache hits, and journal replays. */
+    std::string host;
 };
 
 /** Per-job completion callback; must be thread-safe. */
@@ -307,6 +310,8 @@ class SimulationEngine
         /** Fresh sampled-run summary (see JobEvent::sampled). */
         bool sampled = false;
         sample::SampleSummary sample;
+        /** Serving remote worker (see JobEvent::host). */
+        std::string host;
         JobFailure failure;
     };
 

@@ -33,6 +33,12 @@ toString(FaultKind kind)
         return "alloc-bomb";
       case FaultKind::KillWorker:
         return "kill";
+      case FaultKind::DropConnection:
+        return "drop-connection";
+      case FaultKind::StallHeartbeat:
+        return "stall-heartbeat";
+      case FaultKind::CorruptFrame:
+        return "corrupt-frame";
     }
     return "unknown";
 }
@@ -158,6 +164,18 @@ FaultInjector::raise(FaultKind kind, const SimJob &job,
         _processFaultsRaised.fetch_add(1, std::memory_order_relaxed);
         ::raise(SIGKILL);
         break;
+      case FaultKind::DropConnection:
+      case FaultKind::StallHeartbeat:
+      case FaultKind::CorruptFrame:
+        _netDrillsRaised.fetch_add(1, std::memory_order_relaxed);
+        // The remote worker's executor catches this and performs the
+        // actual network misbehavior; anywhere else it propagates as
+        // a permanent fault (a net drill needs a remote worker).
+        throw NetDrillFault(
+            kind, "injected network drill " + toString(kind) +
+                      " (job " + std::to_string(ctx.jobIndex) +
+                      ", attempt " + std::to_string(ctx.attempt) +
+                      ")");
     }
 }
 

@@ -28,6 +28,15 @@
  *    sandbox memory cap) or the kernel OOM killer intervenes;
  *  - KillWorker: raise(SIGKILL) — an externally shot worker.
  *
+ * The network kinds drill the distributed backend (exec/net/): they
+ * throw NetDrillFault, which the remote worker's executor intercepts
+ * and converts into the real network misbehavior — an abruptly
+ * dropped connection, a stalled heartbeat that outlives the lease, a
+ * deliberately truncated frame — so lease reclaim, requeue, and
+ * late-result rejection are testable without real network flakes.
+ * Raised outside a remote worker, a NetDrillFault propagates as an
+ * ordinary exception and is classified permanent.
+ *
  * Faults are keyed by batch job index or by a substring of the job's
  * label ("gzip, factorial cell 0"), so a test or a campaign drill
  * can target one (benchmark, design row) cell precisely. planRandom
@@ -69,11 +78,43 @@ enum class FaultKind
     AllocBomb,
     /** raise(SIGKILL): the worker is shot from outside. */
     KillWorker,
+    /** Remote worker: abruptly close the controller connection
+     *  mid-lease (the controller reclaims and requeues). */
+    DropConnection,
+    /** Remote worker: stop heartbeating past the lease, then send
+     *  the stale result late (drills reclaim + late rejection). */
+    StallHeartbeat,
+    /** Remote worker: send a deliberately truncated frame and close
+     *  (drills the controller's TruncatedFrame handling). */
+    CorruptFrame,
 };
 
 /** Display name ("transient" / "permanent" / "hang" / "segfault" /
- *  "abort" / "busy-loop" / "alloc-bomb" / "kill"). */
+ *  "abort" / "busy-loop" / "alloc-bomb" / "kill" / "drop-connection"
+ *  / "stall-heartbeat" / "corrupt-frame"). */
 std::string toString(FaultKind kind);
+
+/**
+ * An injected network drill in flight. Thrown by the injector for the
+ * net-level kinds and caught by the remote worker's job executor,
+ * which performs the actual misbehavior on its controller connection.
+ * Any other executor lets it propagate: it is not a TransientFault,
+ * so the engine classifies it permanent — a net drill landing outside
+ * a remote worker is a configuration error worth surfacing loudly.
+ */
+class NetDrillFault : public std::runtime_error
+{
+  public:
+    NetDrillFault(FaultKind kind, const std::string &message)
+        : std::runtime_error(message), _kind(kind)
+    {
+    }
+
+    FaultKind kind() const { return _kind; }
+
+  private:
+    FaultKind _kind;
+};
 
 /** Deterministic (job, attempt) -> fault plan around a SimulateFn. */
 class FaultInjector
@@ -133,6 +174,13 @@ class FaultInjector
     {
         return _processFaultsRaised.load(std::memory_order_relaxed);
     }
+    /** Network drills thrown (DropConnection/StallHeartbeat/
+     *  CorruptFrame) — counted where the injector runs, i.e. in the
+     *  remote worker process for a distributed campaign. */
+    std::uint64_t netDrillsRaised() const
+    {
+        return _netDrillsRaised.load(std::memory_order_relaxed);
+    }
 
     /** Planned fault count (index- plus label-keyed). */
     std::size_t plannedFaults() const
@@ -157,6 +205,7 @@ class FaultInjector
     mutable std::atomic<std::uint64_t> _permanentsRaised{0};
     mutable std::atomic<std::uint64_t> _hangsRaised{0};
     mutable std::atomic<std::uint64_t> _processFaultsRaised{0};
+    mutable std::atomic<std::uint64_t> _netDrillsRaised{0};
 };
 
 } // namespace rigor::exec

@@ -191,6 +191,14 @@ struct AttemptContext
      * stubs — composes unchanged). Not owned.
      */
     sample::SampleSummary *sampleOut = nullptr;
+    /**
+     * Side channel for execution provenance: when non-null, an
+     * executor that ships the attempt elsewhere (the remote
+     * controller) writes the serving worker's name here on success,
+     * and the manifest records which host ran each cell. Executors
+     * that run in-process leave it untouched. Not owned.
+     */
+    std::string *hostOut = nullptr;
 
     bool hasDeadline() const { return deadlineBudget.count() > 0; }
 

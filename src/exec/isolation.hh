@@ -9,7 +9,10 @@
  * each attempt inside a forked sandbox worker supervised by
  * exec::proc::ProcWorkerPool: a crash, OOM kill, or hard-deadline
  * SIGKILL costs exactly one attempt of one job — the worker is
- * respawned and the campaign keeps its completed cells.
+ * respawned and the campaign keeps its completed cells. Remote
+ * isolation shards attempts across a TCP worker fleet through
+ * exec::net::CampaignController: a dead or stalled machine costs one
+ * lease, reclaimed and requeued onto a healthy worker.
  */
 
 #ifndef RIGOR_EXEC_ISOLATION_HH
@@ -27,12 +30,14 @@ enum class IsolationMode
     Thread,
     /** In forked sandbox workers behind pipe IPC (crash-proof). */
     Process,
+    /** On a TCP worker fleet behind a lease-granting controller. */
+    Remote,
 };
 
-/** Display name ("thread" / "process"). */
+/** Display name ("thread" / "process" / "remote"). */
 std::string toString(IsolationMode mode);
 
-/** Parse "thread" / "process"; false on anything else. */
+/** Parse "thread" / "process" / "remote"; false on anything else. */
 bool parseIsolationMode(const std::string &text, IsolationMode &mode);
 
 } // namespace rigor::exec

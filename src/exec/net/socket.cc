@@ -1,0 +1,134 @@
+#include "exec/net/socket.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace rigor::exec::net
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &what)
+{
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+in_addr
+parseAddress(const std::string &address)
+{
+    in_addr parsed{};
+    const std::string resolved =
+        address == "localhost" ? "127.0.0.1" : address;
+    if (::inet_pton(AF_INET, resolved.c_str(), &parsed) != 1)
+        throw std::runtime_error(
+            "cannot parse IPv4 address '" + address +
+            "' (dotted quad or 'localhost' expected)");
+    return parsed;
+}
+
+sockaddr_in
+makeEndpoint(const std::string &address, std::uint16_t port)
+{
+    sockaddr_in endpoint{};
+    endpoint.sin_family = AF_INET;
+    endpoint.sin_port = htons(port);
+    endpoint.sin_addr = parseAddress(address);
+    return endpoint;
+}
+
+} // namespace
+
+void
+OwnedFd::reset(int fd)
+{
+    if (_fd >= 0)
+        ::close(_fd);
+    _fd = fd;
+}
+
+OwnedFd
+listenTcp(const std::string &address, std::uint16_t port, int backlog)
+{
+    OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        fail("socket");
+    const int on = 1;
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &on,
+                     sizeof(on)) != 0)
+        fail("setsockopt(SO_REUSEADDR)");
+    const sockaddr_in endpoint = makeEndpoint(address, port);
+    if (::bind(fd.get(),
+               reinterpret_cast<const sockaddr *>(&endpoint),
+               sizeof(endpoint)) != 0)
+        fail("bind " + address + ":" + std::to_string(port));
+    if (::listen(fd.get(), backlog) != 0)
+        fail("listen");
+    return fd;
+}
+
+std::uint16_t
+boundPort(int fd)
+{
+    sockaddr_in endpoint{};
+    socklen_t size = sizeof(endpoint);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&endpoint),
+                      &size) != 0)
+        fail("getsockname");
+    return ntohs(endpoint.sin_port);
+}
+
+OwnedFd
+acceptClient(int listenFd)
+{
+    for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd >= 0)
+            return OwnedFd(fd);
+        if (errno == EINTR)
+            continue;
+        // The listener was closed or shut down under us: the
+        // controller is winding down, not an error worth throwing.
+        return OwnedFd();
+    }
+}
+
+OwnedFd
+connectTcp(const std::string &address, std::uint16_t port)
+{
+    OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        fail("socket");
+    // Frames are small (a JobRequest is a few hundred bytes) and
+    // latency-sensitive: never batch them behind Nagle.
+    const int on = 1;
+    (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &on,
+                       sizeof(on));
+    const sockaddr_in endpoint = makeEndpoint(address, port);
+    for (;;) {
+        if (::connect(fd.get(),
+                      reinterpret_cast<const sockaddr *>(&endpoint),
+                      sizeof(endpoint)) == 0)
+            return fd;
+        if (errno == EINTR)
+            continue;
+        fail("connect " + address + ":" + std::to_string(port));
+    }
+}
+
+void
+shutdownSocket(int fd)
+{
+    if (fd >= 0)
+        (void)::shutdown(fd, SHUT_RDWR);
+}
+
+} // namespace rigor::exec::net

@@ -1,0 +1,97 @@
+#include "exec/net/wire.hh"
+
+namespace rigor::exec::net
+{
+
+std::string
+toString(MsgType type)
+{
+    switch (type) {
+      case MsgType::Hello:
+        return "hello";
+      case MsgType::HelloAck:
+        return "hello-ack";
+      case MsgType::JobAssign:
+        return "job-assign";
+      case MsgType::JobDone:
+        return "job-done";
+      case MsgType::Heartbeat:
+        return "heartbeat";
+      case MsgType::Shutdown:
+        return "shutdown";
+    }
+    return "unknown";
+}
+
+void
+Hello::serialize(proc::Writer &out) const
+{
+    out.pod(magic);
+    out.pod(version);
+    out.pod(slots);
+    out.str(name);
+}
+
+Hello
+Hello::deserialize(proc::Reader &in)
+{
+    Hello hello;
+    hello.magic = in.pod<std::uint32_t>();
+    hello.version = in.pod<std::uint16_t>();
+    hello.slots = in.pod<std::uint16_t>();
+    hello.name = in.str();
+    return hello;
+}
+
+void
+HelloAck::serialize(proc::Writer &out) const
+{
+    out.pod(accepted);
+    out.str(reason);
+    out.pod(leaseMs);
+    out.pod(heartbeatMs);
+}
+
+HelloAck
+HelloAck::deserialize(proc::Reader &in)
+{
+    HelloAck ack;
+    ack.accepted = in.pod<bool>();
+    ack.reason = in.str();
+    ack.leaseMs = in.pod<std::uint64_t>();
+    ack.heartbeatMs = in.pod<std::uint64_t>();
+    return ack;
+}
+
+void
+sendMessage(int fd, MsgType type, const std::vector<std::byte> &body)
+{
+    std::vector<std::byte> payload;
+    payload.reserve(1 + body.size());
+    payload.push_back(static_cast<std::byte>(type));
+    payload.insert(payload.end(), body.begin(), body.end());
+    proc::writeFrame(fd, payload);
+}
+
+bool
+recvMessage(int fd, std::vector<std::byte> &payload)
+{
+    if (!proc::readFrame(fd, payload))
+        return false;
+    if (payload.empty())
+        throw proc::ProtocolError("empty message frame (no tag byte)");
+    return true;
+}
+
+MsgType
+readType(proc::Reader &in)
+{
+    const auto raw = in.pod<std::uint8_t>();
+    if (raw < static_cast<std::uint8_t>(MsgType::Hello) ||
+        raw > static_cast<std::uint8_t>(MsgType::Shutdown))
+        throw proc::ProtocolError("unknown message tag " +
+                                  std::to_string(raw));
+    return static_cast<MsgType>(raw);
+}
+
+} // namespace rigor::exec::net

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Message layer of the controller <-> worker TCP protocol.
+ *
+ * Transport framing is exactly the sandbox pipe protocol
+ * (exec/proc/protocol.hh): length-prefixed frames written and read
+ * with the same EINTR-safe, bounds-checked, size-capped code — a TCP
+ * socket is just another fd. This header adds what pipes never
+ * needed:
+ *
+ *  - a one-byte message tag on every frame (pipes are strictly
+ *    request/response; a socket multiplexes job traffic with
+ *    heartbeats and shutdown);
+ *  - a versioned handshake. The two pipe ends are always the same
+ *    forked binary; two TCP ends are not, so a worker opens with
+ *    Hello{magic, version, slots, name} and the controller answers
+ *    HelloAck{accepted, lease, heartbeat} or rejects the session.
+ *
+ * Payload bodies reuse proc::Writer / proc::Reader and the existing
+ * JobRequest / JobResult serializers; job frames carry a lease id in
+ * front of the proc payload so a reclaimed (stale) result is
+ * recognizable when it arrives late.
+ */
+
+#ifndef RIGOR_EXEC_NET_WIRE_HH
+#define RIGOR_EXEC_NET_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/proc/protocol.hh"
+
+namespace rigor::exec::net
+{
+
+/** Protocol magic ("RGN1") leading every Hello. */
+inline constexpr std::uint32_t kWireMagic = 0x52474e31;
+/** Wire protocol version; bumped on any incompatible change. */
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/** What one frame carries (first payload byte). */
+enum class MsgType : std::uint8_t
+{
+    /** worker -> controller: session open (magic, version, slots,
+     *  worker name). */
+    Hello = 1,
+    /** controller -> worker: session accepted/rejected + the lease
+     *  and heartbeat intervals the worker must honor. */
+    HelloAck = 2,
+    /** controller -> worker: one leased job (lease id +
+     *  proc::JobRequest). */
+    JobAssign = 3,
+    /** worker -> controller: one finished job (lease id +
+     *  proc::JobResult). */
+    JobDone = 4,
+    /** worker -> controller: liveness beacon. */
+    Heartbeat = 5,
+    /** controller -> worker: drain and disconnect. */
+    Shutdown = 6,
+};
+
+/** Display name for diagnostics. */
+std::string toString(MsgType type);
+
+/** Session-open request (worker -> controller). */
+struct Hello
+{
+    std::uint32_t magic = kWireMagic;
+    std::uint16_t version = kWireVersion;
+    /** Concurrent jobs the worker is willing to hold. */
+    std::uint16_t slots = 1;
+    /** Worker identity recorded as cell provenance ("host:pid" by
+     *  convention); must be non-empty. */
+    std::string name;
+
+    void serialize(proc::Writer &out) const;
+    static Hello deserialize(proc::Reader &in);
+};
+
+/** Session-open response (controller -> worker). */
+struct HelloAck
+{
+    bool accepted = false;
+    /** Rejection reason; empty when accepted. */
+    std::string reason;
+    /** Lease duration the controller reclaims after. */
+    std::uint64_t leaseMs = 0;
+    /** Heartbeat cadence the worker must keep under the lease. */
+    std::uint64_t heartbeatMs = 0;
+
+    void serialize(proc::Writer &out) const;
+    static HelloAck deserialize(proc::Reader &in);
+};
+
+/**
+ * Send one tagged message: a frame whose payload is the tag byte
+ * followed by @p body (may be empty for Heartbeat/Shutdown). Throws
+ * proc::ProtocolError on I/O failure.
+ */
+void sendMessage(int fd, MsgType type,
+                 const std::vector<std::byte> &body = {});
+
+/**
+ * Receive one frame into @p payload. Returns false on clean EOF.
+ * Use readType on a Reader over the payload to consume the tag.
+ * Throws proc::ProtocolError / proc::TruncatedFrame like readFrame.
+ */
+bool recvMessage(int fd, std::vector<std::byte> &payload);
+
+/** Consume and validate the leading tag byte of a message payload. */
+MsgType readType(proc::Reader &in);
+
+} // namespace rigor::exec::net
+
+#endif // RIGOR_EXEC_NET_WIRE_HH

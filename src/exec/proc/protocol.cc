@@ -30,11 +30,14 @@ writeAll(int fd, const void *data, std::size_t size)
 }
 
 /**
- * Read exactly @p size bytes. Returns false on EOF before the first
- * byte; throws ProtocolError on EOF mid-transfer or a hard error.
+ * Read up to @p size bytes, stopping early only at EOF. Returns the
+ * byte count actually transferred so the caller can distinguish a
+ * clean EOF at a frame boundary (0 of n) from a truncated frame
+ * (0 < got < n) and report the offending counts; throws
+ * ProtocolError only on a hard I/O error.
  */
-bool
-readAll(int fd, void *data, std::size_t size)
+std::size_t
+readUpTo(int fd, void *data, std::size_t size)
 {
     char *at = static_cast<char *>(data);
     std::size_t got = 0;
@@ -46,14 +49,11 @@ readAll(int fd, void *data, std::size_t size)
             throw ProtocolError(std::string("sandbox pipe read: ") +
                                 std::strerror(errno));
         }
-        if (n == 0) {
-            if (got == 0)
-                return false;
-            throw ProtocolError("sandbox pipe closed mid-frame");
-        }
+        if (n == 0)
+            break;
         got += static_cast<std::size_t>(n);
     }
-    return true;
+    return got;
 }
 
 void
@@ -195,11 +195,28 @@ bool
 readFrame(int fd, std::vector<std::byte> &payload)
 {
     std::uint32_t size = 0;
-    if (!readAll(fd, &size, sizeof(size)))
+    const std::size_t prefix = readUpTo(fd, &size, sizeof(size));
+    if (prefix == 0)
         return false;
+    if (prefix < sizeof(size))
+        throw TruncatedFrame(
+            "truncated frame length prefix: got " +
+            std::to_string(prefix) + " of " +
+            std::to_string(sizeof(size)) + " bytes before EOF");
+    if (size > kMaxFramePayload)
+        throw ProtocolError(
+            "frame payload of " + std::to_string(size) +
+            " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+            "-byte limit");
     payload.resize(size);
-    if (size > 0 && !readAll(fd, payload.data(), size))
-        throw ProtocolError("sandbox pipe closed mid-frame");
+    if (size > 0) {
+        const std::size_t got = readUpTo(fd, payload.data(), size);
+        if (got < size)
+            throw TruncatedFrame(
+                "truncated frame payload: got " +
+                std::to_string(got) + " of " + std::to_string(size) +
+                " bytes before EOF");
+    }
     return true;
 }
 

@@ -51,6 +51,28 @@ class ProtocolError : public std::runtime_error
 };
 
 /**
+ * A frame cut off mid-transfer: the peer died or closed inside a
+ * frame instead of at a frame boundary. The message always carries
+ * the got/expected byte counts, so a truncated final frame (torn
+ * pipe, half-written socket, corrupt-frame drill) is diagnosable
+ * from the log alone. Shared by the pipe (exec/proc) and TCP
+ * (exec/net) transports.
+ */
+class TruncatedFrame : public ProtocolError
+{
+    using ProtocolError::ProtocolError;
+};
+
+/**
+ * Upper bound on one frame's payload. Pipe peers are forked from the
+ * same binary and never send more than a JobRequest, but a TCP peer
+ * is untrusted input: without the bound, a corrupt or hostile length
+ * prefix would make readFrame allocate gigabytes before the first
+ * payload byte arrives.
+ */
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/**
  * Exit code of a sandbox worker that hit std::bad_alloc so hard it
  * could not allocate a result frame: the parent classifies it as
  * ResourceExhausted without needing any payload.
@@ -131,7 +153,12 @@ class Reader
     void need(std::size_t n) const
     {
         if (_at + n > _bytes.size())
-            throw ProtocolError("truncated sandbox protocol payload");
+            throw TruncatedFrame(
+                "truncated protocol payload: need " +
+                std::to_string(n) + " bytes at offset " +
+                std::to_string(_at) + ", only " +
+                std::to_string(_bytes.size() - _at) + " remain of " +
+                std::to_string(_bytes.size()));
     }
 
     const std::vector<std::byte> &_bytes;

@@ -17,15 +17,18 @@
 
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include <memory>
 
+#include "check/campaign_check.hh"
 #include "doe/design_matrix.hh"
 #include "exec/campaign_options.hh"
 #include "exec/engine.hh"
+#include "exec/net/controller.hh"
 #include "exec/proc/worker_pool.hh"
 #include "obs/json.hh"
 #include "obs/manifest.hh"
@@ -157,8 +160,13 @@ class EngineSinkScope
  * executor *inside* the forked workers, so injected faults drill the
  * sandbox rather than the parent. Uses campaign.procPool when the
  * caller supplies a shared pool (multi-phase drivers); otherwise
- * builds a private pool sized to the engine's thread count. Under
- * thread isolation this scope is a no-op.
+ * builds a private pool sized to the engine's thread count.
+ *
+ * Under IsolationMode::Remote the executor is swapped for the
+ * caller-supplied campaign.netController's dispatch function instead
+ * — the controller owns its own worker fleet, so nothing is built
+ * here; a remote campaign without a controller is a programming
+ * error and throws. Under thread isolation this scope is a no-op.
  */
 class IsolationScope
 {
@@ -168,6 +176,19 @@ class IsolationScope
                    exec::proc::SandboxHookFactory hook_factory = {})
         : _engine(engine)
     {
+        if (campaign.isolation == exec::IsolationMode::Remote) {
+            if (campaign.netController == nullptr)
+                throw std::logic_error(
+                    "IsolationMode::Remote requires "
+                    "CampaignOptions::netController (build a "
+                    "CampaignController and point the campaign at "
+                    "it)");
+            _previous = engine.simulateFn();
+            engine.setSimulate(
+                campaign.netController->simulateFn());
+            _swapped = true;
+            return;
+        }
         if (campaign.isolation != exec::IsolationMode::Process)
             return;
         _previous = engine.simulateFn();
@@ -233,6 +254,32 @@ makeSharedProcPool(exec::SimulationEngine &engine,
     pool->setMetrics(campaign.metrics);
     pool->setTraceWriter(campaign.trace);
     return pool;
+}
+
+/**
+ * Reduce a remote campaign's topology to the plain-integer RemotePlan
+ * the check layer pre-flights (campaign.no-workers,
+ * campaign.lease-shorter-than-deadline). Disabled — and therefore
+ * skipped by every analyzer — unless the campaign actually runs under
+ * IsolationMode::Remote.
+ */
+inline check::RemotePlan
+remotePlanFor(const exec::CampaignOptions &campaign)
+{
+    check::RemotePlan plan;
+    if (campaign.isolation != exec::IsolationMode::Remote)
+        return plan;
+    plan.enabled = true;
+    plan.workers = campaign.remoteWorkers;
+    plan.leaseMs = static_cast<std::uint64_t>(
+        campaign.leaseDuration.count());
+    plan.heartbeatMs = static_cast<std::uint64_t>(
+        campaign.heartbeatInterval.count());
+    plan.attemptDeadlineMs = static_cast<std::uint64_t>(
+        campaign.faultPolicy.attemptDeadline.count());
+    plan.hardDeadlineMs =
+        static_cast<std::uint64_t>(campaign.hardDeadline.count());
+    return plan;
 }
 
 /**
@@ -304,6 +351,7 @@ manifestCellObserver(obs::CampaignManifest *manifest,
             cell.sampleRelativeError = event.sample.relativeError;
             cell.sampleCiHalfWidth = event.sample.ciHalfWidth;
         }
+        cell.host = event.host;
         manifest->addCell(cell);
     };
 }

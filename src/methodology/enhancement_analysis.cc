@@ -133,6 +133,7 @@ runEnhancementExperiment(
         plan.instructionsPerRun = options.instructionsPerRun;
         plan.warmupInstructions = options.warmupInstructions;
         plan.replication = options.campaign.replication;
+        plan.remote = detail::remotePlanFor(options.campaign);
         check::preflightOrThrow(plan, "runEnhancementExperiment");
     }
 

@@ -189,6 +189,7 @@ runPbExperiment(std::span<const trace::WorkloadProfile> workloads,
         plan.warmupInstructions = options.warmupInstructions;
         plan.sampling = campaign.sampling;
         plan.replication = campaign.replication;
+        plan.remote = detail::remotePlanFor(campaign);
         check::preflightOrThrow(plan, "runPbExperiment");
     }
 

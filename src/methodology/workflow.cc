@@ -177,6 +177,7 @@ runRecommendedWorkflow(
         plan.warmupInstructions = options.warmupInstructions;
         plan.workloads = workloads;
         plan.replication = options.campaign.replication;
+        plan.remote = detail::remotePlanFor(options.campaign);
         check::preflightOrThrow(plan,
                                 "runRecommendedWorkflow (step 3)");
     }
@@ -226,6 +227,7 @@ runRecommendedWorkflow(
             cell.attempts = event.attempts;
             cell.wallSeconds = event.wallSeconds;
             cell.response = event.response;
+            cell.host = event.host;
             manifest->addCell(cell);
         };
     }

@@ -88,6 +88,37 @@ CampaignManifest::addCell(const CellRecord &cell)
         line += ",\"sample_half_width\":";
         line += jsonNumber(cell.sampleCiHalfWidth);
     }
+    if (!cell.host.empty()) {
+        line += ",\"host\":";
+        appendJsonString(line, cell.host);
+    }
+    line += '}';
+    append(std::move(line));
+}
+
+void
+CampaignManifest::addLeaseEvent(const LeaseEventRecord &event)
+{
+    std::string line = "{\"type\":\"lease\",\"kind\":";
+    appendJsonString(line, event.kind);
+    line += ",\"worker\":";
+    appendJsonString(line, event.worker);
+    if (event.leaseId != 0) {
+        line += ",\"lease_id\":";
+        line += std::to_string(event.leaseId);
+    }
+    if (!event.label.empty()) {
+        line += ",\"label\":";
+        appendJsonString(line, event.label);
+    }
+    if (!event.detail.empty()) {
+        line += ",\"detail\":";
+        appendJsonString(line, event.detail);
+    }
+    if (event.requeues != 0) {
+        line += ",\"requeues\":";
+        line += std::to_string(event.requeues);
+    }
     line += '}';
     append(std::move(line));
 }

@@ -13,6 +13,10 @@
  *    run: the run-cache key (config hash first), where the response
  *    came from (simulated | cache | journal), attempts, wall time,
  *    and the response itself.
+ *  - {"type":"lease", ...}     one line per distributed-campaign
+ *    lease event: worker joins and losses, heartbeat lapses, lease
+ *    reclaims (with requeue counts), and rejected late results — the
+ *    provenance behind every cell that migrated between workers.
  *  - {"type":"phase", ...}     coarse per-phase wall time.
  *  - {"type":"summary", ...}   terminal accounting: run totals,
  *    cache/journal hits, retries, failures, dropped cells and
@@ -76,6 +80,30 @@ struct CellRecord
     std::uint64_t sampleUnits = 0;
     double sampleRelativeError = 0.0;
     double sampleCiHalfWidth = 0.0;
+    /** Worker that served the cell in a distributed campaign;
+     *  rendered only when non-empty (in-process runs, cache hits, and
+     *  journal replays carry no host). */
+    std::string host;
+};
+
+/** One lease-lifecycle event of a distributed campaign (the "lease"
+ *  records): worker joins/losses, lapses, reclaims, and late results
+ *  — the audit trail behind every migrated cell. */
+struct LeaseEventRecord
+{
+    /** "worker-joined" | "worker-lost" | "worker-lapsed" |
+     *  "lease-reclaimed" | "late-result". */
+    std::string kind;
+    /** Worker the event concerns. */
+    std::string worker;
+    /** Lease id, when the event concerns one (0 otherwise). */
+    std::uint64_t leaseId = 0;
+    /** Cell label under lease, when known. */
+    std::string label;
+    /** Human-readable cause ("heartbeat silence for 12000 ms", ...).*/
+    std::string detail;
+    /** Times the affected cell has been requeued so far. */
+    unsigned requeues = 0;
 };
 
 /** Terminal accounting of one campaign (the "summary" record). */
@@ -128,6 +156,7 @@ class CampaignManifest
   public:
     void beginCampaign(const CampaignInfo &info);
     void addCell(const CellRecord &cell);
+    void addLeaseEvent(const LeaseEventRecord &event);
     void addPhase(const std::string &name, double wall_seconds);
     void addSummary(const SummaryRecord &summary);
     void addStability(const StabilityRecord &stability);

@@ -17,6 +17,8 @@
  *     campaign --journal run.journal --crash-after 40   # crash drill
  *     campaign --metrics-out m.json --trace-out t.json \
  *              --manifest-out run.jsonl --bench-out BENCH_4.json
+ *     campaign --listen 127.0.0.1:0 --workers 3 --port-file port \
+ *              --lease-ms 4000 --heartbeat-ms 500   # distributed
  *
  * The trace JSON loads directly in chrome://tracing / Perfetto; the
  * manifest is one JSON object per line (campaign / cell / phase /
@@ -28,6 +30,7 @@
  * the same --journal).
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -41,6 +44,7 @@
 #include "cli_options.hh"
 #include "exec/fault_injection.hh"
 #include "exec/journal.hh"
+#include "exec/net/controller.hh"
 #include "methodology/adaptive_sampling.hh"
 #include "methodology/pb_experiment.hh"
 #include "methodology/rank_stability.hh"
@@ -87,6 +91,11 @@ struct CliOptions
     std::uint64_t randomSeed = 0;
     bool haveRandom = false;
     bool quiet = false;
+    /** Remote: write the bound controller port here (CI rendezvous
+     *  with kernel-assigned ports). */
+    std::string portFile;
+    /** Remote: how long to wait for --workers to connect. */
+    unsigned workerWaitMs = 30000;
 };
 
 int
@@ -116,59 +125,21 @@ usage(const char *argv0)
         "                          alloc-bomb|kill; the last five\n"
         "                          need --isolation process)\n"
         "  --inject-label S:A:KIND  fault jobs whose label contains S\n"
+        "                         (also: drop-connection|\n"
+        "                          stall-heartbeat|corrupt-frame on a\n"
+        "                          remote worker's --inject-label)\n"
         "  --inject-random R:SEED   seeded transient storm at rate R\n"
+        "  --port-file PATH       remote: write the bound controller\n"
+        "                         port (rendezvous for port 0)\n"
+        "  --worker-wait-ms N     remote: wait this long for --workers\n"
+        "                         to connect (default 30000)\n"
         "  --quiet                suppress the rank table\n"
         "  --help                 show this help\n",
         argv0, CampaignCliOptions::usageText());
     return 2;
 }
 
-bool
-parseKind(const std::string &text, FaultKind &kind)
-{
-    if (text == "transient")
-        kind = FaultKind::Transient;
-    else if (text == "permanent")
-        kind = FaultKind::Permanent;
-    else if (text == "hang")
-        kind = FaultKind::Hang;
-    else if (text == "segfault")
-        kind = FaultKind::Segfault;
-    else if (text == "abort")
-        kind = FaultKind::Abort;
-    else if (text == "busy-loop")
-        kind = FaultKind::BusyLoop;
-    else if (text == "alloc-bomb")
-        kind = FaultKind::AllocBomb;
-    else if (text == "kill")
-        kind = FaultKind::KillWorker;
-    else
-        return false;
-    return true;
-}
-
-/** Parse "head:attempt:kind", splitting on the LAST two colons so
- *  the head (a label substring) may itself contain colons. */
-bool
-parseFaultSpec(const std::string &spec, std::string &head,
-               unsigned &attempt, FaultKind &kind)
-{
-    const std::size_t last = spec.rfind(':');
-    if (last == std::string::npos || last == 0)
-        return false;
-    const std::size_t mid = spec.rfind(':', last - 1);
-    if (mid == std::string::npos)
-        return false;
-    head = spec.substr(0, mid);
-    const std::string attempt_text =
-        spec.substr(mid + 1, last - mid - 1);
-    if (head.empty() || attempt_text.empty())
-        return false;
-    if (!rigor::tools::parseUnsigned(attempt_text.c_str(), attempt) ||
-        attempt == 0)
-        return false;
-    return parseKind(spec.substr(last + 1), kind);
-}
+using rigor::tools::parseFaultSpec;
 
 bool
 parseArgs(int argc, char **argv, CliOptions &options)
@@ -253,6 +224,17 @@ parseArgs(int argc, char **argv, CliOptions &options)
                     options.randomSeed))
                 return false;
             options.haveRandom = true;
+        } else if (arg == "--port-file") {
+            const char *v = args.valueFor("--port-file");
+            if (v == nullptr)
+                return false;
+            options.portFile = v;
+        } else if (arg == "--worker-wait-ms") {
+            const char *v = args.valueFor("--worker-wait-ms");
+            if (v == nullptr ||
+                !rigor::tools::parseUnsigned(v,
+                                             options.workerWaitMs))
+                return false;
         } else if (arg == "--quiet") {
             options.quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -338,6 +320,82 @@ main(int argc, char **argv)
         rigor::obs::TraceWriter trace;
         rigor::obs::CampaignManifest manifest;
 
+        // Remote isolation: bring up the lease-granting controller
+        // and wait for the fleet before any cell is queued. Declared
+        // after the manifest so its lease observer (which feeds the
+        // manifest) outlives every controller thread.
+        std::unique_ptr<rigor::exec::net::CampaignController>
+            controller;
+        if (cli.campaign.isolation ==
+            rigor::exec::IsolationMode::Remote) {
+            rigor::exec::net::ControllerOptions net_opts;
+            net_opts.bindAddress = cli.campaign.listenAddress;
+            net_opts.port = static_cast<std::uint16_t>(
+                cli.campaign.listenPort);
+            net_opts.lease =
+                std::chrono::milliseconds(cli.campaign.leaseMs);
+            net_opts.heartbeat =
+                std::chrono::milliseconds(cli.campaign.heartbeatMs);
+            controller = std::make_unique<
+                rigor::exec::net::CampaignController>(net_opts);
+            if (!cli.campaign.metricsOut.empty())
+                controller->setMetrics(&metrics);
+            const bool want_manifest =
+                !cli.campaign.manifestOut.empty();
+            controller->setLeaseObserver(
+                [&manifest, want_manifest](
+                    const rigor::exec::net::LeaseEvent &event) {
+                    const std::string kind =
+                        rigor::exec::net::toString(event.kind);
+                    std::fprintf(
+                        stderr, "campaign: %s worker=%s%s%s%s%s\n",
+                        kind.c_str(), event.worker.c_str(),
+                        event.label.empty() ? "" : " cell=",
+                        event.label.c_str(),
+                        event.detail.empty() ? "" : ": ",
+                        event.detail.c_str());
+                    if (!want_manifest)
+                        return;
+                    rigor::obs::LeaseEventRecord record;
+                    record.kind = kind;
+                    record.worker = event.worker;
+                    record.leaseId = event.leaseId;
+                    record.label = event.label;
+                    record.detail = event.detail;
+                    record.requeues = event.requeues;
+                    manifest.addLeaseEvent(record);
+                });
+            std::fprintf(stderr,
+                         "campaign: controller listening on %s:%u\n",
+                         cli.campaign.listenAddress.c_str(),
+                         static_cast<unsigned>(controller->port()));
+            if (!cli.portFile.empty()) {
+                std::ofstream out(cli.portFile,
+                                  std::ios::binary | std::ios::trunc);
+                if (!out)
+                    throw std::runtime_error(
+                        "cannot open '" + cli.portFile +
+                        "' for writing");
+                out << controller->port() << '\n';
+                if (!out)
+                    throw std::runtime_error("write to '" +
+                                             cli.portFile +
+                                             "' failed");
+            }
+            if (cli.campaign.remoteWorkers != 0 &&
+                !controller->waitForWorkers(
+                    cli.campaign.remoteWorkers,
+                    std::chrono::milliseconds(cli.workerWaitMs))) {
+                std::fprintf(
+                    stderr,
+                    "campaign: only %u of %u workers connected "
+                    "within %u ms\n",
+                    controller->connectedWorkers(),
+                    cli.campaign.remoteWorkers, cli.workerWaitMs);
+                return 1;
+            }
+        }
+
         // Journal replays get a visible progress line naming the
         // run-cache key, so a resumed campaign shows exactly which
         // configurations were served from disk.
@@ -359,6 +417,7 @@ main(int argc, char **argv)
         cli.campaign.apply(opts.campaign);
         opts.campaign.engine = &engine;
         opts.campaign.journal = journal.get();
+        opts.campaign.netController = controller.get();
         if (!cli.campaign.metricsOut.empty())
             opts.campaign.metrics = &metrics;
         if (!cli.campaign.traceOut.empty())

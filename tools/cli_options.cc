@@ -81,6 +81,88 @@ parseDouble(const char *text, double &out)
 }
 
 bool
+parseFaultKind(const std::string &text, exec::FaultKind &kind)
+{
+    using exec::FaultKind;
+    if (text == "transient")
+        kind = FaultKind::Transient;
+    else if (text == "permanent")
+        kind = FaultKind::Permanent;
+    else if (text == "hang")
+        kind = FaultKind::Hang;
+    else if (text == "segfault")
+        kind = FaultKind::Segfault;
+    else if (text == "abort")
+        kind = FaultKind::Abort;
+    else if (text == "busy-loop")
+        kind = FaultKind::BusyLoop;
+    else if (text == "alloc-bomb")
+        kind = FaultKind::AllocBomb;
+    else if (text == "kill")
+        kind = FaultKind::KillWorker;
+    else if (text == "drop-connection")
+        kind = FaultKind::DropConnection;
+    else if (text == "stall-heartbeat")
+        kind = FaultKind::StallHeartbeat;
+    else if (text == "corrupt-frame")
+        kind = FaultKind::CorruptFrame;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseFaultSpec(const std::string &spec, std::string &head,
+               unsigned &attempt, exec::FaultKind &kind)
+{
+    const std::size_t last = spec.rfind(':');
+    if (last == std::string::npos || last == 0)
+        return false;
+    const std::size_t mid = spec.rfind(':', last - 1);
+    if (mid == std::string::npos)
+        return false;
+    head = spec.substr(0, mid);
+    const std::string attempt_text =
+        spec.substr(mid + 1, last - mid - 1);
+    if (head.empty() || attempt_text.empty())
+        return false;
+    if (!parseUnsigned(attempt_text.c_str(), attempt) || attempt == 0)
+        return false;
+    return parseFaultKind(spec.substr(last + 1), kind);
+}
+
+bool
+parseEndpoint(const std::string &text, std::string &host,
+              std::uint16_t &port)
+{
+    if (text.empty())
+        return false;
+    const std::size_t colon = text.rfind(':');
+    std::string host_part;
+    std::string port_part;
+    if (colon != std::string::npos) {
+        host_part = text.substr(0, colon);
+        port_part = text.substr(colon + 1);
+        if (host_part.empty() || port_part.empty())
+            return false;
+    } else if (text.find_first_not_of("0123456789") ==
+               std::string::npos) {
+        port_part = text; // bare number: a port on the current host
+    } else {
+        host_part = text; // bare name: a host on the current port
+    }
+    if (!host_part.empty())
+        host = host_part;
+    if (!port_part.empty()) {
+        unsigned raw = 0;
+        if (!parseUnsigned(port_part.c_str(), raw) || raw > 65535)
+            return false;
+        port = static_cast<std::uint16_t>(raw);
+    }
+    return true;
+}
+
+bool
 splitList(const std::string &csv, std::vector<std::string> &out)
 {
     std::size_t start = 0;
@@ -209,11 +291,50 @@ CampaignCliOptions::tryParse(ArgCursor &args, const std::string &arg)
         if (!exec::parseIsolationMode(v, isolation)) {
             std::fprintf(stderr,
                          "%s: unknown --isolation mode %s "
-                         "(want thread | process)\n",
+                         "(want thread | process | remote)\n",
                          args.program().c_str(), v);
             return Match::Error;
         }
         return Match::Consumed;
+    }
+    if (name == "--listen") {
+        const char *v = value("--listen");
+        if (v == nullptr)
+            return Match::Error;
+        std::uint16_t port = static_cast<std::uint16_t>(listenPort);
+        if (!parseEndpoint(v, listenAddress, port)) {
+            std::fprintf(stderr,
+                         "%s: bad --listen endpoint %s "
+                         "(want HOST:PORT, HOST, or PORT)\n",
+                         args.program().c_str(), v);
+            return Match::Error;
+        }
+        listenPort = port;
+        haveListen = true;
+        isolation = exec::IsolationMode::Remote;
+        return Match::Consumed;
+    }
+    if (name == "--workers")
+        return unsigned_flag("--workers", remoteWorkers);
+    if (name == "--lease-ms") {
+        const Match m = unsigned_flag("--lease-ms", leaseMs);
+        if (m == Match::Consumed && leaseMs == 0) {
+            std::fprintf(stderr,
+                         "%s: --lease-ms must be positive\n",
+                         args.program().c_str());
+            return Match::Error;
+        }
+        return m;
+    }
+    if (name == "--heartbeat-ms") {
+        const Match m = unsigned_flag("--heartbeat-ms", heartbeatMs);
+        if (m == Match::Consumed && heartbeatMs == 0) {
+            std::fprintf(stderr,
+                         "%s: --heartbeat-ms must be positive\n",
+                         args.program().c_str());
+            return Match::Error;
+        }
+        return m;
     }
     if (name == "--mem-limit-mb") {
         const Match m = uint64_flag("--mem-limit-mb", memLimitMb);
@@ -371,6 +492,10 @@ CampaignCliOptions::apply(exec::CampaignOptions &campaign) const
     campaign.isolation = isolation;
     campaign.memLimitMb = memLimitMb;
     campaign.hardDeadline = std::chrono::milliseconds(hardDeadlineMs);
+    campaign.leaseDuration = std::chrono::milliseconds(leaseMs);
+    campaign.heartbeatInterval =
+        std::chrono::milliseconds(heartbeatMs);
+    campaign.remoteWorkers = remoteWorkers;
     campaign.sampling.enabled = sample;
     campaign.sampling.unitInstructions = sampleUnit;
     campaign.sampling.warmupInstructions = sampleWarmup;
@@ -395,11 +520,22 @@ CampaignCliOptions::usageText()
         "                         backoff (seeded, replayable; [0,1])\n"
         "  --backoff-seed N       seed of the jitter stream\n"
         "  --deadline-ms N        per-attempt deadline (0 = none)\n"
-        "  --isolation MODE       thread | process; process forks\n"
-        "                         sandbox workers that survive crash,\n"
-        "                         OOM, and non-cooperative hangs\n"
+        "  --isolation MODE       thread | process | remote; process\n"
+        "                         forks sandbox workers that survive\n"
+        "                         crash, OOM, and hangs; remote shards\n"
+        "                         cells across a TCP worker fleet\n"
         "  --mem-limit-mb N       per-sandbox memory cap in MiB\n"
         "  --hard-deadline-ms N   SIGKILL a sandbox attempt past this\n"
+        "  --listen HOST:PORT     remote: controller listen endpoint\n"
+        "                         (implies --isolation remote; port 0\n"
+        "                         = kernel-assigned)\n"
+        "  --workers N            remote: wait for N workers before\n"
+        "                         the campaign starts\n"
+        "  --lease-ms N           remote: worker-silence budget before\n"
+        "                         its cells are reclaimed and requeued\n"
+        "                         (default 10000)\n"
+        "  --heartbeat-ms N       remote: worker heartbeat cadence\n"
+        "                         (default 1000)\n"
         "  --collect              quarantine failures, don't fail fast\n"
         "  --degrade MODE         abort | drop-benchmark (with --collect)\n"
         "  --sample               SMARTS-style sampled simulation:\n"

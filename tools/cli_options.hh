@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "exec/campaign_options.hh"
+#include "exec/fault_injection.hh"
 
 namespace rigor::tools
 {
@@ -65,6 +66,27 @@ bool splitList(const std::string &csv,
                std::vector<std::string> &out);
 
 /**
+ * Parse a fault-drill kind name ("transient", "permanent", "hang",
+ * "segfault", "abort", "busy-loop", "alloc-bomb", "kill",
+ * "drop-connection", "stall-heartbeat", "corrupt-frame"). Shared by
+ * campaign's --inject* flags and worker's --inject-label.
+ */
+bool parseFaultKind(const std::string &text, exec::FaultKind &kind);
+
+/** Parse "head:attempt:kind", splitting on the LAST two colons so
+ *  the head (a label substring) may itself contain colons. */
+bool parseFaultSpec(const std::string &spec, std::string &head,
+                    unsigned &attempt, exec::FaultKind &kind);
+
+/**
+ * Parse "HOST:PORT" / "PORT" / "HOST" into its parts (a bare number
+ * is a port on the existing @p host; a bare name replaces the host
+ * and keeps the existing port). False on a malformed port.
+ */
+bool parseEndpoint(const std::string &text, std::string &host,
+                   std::uint16_t &port);
+
+/**
  * Every command-line flag that configures campaign execution and
  * observability, parsed flag-by-flag with tryParse() and rendered
  * onto exec::CampaignOptions with apply(). The sink *paths* live
@@ -89,6 +111,18 @@ struct CampaignCliOptions
     std::uint64_t memLimitMb = 0;
     /** Process isolation: hard watchdog deadline in ms (0 = off). */
     unsigned hardDeadlineMs = 0;
+    /** Remote isolation: controller listen address (--listen). */
+    std::string listenAddress = "127.0.0.1";
+    /** Remote isolation: listen port (0 = kernel-assigned). */
+    unsigned listenPort = 0;
+    /** --listen was given (implies --isolation remote). */
+    bool haveListen = false;
+    /** Remote isolation: expected worker-fleet size (--workers). */
+    unsigned remoteWorkers = 0;
+    /** Remote isolation: lease duration (worker-silence budget). */
+    unsigned leaseMs = 10000;
+    /** Remote isolation: advertised heartbeat cadence. */
+    unsigned heartbeatMs = 1000;
     bool collect = false;
     check::DegradationMode degrade = check::DegradationMode::Abort;
     /** SMARTS-style sampled simulation (off = full detailed runs). */
