@@ -1,0 +1,185 @@
+#!/usr/bin/env bash
+# Chaos-soak the distributed campaign backend, two ways:
+#
+#  1. The seeded in-process soak (tools/chaos_soak): five rounds of
+#     composed network drills — partitions healed inside the session
+#     grace window, reconnect storms, slow-loris frames, stalled
+#     heartbeats, torn frames, duplicate-session and wrong-token
+#     probes, and a mid-campaign drain+resume — each round asserting
+#     a rank table bit-identical to a single-process run over a
+#     loss-free, duplicate-free journal.
+#
+#  2. The process-level drill: a real campaign controller with an
+#     auth token is SIGTERM-drained mid-run (exit 4), a rogue worker
+#     with the wrong token is turned away before any lease, and a
+#     fresh fleet resumes the journal to a bit-identical rank table.
+#
+# The seed is pinned so a CI failure replays exactly.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+seed="${CHAOS_SEED:-7}"
+
+cmake --preset default
+cmake --build --preset default -j "$(nproc)" \
+    --target campaign worker chaos_soak
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+# ----- Phase 1: the seeded in-process soak -----
+
+./build/tools/chaos_soak --seed "$seed" --rounds 5 --workers 3 \
+    --workdir "$workdir"
+
+# ----- Phase 2: SIGTERM drain + journal resume, real processes -----
+
+echo "fleet-soak-$seed-token" > "$workdir/fleet.token"
+echo "wrong-token" > "$workdir/rogue.token"
+
+# Reference: the same screen in one process under thread isolation.
+./build/tools/campaign \
+    --workloads gzip,mcf --instructions 100000 \
+    --quiet > "$workdir/rank_reference.txt"
+
+./build/tools/campaign \
+    --listen 127.0.0.1:0 --workers 3 --threads 3 \
+    --port-file "$workdir/port" \
+    --auth-token-file "$workdir/fleet.token" \
+    --workloads gzip,mcf --instructions 100000 \
+    --journal "$workdir/journal" \
+    --manifest-out "$workdir/manifest_drained.jsonl" \
+    --quiet > "$workdir/rank_drained.txt" \
+    2> "$workdir/controller.log" &
+campaign_pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$workdir/port" ] && break
+    sleep 0.1
+done
+[ -s "$workdir/port" ] || {
+    echo "controller never wrote its port file" >&2
+    cat "$workdir/controller.log" >&2
+    exit 1
+}
+port="$(cat "$workdir/port")"
+
+# A rogue worker with the wrong token must be turned away (nonzero
+# exit) before any lease is granted.
+rogue_rc=0
+./build/tools/worker --connect "127.0.0.1:$port" --name rogue \
+    --auth-token-file "$workdir/rogue.token" \
+    > "$workdir/rogue.log" 2>&1 || rogue_rc=$?
+[ "$rogue_rc" -ne 0 ] || {
+    echo "the rogue worker was admitted" >&2
+    cat "$workdir/rogue.log" >&2
+    exit 1
+}
+
+./build/tools/worker --connect "127.0.0.1:$port" --name w1 \
+    --auth-token-file "$workdir/fleet.token" --reconnect 5 &
+w1=$!
+./build/tools/worker --connect "127.0.0.1:$port" --name w2 \
+    --auth-token-file "$workdir/fleet.token" --reconnect 5 &
+w2=$!
+./build/tools/worker --connect "127.0.0.1:$port" --name w3 \
+    --auth-token-file "$workdir/fleet.token" --reconnect 5 &
+w3=$!
+
+# Wait until the fsync'd journal proves the fleet is mid-campaign,
+# then SIGTERM the controller: it must drain — in-flight cells
+# finish, queued cells stay journaled — and exit 4 (resumable).
+for _ in $(seq 1 600); do
+    [ -f "$workdir/journal" ] &&
+        [ "$(wc -l < "$workdir/journal")" -ge 41 ] && break
+    sleep 0.05
+done
+kill -TERM "$campaign_pid"
+
+drain_rc=0
+wait "$campaign_pid" || drain_rc=$?
+[ "$drain_rc" -eq 4 ] || {
+    echo "SIGTERM drain exited $drain_rc, want 4" >&2
+    cat "$workdir/controller.log" >&2
+    exit 1
+}
+echo "controller drained with exit 4"
+
+# The drained controller's shutdown releases the fleet cleanly.
+wait "$w1" "$w2" "$w3"
+
+# Resume: a fresh controller and fleet pick up the same journal and
+# must finish with the reference rank table, bit for bit.
+rm -f "$workdir/port"
+./build/tools/campaign \
+    --listen 127.0.0.1:0 --workers 3 --threads 3 \
+    --port-file "$workdir/port" \
+    --auth-token-file "$workdir/fleet.token" \
+    --workloads gzip,mcf --instructions 100000 \
+    --journal "$workdir/journal" \
+    --manifest-out "$workdir/manifest_resumed.jsonl" \
+    --quiet > "$workdir/rank_resumed.txt" \
+    2>> "$workdir/controller.log" &
+campaign_pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$workdir/port" ] && break
+    sleep 0.1
+done
+port="$(cat "$workdir/port")"
+
+./build/tools/worker --connect "127.0.0.1:$port" --name w1 \
+    --auth-token-file "$workdir/fleet.token" --reconnect 5 &
+w1=$!
+./build/tools/worker --connect "127.0.0.1:$port" --name w2 \
+    --auth-token-file "$workdir/fleet.token" --reconnect 5 &
+w2=$!
+./build/tools/worker --connect "127.0.0.1:$port" --name w3 \
+    --auth-token-file "$workdir/fleet.token" --reconnect 5 &
+w3=$!
+
+wait "$campaign_pid"
+wait "$w1" "$w2" "$w3"
+
+diff "$workdir/rank_reference.txt" "$workdir/rank_resumed.txt"
+echo "rank table bit-identical across SIGTERM drain + resume"
+
+python3 - "$workdir" <<'EOF'
+import json, sys
+workdir = sys.argv[1]
+
+# The rogue worker was rejected by the auth gate, not merely lost.
+drained = [json.loads(l)
+           for l in open(f"{workdir}/manifest_drained.jsonl")]
+leases = [r for r in drained if r["type"] == "lease"]
+assert any(r["kind"] == "auth-rejected" for r in leases), \
+    "no auth-rejected event for the rogue worker"
+joined = {r["worker"] for r in leases if r["kind"] == "worker-joined"}
+assert joined == {"w1", "w2", "w3"}, joined
+
+# The journal holds every completed cell exactly once.
+keys = []
+with open(f"{workdir}/journal") as journal:
+    next(journal)  # version header
+    for line in journal:
+        if line.strip():
+            keys.append(line.split()[1])
+assert len(keys) == len(set(keys)), "duplicate journal records"
+assert len(keys) == 176, f"{len(keys)} of 176 cells journaled"
+
+# The resumed run replayed the drained run's cells from disk and
+# simulated only the remainder.
+resumed = [json.loads(l)
+           for l in open(f"{workdir}/manifest_resumed.jsonl")]
+cells = {(r["benchmark"], r["row"]) for r in resumed
+         if r["type"] == "cell"}
+assert len(cells) == 176, len(cells)
+replayed = sum(1 for r in resumed if r["type"] == "cell"
+               and r.get("source") == "journal")
+assert replayed >= 40, f"only {replayed} cells replayed from journal"
+print(f"auth-rejected: yes | journal: 176 unique | "
+      f"replayed on resume: {replayed}")
+EOF
+
+echo "Chaos soak passed (seed $seed)."

@@ -183,6 +183,16 @@ checkRemotePlan(const RemotePlan &plan, DiagnosticSink &sink)
                 " ms); every worker would lapse between beats and "
                 "its cells would migrate spuriously",
             context);
+    else if (plan.heartbeatMs * 2 >= plan.leaseMs)
+        sink.error(
+            rules::kCampaignHeartbeatTooCoarse,
+            "heartbeat interval (" +
+                std::to_string(plan.heartbeatMs) +
+                " ms) is at or past half the lease duration (" +
+                std::to_string(plan.leaseMs) +
+                " ms); at most one beacon fits in a lease window, so "
+                "one delayed packet lapses a healthy worker",
+            context);
     const std::uint64_t deadline =
         std::max(plan.attemptDeadlineMs, plan.hardDeadlineMs);
     if (deadline > 0 && plan.leaseMs <= deadline)

@@ -159,6 +159,14 @@ inline constexpr const char *kCampaignLeaseShorterThanDeadline =
  *  on the controller forever. */
 inline constexpr const char *kCampaignNoWorkers =
     "campaign.no-workers";
+/**
+ * A remote campaign whose heartbeat cadence is at or past half the
+ * lease duration: at most one beacon fits in a lease window, so a
+ * single delayed packet makes a healthy worker lapse and its leases
+ * migrate spuriously.
+ */
+inline constexpr const char *kCampaignHeartbeatTooCoarse =
+    "campaign.heartbeat-too-coarse";
 
 // ----- Rank-stability inference (stability_check) -----
 

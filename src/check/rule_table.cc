@@ -19,7 +19,7 @@ using rules::kCampaignNoCompleteBenchmarks;
 using rules::kCampaignPairedDropMismatch;
 using rules::kCampaignUnderReplicated;
 
-constexpr std::array<RuleInfo, 54> kRules{{
+constexpr std::array<RuleInfo, 55> kRules{{
     // ----- design_check -----
     {rules::kDesignEmpty, Severity::Error,
      "design matrix has rows and columns"},
@@ -106,6 +106,8 @@ constexpr std::array<RuleInfo, 54> kRules{{
      "remote lease exceeds heartbeat and attempt deadlines"},
     {rules::kCampaignNoWorkers, Severity::Error,
      "remote campaign expects at least one worker"},
+    {rules::kCampaignHeartbeatTooCoarse, Severity::Error,
+     "remote heartbeat stays under half the lease"},
     // ----- stability_check -----
     {kCampaignUnderReplicated, Severity::Error,
      "replicated campaign meets the configured replicate floor"},

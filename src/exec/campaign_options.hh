@@ -25,6 +25,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string>
 
 #include "check/campaign_check.hh"
 #include "exec/fault_policy.hh"
@@ -153,8 +154,25 @@ struct CampaignOptions
      */
     std::chrono::milliseconds leaseDuration{10000};
     /** Remote isolation: expected worker heartbeat cadence
-     *  (advertised to workers in the handshake). */
+     *  (advertised to workers in the handshake). Must stay well
+     *  under half of leaseDuration or transient silence reclaims
+     *  healthy workers — the pre-flight rule
+     *  campaign.heartbeat-too-coarse enforces this.  */
     std::chrono::milliseconds heartbeatInterval{1000};
+    /**
+     * Remote isolation: how long a disconnected worker's session
+     * (and its leases) is parked awaiting a reconnect before its
+     * cells fall back to reclaim/requeue. Zero disables parking —
+     * every broken connection reclaims immediately.
+     */
+    std::chrono::milliseconds sessionGrace{0};
+    /**
+     * Remote isolation: shared fleet token. Non-empty makes the
+     * controller demand an HMAC-SHA256 challenge-response in every
+     * worker handshake before any lease is granted; empty disables
+     * authentication (trusted-network deployments only).
+     */
+    std::string remoteAuthToken;
     /**
      * Remote isolation: worker count the campaign expects to be
      * served by (pre-flight rule campaign.no-workers rejects 0 — a

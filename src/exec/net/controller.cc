@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_set>
 #include <utility>
 
+#include "exec/net/auth.hh"
 #include "exec/net/wire.hh"
 #include "obs/metrics.hh"
 
@@ -24,6 +26,18 @@ toString(LeaseEvent::Kind kind)
         return "lease-reclaimed";
       case LeaseEvent::Kind::LateResult:
         return "late-result";
+      case LeaseEvent::Kind::AuthRejected:
+        return "auth-rejected";
+      case LeaseEvent::Kind::SessionRejected:
+        return "session-rejected";
+      case LeaseEvent::Kind::SessionParked:
+        return "session-parked";
+      case LeaseEvent::Kind::SessionResumed:
+        return "session-resumed";
+      case LeaseEvent::Kind::SessionExpired:
+        return "session-expired";
+      case LeaseEvent::Kind::WorkerDraining:
+        return "worker-draining";
     }
     return "unknown";
 }
@@ -51,13 +65,19 @@ struct CampaignController::Worker
 {
     int fd = -1;
     std::string name;
+    /** Durable session identity; survives reconnects. */
+    std::string sessionId;
     unsigned slots = 1;
     unsigned inFlight = 0;
     /** Silent past the lease: no new grants until a heartbeat. */
     bool lapsed = false;
     /** Connection finished; kept out of every decision. */
     bool gone = false;
+    /** Announced a drain: no new grants, in-flight cells finish. */
+    bool draining = false;
     std::chrono::steady_clock::time_point lastSeen;
+    /** When the session was parked (meaningful while in _parked). */
+    std::chrono::steady_clock::time_point parkedAt;
 };
 
 /** One outstanding grant. */
@@ -111,6 +131,12 @@ CampaignController::~CampaignController()
             }
             shutdownSocket(worker->fd);
         }
+        // Parked sessions hold only dead fds; just forget them. A
+        // connection still mid-handshake is blocked in a read —
+        // shut its socket so the thread can be joined below.
+        _parked.clear();
+        for (const int handshake_fd : _handshakeFds)
+            shutdownSocket(handshake_fd);
         _cv.notify_all();
     }
     // shutdown() (not close) wakes the blocked accept() without
@@ -153,7 +179,10 @@ CampaignController::setMetrics(obs::MetricsRegistry *metrics)
     const std::lock_guard<std::mutex> lock(_mutex);
     if (metrics == nullptr) {
         _joinedCounter = _lostCounter = _grantedCounter =
-            _reclaimedCounter = _lateCounter = nullptr;
+            _reclaimedCounter = _lateCounter = _parkedCounter =
+                _resumedCounter = _expiredCounter =
+                    _sessionRejectedCounter = _authAcceptedCounter =
+                        _authRejectedCounter = nullptr;
         _connectedGauge = nullptr;
         return;
     }
@@ -162,6 +191,13 @@ CampaignController::setMetrics(obs::MetricsRegistry *metrics)
     _grantedCounter = &metrics->counter("net.leases.granted");
     _reclaimedCounter = &metrics->counter("net.leases.reclaimed");
     _lateCounter = &metrics->counter("net.results.late");
+    _parkedCounter = &metrics->counter("net.sessions.parked");
+    _resumedCounter = &metrics->counter("net.sessions.resumed");
+    _expiredCounter = &metrics->counter("net.sessions.expired");
+    _sessionRejectedCounter =
+        &metrics->counter("net.sessions.rejected");
+    _authAcceptedCounter = &metrics->counter("net.auth.accepted");
+    _authRejectedCounter = &metrics->counter("net.auth.rejected");
     _connectedGauge = &metrics->gauge("net.workers.connected");
 }
 
@@ -201,6 +237,91 @@ CampaignController::lateResults() const
     return _lateResults;
 }
 
+std::uint64_t
+CampaignController::sessionsParked() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    return _sessionsParked;
+}
+
+std::uint64_t
+CampaignController::sessionsResumed() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    return _sessionsResumed;
+}
+
+std::uint64_t
+CampaignController::sessionsExpired() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    return _sessionsExpired;
+}
+
+std::uint64_t
+CampaignController::sessionsRejected() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    return _sessionsRejected;
+}
+
+std::uint64_t
+CampaignController::authAccepted() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    return _authAccepted;
+}
+
+std::uint64_t
+CampaignController::authRejected() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    return _authRejected;
+}
+
+bool
+CampaignController::draining() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    return _draining;
+}
+
+void
+CampaignController::beginDrain(std::chrono::milliseconds waitInFlight)
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    if (_draining || _shutdown)
+        return;
+    // Phase 1: stop granting. pumpLocked and execute() both gate on
+    // _draining, so from here no new lease leaves the controller.
+    _draining = true;
+    _cv.notify_all();
+    // Phase 2: let in-flight cells finish. The wait is bounded by
+    // the caller's budget — a silent worker cannot stall the drain
+    // past the lease clock, because the monitor reclaims its leases
+    // (erasing them) on schedule.
+    _cv.wait_for(lock, waitInFlight, [&] { return _leases.empty(); });
+    // Phase 3: fail whatever remains so every blocked execute()
+    // unwinds. The cells live on in the journal-resume path.
+    const auto fail = [](const std::shared_ptr<Pending> &pending) {
+        if (pending->done)
+            return;
+        pending->error = std::make_exception_ptr(TransientFault(
+            "controller draining: cell '" + pending->label +
+            "' left for the journal resume"));
+        pending->done = true;
+    };
+    for (const auto &pending : _queue)
+        fail(pending);
+    for (const auto &entry : _leases)
+        fail(entry.second.pending);
+    _queue.clear();
+    _leases.clear();
+    // Parked sessions have nothing left to resume into.
+    _parked.clear();
+    _cv.notify_all();
+}
+
 double
 CampaignController::execute(const SimJob &job,
                             const AttemptContext &ctx)
@@ -231,6 +352,10 @@ CampaignController::execute(const SimJob &job,
             throw TransientFault(
                 "campaign controller is shut down (job '" + job.label +
                 "')");
+        if (_draining)
+            throw TransientFault(
+                "controller draining: cell '" + job.label +
+                "' left for the journal resume");
         _queue.push_back(pending);
         pumpLocked();
         _cv.wait(lock, [&] { return pending->done; });
@@ -275,68 +400,240 @@ CampaignController::acceptLoop()
     }
 }
 
+namespace
+{
+
+/** Send a SessionAck rejecting the handshake (best-effort). */
+void
+sendSessionReject(int fd, const std::string &reason)
+{
+    SessionAck nack;
+    nack.accepted = false;
+    nack.reason = reason;
+    proc::Writer body;
+    nack.serialize(body);
+    try {
+        sendMessage(fd, MsgType::SessionAck, body.bytes());
+    } catch (const std::exception &) {
+        // The peer is gone; it was being rejected anyway.
+    }
+}
+
+} // namespace
+
+std::shared_ptr<CampaignController::Worker>
+CampaignController::performHandshake(OwnedFd &fd)
+{
+    std::vector<std::byte> payload;
+    if (!recvMessage(fd.get(), payload)) {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        authRejectedLocked("", "", "connection closed before hello");
+        return nullptr;
+    }
+    proc::Reader in(payload);
+    if (readType(in) != MsgType::Hello) {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        authRejectedLocked("", "", "first message was not hello");
+        return nullptr;
+    }
+    const Hello hello = Hello::deserialize(in);
+
+    HelloAck ack;
+    ack.leaseMs = static_cast<std::uint64_t>(_options.lease.count());
+    ack.heartbeatMs =
+        static_cast<std::uint64_t>(_options.heartbeat.count());
+    if (hello.magic != kWireMagic)
+        ack.reason = "bad protocol magic";
+    else if (hello.version != kWireVersion)
+        ack.reason = "unsupported protocol version " +
+                     std::to_string(hello.version) +
+                     " (controller speaks " +
+                     std::to_string(kWireVersion) + ")";
+    else if (hello.name.empty())
+        ack.reason = "empty worker name";
+    else if (hello.slots == 0)
+        ack.reason = "zero worker slots";
+    else if (hello.sessionId.empty())
+        ack.reason = "empty session id";
+    else
+        ack.accepted = true;
+    ack.authRequired =
+        ack.accepted && !_options.authToken.empty();
+    if (ack.authRequired)
+        ack.challenge = randomNonce();
+    proc::Writer ack_body;
+    ack.serialize(ack_body);
+    sendMessage(fd.get(), MsgType::HelloAck, ack_body.bytes());
+    if (!ack.accepted) {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        authRejectedLocked(hello.name, hello.sessionId, ack.reason);
+        return nullptr;
+    }
+
+    if (ack.authRequired) {
+        std::vector<std::byte> proof_payload;
+        if (!recvMessage(fd.get(), proof_payload)) {
+            const std::lock_guard<std::mutex> lock(_mutex);
+            authRejectedLocked(hello.name, hello.sessionId,
+                               "connection closed before auth proof");
+            return nullptr;
+        }
+        proc::Reader proof_in(proof_payload);
+        if (readType(proof_in) != MsgType::AuthProof) {
+            sendSessionReject(fd.get(), "auth proof required");
+            const std::lock_guard<std::mutex> lock(_mutex);
+            authRejectedLocked(hello.name, hello.sessionId,
+                               "auth proof required but not sent");
+            return nullptr;
+        }
+        const AuthProofMsg proof =
+            AuthProofMsg::deserialize(proof_in);
+        const std::string expected =
+            authProof(_options.authToken, ack.challenge,
+                      hello.sessionId, hello.name);
+        if (!constantTimeEquals(proof.proof, expected)) {
+            sendSessionReject(fd.get(), "bad auth proof");
+            const std::lock_guard<std::mutex> lock(_mutex);
+            authRejectedLocked(hello.name, hello.sessionId,
+                               "bad auth proof");
+            return nullptr;
+        }
+    }
+
+    // Registration: resume a parked session, or join fresh. The
+    // verdict (SessionAck) is sent under the lock so no lease can
+    // be granted to a half-registered worker.
+    const std::lock_guard<std::mutex> lock(_mutex);
+    if (_shutdown)
+        return nullptr;
+    for (const std::shared_ptr<Worker> &live : _workers) {
+        if (live->gone || live->sessionId != hello.sessionId)
+            continue;
+        sendSessionReject(fd.get(), "session id already active");
+        _sessionsRejected += 1;
+        if (_sessionRejectedCounter != nullptr)
+            _sessionRejectedCounter->add();
+        LeaseEvent event;
+        event.kind = LeaseEvent::Kind::SessionRejected;
+        event.worker = hello.name;
+        event.session = hello.sessionId;
+        event.detail = "session id already active on worker '" +
+                       live->name + "'";
+        emitLocked(std::move(event));
+        return nullptr;
+    }
+
+    std::shared_ptr<Worker> worker;
+    bool resumed = false;
+    std::uint32_t retained = 0;
+    const auto parked_it = _parked.find(hello.sessionId);
+    if (parked_it != _parked.end()) {
+        // Lease handback: adopt the parked session onto this
+        // connection. Leases the worker still remembers stay live;
+        // the rest (e.g. eaten by a drill mid-partition) requeue.
+        worker = parked_it->second;
+        _parked.erase(parked_it);
+        worker->fd = fd.get();
+        worker->name = hello.name;
+        worker->slots = hello.slots;
+        worker->gone = false;
+        worker->lapsed = false;
+        worker->draining = false;
+        worker->lastSeen = std::chrono::steady_clock::now();
+        const std::unordered_set<std::uint64_t> held(
+            hello.heldLeases.begin(), hello.heldLeases.end());
+        for (auto it = _leases.begin(); it != _leases.end();) {
+            if (it->second.worker != worker) {
+                ++it;
+                continue;
+            }
+            if (held.count(it->first) != 0) {
+                ++it;
+                retained += 1;
+                continue;
+            }
+            it = reclaimLeaseLocked(it,
+                                    "lease not held after reconnect");
+        }
+        worker->inFlight = retained;
+        resumed = true;
+        _sessionsResumed += 1;
+        if (_resumedCounter != nullptr)
+            _resumedCounter->add();
+        _workers.push_back(worker);
+        LeaseEvent event;
+        event.kind = LeaseEvent::Kind::SessionResumed;
+        event.worker = worker->name;
+        event.session = worker->sessionId;
+        event.detail =
+            std::to_string(retained) + " lease(s) retained";
+        emitLocked(std::move(event));
+    } else {
+        worker = std::make_shared<Worker>();
+        worker->fd = fd.get();
+        worker->name = hello.name;
+        worker->sessionId = hello.sessionId;
+        worker->slots = hello.slots;
+        worker->lastSeen = std::chrono::steady_clock::now();
+        _workers.push_back(worker);
+        if (_joinedCounter != nullptr)
+            _joinedCounter->add();
+        LeaseEvent event;
+        event.kind = LeaseEvent::Kind::WorkerJoined;
+        event.worker = worker->name;
+        event.session = worker->sessionId;
+        event.detail = std::to_string(worker->slots) + " slot(s)";
+        emitLocked(std::move(event));
+    }
+    if (ack.authRequired) {
+        _authAccepted += 1;
+        if (_authAcceptedCounter != nullptr)
+            _authAcceptedCounter->add();
+    }
+
+    SessionAck verdict;
+    verdict.accepted = true;
+    verdict.resumed = resumed;
+    verdict.retainedLeases = retained;
+    proc::Writer verdict_body;
+    verdict.serialize(verdict_body);
+    sendMessage(fd.get(), MsgType::SessionAck,
+                verdict_body.bytes());
+
+    updateConnectedGaugeLocked();
+    _cv.notify_all();
+    pumpLocked();
+    return worker;
+}
+
 void
 CampaignController::serveConnection(int rawFd)
 {
     OwnedFd fd(rawFd);
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        if (_shutdown)
+            return;
+        _handshakeFds.insert(fd.get());
+    }
     std::shared_ptr<Worker> worker;
     std::string end_reason = "connection lost";
     try {
-        std::vector<std::byte> payload;
-        if (!recvMessage(fd.get(), payload))
-            return;
-        proc::Reader in(payload);
-        if (readType(in) != MsgType::Hello)
-            return;
-        const Hello hello = Hello::deserialize(in);
-
-        HelloAck ack;
-        ack.leaseMs =
-            static_cast<std::uint64_t>(_options.lease.count());
-        ack.heartbeatMs =
-            static_cast<std::uint64_t>(_options.heartbeat.count());
-        if (hello.magic != kWireMagic)
-            ack.reason = "bad protocol magic";
-        else if (hello.version != kWireVersion)
-            ack.reason = "unsupported protocol version " +
-                         std::to_string(hello.version) +
-                         " (controller speaks " +
-                         std::to_string(kWireVersion) + ")";
-        else if (hello.name.empty())
-            ack.reason = "empty worker name";
-        else if (hello.slots == 0)
-            ack.reason = "zero worker slots";
-        else
-            ack.accepted = true;
-        proc::Writer ack_body;
-        ack.serialize(ack_body);
-        sendMessage(fd.get(), MsgType::HelloAck, ack_body.bytes());
-        if (!ack.accepted)
-            return;
-
-        worker = std::make_shared<Worker>();
-        worker->fd = fd.get();
-        worker->name = hello.name;
-        worker->slots = hello.slots;
-        worker->lastSeen = std::chrono::steady_clock::now();
-        {
-            const std::lock_guard<std::mutex> lock(_mutex);
-            if (_shutdown)
-                return;
-            _workers.push_back(worker);
-            if (_joinedCounter != nullptr)
-                _joinedCounter->add();
-            updateConnectedGaugeLocked();
-            LeaseEvent event;
-            event.kind = LeaseEvent::Kind::WorkerJoined;
-            event.worker = worker->name;
-            event.detail =
-                std::to_string(worker->slots) + " slot(s)";
-            emitLocked(std::move(event));
-            _cv.notify_all();
-            pumpLocked();
-        }
-
+        worker = performHandshake(fd);
+    } catch (const std::exception &e) {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        _handshakeFds.erase(fd.get());
+        authRejectedLocked(
+            "", "", std::string("malformed handshake: ") + e.what());
+        return;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        _handshakeFds.erase(fd.get());
+    }
+    if (worker == nullptr)
+        return;
+    try {
         for (;;) {
             std::vector<std::byte> message;
             if (!recvMessage(fd.get(), message))
@@ -357,6 +654,19 @@ CampaignController::serveConnection(int rawFd)
               case MsgType::JobDone:
                 handleJobDoneLocked(worker, reader);
                 break;
+              case MsgType::Drain:
+                if (!worker->draining) {
+                    worker->draining = true;
+                    LeaseEvent event;
+                    event.kind = LeaseEvent::Kind::WorkerDraining;
+                    event.worker = worker->name;
+                    event.session = worker->sessionId;
+                    event.detail = "no further leases; " +
+                                   std::to_string(worker->inFlight) +
+                                   " cell(s) finishing";
+                    emitLocked(std::move(event));
+                }
+                break;
               default:
                 throw proc::ProtocolError(
                     "unexpected " + net::toString(type) +
@@ -366,7 +676,7 @@ CampaignController::serveConnection(int rawFd)
     } catch (const std::exception &e) {
         end_reason = e.what();
     }
-    if (worker != nullptr) {
+    {
         const std::lock_guard<std::mutex> lock(_mutex);
         workerGoneLocked(worker, end_reason);
     }
@@ -395,11 +705,44 @@ CampaignController::monitorLoop()
             LeaseEvent event;
             event.kind = LeaseEvent::Kind::WorkerLapsed;
             event.worker = worker->name;
+            event.session = worker->sessionId;
             event.detail =
                 "silent past the " +
                 std::to_string(_options.lease.count()) + " ms lease";
             emitLocked(std::move(event));
             reclaimLeasesLocked(worker, "heartbeat lapse");
+        }
+        // Parked sessions past the grace window fall back to the
+        // ordinary reclaim path: requeue the leases and report the
+        // worker lost, exactly as if parking never happened.
+        for (auto it = _parked.begin(); it != _parked.end();) {
+            const std::shared_ptr<Worker> worker = it->second;
+            if (now - worker->parkedAt <= _options.sessionGrace) {
+                ++it;
+                continue;
+            }
+            it = _parked.erase(it);
+            _sessionsExpired += 1;
+            if (_expiredCounter != nullptr)
+                _expiredCounter->add();
+            LeaseEvent event;
+            event.kind = LeaseEvent::Kind::SessionExpired;
+            event.worker = worker->name;
+            event.session = worker->sessionId;
+            event.detail =
+                "no reconnect within the " +
+                std::to_string(_options.sessionGrace.count()) +
+                " ms grace window";
+            emitLocked(std::move(event));
+            reclaimLeasesLocked(worker, "session grace expired");
+            if (_lostCounter != nullptr)
+                _lostCounter->add();
+            LeaseEvent lost;
+            lost.kind = LeaseEvent::Kind::WorkerLost;
+            lost.worker = worker->name;
+            lost.session = worker->sessionId;
+            lost.detail = "session grace expired";
+            emitLocked(std::move(lost));
         }
         pumpLocked();
     }
@@ -408,6 +751,10 @@ CampaignController::monitorLoop()
 void
 CampaignController::pumpLocked()
 {
+    // A draining controller grants nothing: in-flight cells finish,
+    // everything queued waits for the journal resume.
+    if (_draining)
+        return;
     for (;;) {
         if (_queue.empty())
             return;
@@ -417,7 +764,7 @@ CampaignController::pumpLocked()
         std::shared_ptr<Worker> chosen;
         std::shared_ptr<Worker> fallback;
         for (const std::shared_ptr<Worker> &worker : _workers) {
-            if (worker->gone || worker->lapsed ||
+            if (worker->gone || worker->lapsed || worker->draining ||
                 worker->inFlight >= worker->slots)
                 continue;
             if (pending->triedWorkers.count(worker->name) != 0) {
@@ -457,6 +804,44 @@ CampaignController::pumpLocked()
     }
 }
 
+std::map<std::uint64_t, CampaignController::Lease>::iterator
+CampaignController::reclaimLeaseLocked(
+    std::map<std::uint64_t, Lease>::iterator it,
+    const std::string &reason)
+{
+    const std::uint64_t lease_id = it->first;
+    const std::shared_ptr<Worker> holder = it->second.worker;
+    const std::shared_ptr<Pending> pending = it->second.pending;
+    const auto next = _leases.erase(it);
+    pending->requeues += 1;
+    pending->triedWorkers.insert(holder->name);
+    _leasesReclaimed += 1;
+    if (_reclaimedCounter != nullptr)
+        _reclaimedCounter->add();
+    LeaseEvent event;
+    event.kind = LeaseEvent::Kind::LeaseReclaimed;
+    event.worker = holder->name;
+    event.session = holder->sessionId;
+    event.leaseId = lease_id;
+    event.label = pending->label;
+    event.detail = reason;
+    event.requeues = pending->requeues;
+    emitLocked(std::move(event));
+    if (pending->triedWorkers.size() > _options.maxMigrations) {
+        pending->error = std::make_exception_ptr(TransientFault(
+            "cell '" + pending->label + "' lost its lease on " +
+            std::to_string(pending->triedWorkers.size()) +
+            " distinct workers (last: " + holder->name + ", " +
+            reason + ")"));
+        pending->done = true;
+    } else {
+        // Front of the queue: a migrated cell is the oldest work
+        // in flight and should land on a healthy worker first.
+        _queue.push_front(pending);
+    }
+    return next;
+}
+
 void
 CampaignController::reclaimLeasesLocked(
     const std::shared_ptr<Worker> &worker, const std::string &reason)
@@ -466,37 +851,28 @@ CampaignController::reclaimLeasesLocked(
             ++it;
             continue;
         }
-        const std::uint64_t lease_id = it->first;
-        const std::shared_ptr<Pending> pending = it->second.pending;
-        it = _leases.erase(it);
-        pending->requeues += 1;
-        pending->triedWorkers.insert(worker->name);
-        _leasesReclaimed += 1;
-        if (_reclaimedCounter != nullptr)
-            _reclaimedCounter->add();
-        LeaseEvent event;
-        event.kind = LeaseEvent::Kind::LeaseReclaimed;
-        event.worker = worker->name;
-        event.leaseId = lease_id;
-        event.label = pending->label;
-        event.detail = reason;
-        event.requeues = pending->requeues;
-        emitLocked(std::move(event));
-        if (pending->triedWorkers.size() > _options.maxMigrations) {
-            pending->error = std::make_exception_ptr(TransientFault(
-                "cell '" + pending->label + "' lost its lease on " +
-                std::to_string(pending->triedWorkers.size()) +
-                " distinct workers (last: " + worker->name + ", " +
-                reason + ")"));
-            pending->done = true;
-        } else {
-            // Front of the queue: a migrated cell is the oldest work
-            // in flight and should land on a healthy worker first.
-            _queue.push_front(pending);
-        }
+        it = reclaimLeaseLocked(it, reason);
     }
     worker->inFlight = 0;
     _cv.notify_all();
+}
+
+void
+CampaignController::authRejectedLocked(const std::string &name,
+                                       const std::string &session,
+                                       const std::string &reason)
+{
+    if (_shutdown)
+        return; // quiet teardown: sockets are being torn down anyway
+    _authRejected += 1;
+    if (_authRejectedCounter != nullptr)
+        _authRejectedCounter->add();
+    LeaseEvent event;
+    event.kind = LeaseEvent::Kind::AuthRejected;
+    event.worker = name;
+    event.session = session;
+    event.detail = reason;
+    emitLocked(std::move(event));
 }
 
 void
@@ -508,16 +884,48 @@ CampaignController::workerGoneLocked(
     worker->gone = true;
     if (_shutdown)
         return; // quiet teardown: every connection closes now
-    reclaimLeasesLocked(worker, reason);
     _workers.erase(
         std::remove(_workers.begin(), _workers.end(), worker),
         _workers.end());
+    const bool holds_leases = std::any_of(
+        _leases.begin(), _leases.end(),
+        [&](const auto &entry) { return entry.second.worker == worker; });
+    if (holds_leases && !worker->lapsed && !worker->draining &&
+        !_draining && _options.sessionGrace.count() > 0 &&
+        !worker->sessionId.empty()) {
+        // Park instead of reclaim: the connection broke but the
+        // worker may still be computing. Its leases stay live for
+        // the grace window so a reconnect with the same session id
+        // can hand the results back with zero requeues. The lease
+        // clock still rules: a worker silent past the lease lapses
+        // (handled above the park check) and is reclaimed, so
+        // parking never extends the failure-detection bound.
+        worker->parkedAt = std::chrono::steady_clock::now();
+        _parked[worker->sessionId] = worker;
+        _sessionsParked += 1;
+        if (_parkedCounter != nullptr)
+            _parkedCounter->add();
+        updateConnectedGaugeLocked();
+        LeaseEvent event;
+        event.kind = LeaseEvent::Kind::SessionParked;
+        event.worker = worker->name;
+        event.session = worker->sessionId;
+        event.detail =
+            reason + "; holding lease(s) for " +
+            std::to_string(_options.sessionGrace.count()) + " ms";
+        emitLocked(std::move(event));
+        _cv.notify_all();
+        pumpLocked();
+        return;
+    }
+    reclaimLeasesLocked(worker, reason);
     if (_lostCounter != nullptr)
         _lostCounter->add();
     updateConnectedGaugeLocked();
     LeaseEvent event;
     event.kind = LeaseEvent::Kind::WorkerLost;
     event.worker = worker->name;
+    event.session = worker->sessionId;
     event.detail = reason;
     emitLocked(std::move(event));
     _cv.notify_all();
@@ -541,6 +949,7 @@ CampaignController::handleJobDoneLocked(
         LeaseEvent event;
         event.kind = LeaseEvent::Kind::LateResult;
         event.worker = worker->name;
+        event.session = worker->sessionId;
         event.leaseId = lease_id;
         event.detail = "result on a reclaimed lease rejected";
         emitLocked(std::move(event));

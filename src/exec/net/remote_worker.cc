@@ -8,11 +8,14 @@
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "exec/fault_injection.hh"
+#include "exec/net/auth.hh"
 #include "exec/net/socket.hh"
 #include "exec/net/wire.hh"
 
@@ -38,16 +41,103 @@ struct Assignment
     proc::JobRequest request;
 };
 
-/** Shared state of one worker session. */
+/** State carried across reconnects of one runRemoteWorker call. */
+struct ResumeState
+{
+    /** Assignments not yet executed when the connection broke; they
+     *  still hold their leases and run under the resumed session. */
+    std::deque<Assignment> assignments;
+    /** Results computed but not delivered (connection died first);
+     *  handed back as JobDone frames right after a resume. */
+    std::vector<std::pair<std::uint64_t, proc::JobResult>> unsent;
+    /** Pending reconnect-storm drill cycles. */
+    unsigned stormRounds = 0;
+};
+
+/** Client side of the v2 handshake. */
+struct ClientHandshake
+{
+    /** False = transport closed mid-handshake (retryable). */
+    bool connected = false;
+    bool accepted = false;
+    bool resumed = false;
+    std::string reason;
+    HelloAck ack;
+};
+
+ClientHandshake
+clientHandshake(int fd, const std::string &name,
+                const std::string &sessionId, unsigned slots,
+                const std::vector<std::uint64_t> &heldLeases,
+                const std::string &authToken)
+{
+    ClientHandshake out;
+    Hello hello;
+    hello.slots =
+        static_cast<std::uint16_t>(std::min(slots, 65535u));
+    hello.name = name;
+    hello.sessionId = sessionId;
+    hello.heldLeases = heldLeases;
+    proc::Writer hello_body;
+    hello.serialize(hello_body);
+    sendMessage(fd, MsgType::Hello, hello_body.bytes());
+
+    std::vector<std::byte> payload;
+    if (!recvMessage(fd, payload))
+        return out;
+    proc::Reader in(payload);
+    if (readType(in) != MsgType::HelloAck)
+        throw proc::ProtocolError(
+            "expected hello-ack from the controller");
+    out.ack = HelloAck::deserialize(in);
+    out.connected = true;
+    if (!out.ack.accepted) {
+        out.reason = out.ack.reason;
+        return out;
+    }
+
+    if (out.ack.authRequired) {
+        // Empty token still answers (with a proof that cannot
+        // verify): the controller's rejection is the clear error.
+        AuthProofMsg proof;
+        proof.proof =
+            authProof(authToken, out.ack.challenge, sessionId, name);
+        proc::Writer proof_body;
+        proof.serialize(proof_body);
+        sendMessage(fd, MsgType::AuthProof, proof_body.bytes());
+    }
+
+    std::vector<std::byte> verdict_payload;
+    if (!recvMessage(fd, verdict_payload)) {
+        out.connected = false;
+        return out;
+    }
+    proc::Reader verdict_in(verdict_payload);
+    if (readType(verdict_in) != MsgType::SessionAck)
+        throw proc::ProtocolError(
+            "expected session-ack from the controller");
+    const SessionAck verdict = SessionAck::deserialize(verdict_in);
+    out.accepted = verdict.accepted;
+    out.resumed = verdict.resumed;
+    out.reason = verdict.reason;
+    return out;
+}
+
+/** Shared state of one worker connection. */
 class Session
 {
   public:
     Session(const RemoteWorkerOptions &options, OwnedFd fd,
-            const HelloAck &ack)
-        : _options(options), _fd(std::move(fd)),
+            const HelloAck &ack, ResumeState *resume,
+            std::string sessionId, std::string name)
+        : _options(options), _fd(std::move(fd)), _resume(resume),
+          _sessionId(std::move(sessionId)), _name(std::move(name)),
           _lease(std::chrono::milliseconds(ack.leaseMs)),
           _heartbeat(std::chrono::milliseconds(ack.heartbeatMs))
     {
+        // Carried-over assignments still hold their leases: they run
+        // first, on this connection.
+        _assignments.swap(_resume->assignments);
         _heartbeatThread = std::thread(&Session::heartbeatLoop, this);
         const unsigned slots = std::max(1u, options.slots);
         _executors.reserve(slots);
@@ -63,16 +153,29 @@ class Session
         for (std::thread &executor : _executors)
             if (executor.joinable())
                 executor.join();
+        // Whatever never ran carries over to the next connection
+        // (single-threaded now: every worker thread is joined).
+        while (!_assignments.empty()) {
+            _resume->assignments.push_back(
+                std::move(_assignments.front()));
+            _assignments.pop_front();
+        }
     }
 
     /** Read frames until Shutdown / EOF; returns how it ended. */
-    RemoteWorkerSession serve()
+    RemoteWorkerSession serve(bool resumedSession)
     {
+        if (resumedSession)
+            flushUnsent();
         RemoteWorkerSession outcome;
         try {
             for (;;) {
                 std::vector<std::byte> payload;
                 if (!recvMessage(_fd.get(), payload)) {
+                    if (_drainClosed.load()) {
+                        outcome.end = SessionEnd::Drained;
+                        break;
+                    }
                     outcome.end = SessionEnd::ConnectionLost;
                     outcome.error = _dropped.load()
                                         ? "drill dropped the connection"
@@ -103,8 +206,12 @@ class Session
                 _wake.notify_all();
             }
         } catch (const std::exception &e) {
-            outcome.end = SessionEnd::ConnectionLost;
-            outcome.error = e.what();
+            if (_drainClosed.load()) {
+                outcome.end = SessionEnd::Drained;
+            } else {
+                outcome.end = SessionEnd::ConnectionLost;
+                outcome.error = e.what();
+            }
         }
         stop();
         outcome.jobsServed = _jobsServed.load();
@@ -123,6 +230,18 @@ class Session
         _wake.notify_all();
     }
 
+    /** Hand back results computed while disconnected. */
+    void flushUnsent()
+    {
+        std::vector<std::pair<std::uint64_t, proc::JobResult>> unsent;
+        {
+            const std::lock_guard<std::mutex> lock(_mutex);
+            unsent.swap(_resume->unsent);
+        }
+        for (const auto &entry : unsent)
+            sendResult(entry.first, entry.second);
+    }
+
     void heartbeatLoop()
     {
         std::unique_lock<std::mutex> lock(_mutex);
@@ -132,12 +251,28 @@ class Session
                 return;
             if (std::chrono::steady_clock::now() < _stallUntil)
                 continue; // stall-heartbeat drill: stay silent
+            const bool draining = _options.drainFlag != nullptr &&
+                                  _options.drainFlag->load();
+            const bool idle =
+                _assignments.empty() && _active.load() == 0;
             lock.unlock();
             try {
                 const std::lock_guard<std::mutex> write(_writeMutex);
+                if (draining && !_drainSent) {
+                    sendMessage(_fd.get(), MsgType::Drain);
+                    _drainSent = true;
+                }
                 sendMessage(_fd.get(), MsgType::Heartbeat);
             } catch (const std::exception &) {
                 // Connection gone; the reader loop notices too.
+            }
+            if (draining && _drainSent && idle) {
+                // Every held cell is answered: close deliberately so
+                // the reader loop reports a drained session.
+                _drainClosed.store(true);
+                shutdownSocket(_fd.get());
+                lock.lock();
+                return;
             }
             lock.lock();
         }
@@ -156,8 +291,10 @@ class Session
                     return;
                 assignment = std::move(_assignments.front());
                 _assignments.pop_front();
+                _active.fetch_add(1);
             }
             runAssignment(assignment);
+            _active.fetch_sub(1);
         }
     }
 
@@ -169,7 +306,7 @@ class Session
         try {
             result = executeRequest(request);
         } catch (const NetDrillFault &drill) {
-            if (!performDrill(drill))
+            if (!performDrill(drill, assignment))
                 return; // drill consumed the response frame
             result.status = proc::ResultStatus::Transient;
             result.message = std::string(drill.what()) +
@@ -235,12 +372,63 @@ class Session
         return result;
     }
 
+    /** Park the job for the next (resumed) connection and slam this
+     *  one shut: the drill half of a network partition. */
+    void partitionNow(const Assignment &assignment,
+                      unsigned stormRounds)
+    {
+        {
+            const std::lock_guard<std::mutex> lock(_mutex);
+            _resume->assignments.push_back(assignment);
+            _resume->stormRounds = stormRounds;
+        }
+        _dropped.store(true);
+        shutdownSocket(_fd.get());
+        stop();
+    }
+
+    /** Put the job back on the live queue (the one-shot drill will
+     *  not refire; the rerun executes for real). */
+    void requeueLive(const Assignment &assignment)
+    {
+        {
+            const std::lock_guard<std::mutex> lock(_mutex);
+            _assignments.push_back(assignment);
+        }
+        _wake.notify_all();
+    }
+
+    /**
+     * Probe the controller with a hostile second handshake — same
+     * session id (split-brain probe) or a wrong token (auth probe).
+     * The rejection is asserted controller-side via the
+     * net.sessions.rejected / net.auth.rejected counters; whatever
+     * happens, the probe must not harm the real session.
+     */
+    void rogueConnect(bool duplicateSession)
+    {
+        try {
+            OwnedFd rogue = connectTcp(_options.host, _options.port);
+            const std::string session = duplicateSession
+                                            ? _sessionId
+                                            : _sessionId + "/rogue";
+            const std::string token = duplicateSession
+                                          ? _options.authToken
+                                          : "not-the-fleet-token";
+            (void)clientHandshake(rogue.get(), _name + "/rogue",
+                                  session, 1, {}, token);
+        } catch (const std::exception &) {
+            // The controller dropped the probe — the expected end.
+        }
+    }
+
     /**
      * Act out a network drill. Returns true when the caller should
-     * still send a (late) JobDone, false when the drill ate the
-     * connection and no response frame must follow.
+     * still send a (late) JobDone, false when the drill consumed the
+     * response frame (or the connection) itself.
      */
-    bool performDrill(const NetDrillFault &drill)
+    bool performDrill(const NetDrillFault &drill,
+                      const Assignment &assignment)
     {
         switch (drill.kind()) {
           case FaultKind::DropConnection:
@@ -272,11 +460,76 @@ class Session
             char torn[sizeof(claimed) + 8];
             std::memcpy(torn, &claimed, sizeof(claimed));
             std::memset(torn + sizeof(claimed), 0xab, 8);
-            (void)!::write(_fd.get(), torn, sizeof(torn));
+            (void)!::send(_fd.get(), torn, sizeof(torn),
+                          MSG_NOSIGNAL);
             shutdownSocket(_fd.get());
             stop();
             return false;
           }
+          case FaultKind::Partition:
+            // The job survives the partition: it rides ResumeState
+            // into the reconnected session and completes under its
+            // original lease — zero requeues if the controller's
+            // grace window holds.
+            partitionNow(assignment, 0);
+            return false;
+          case FaultKind::ReconnectStorm:
+            // A partition followed by rapid connect/resume/hang-up
+            // cycles (run by runRemoteWorker between sessions),
+            // hammering the park/resume bookkeeping.
+            partitionNow(assignment, 3);
+            return false;
+          case FaultKind::SlowLoris: {
+            // A perfectly valid JobDone frame — delivered a few bytes
+            // at a time, the way a congested or malicious peer would.
+            // The controller's blocking reader must ride it out; the
+            // Transient verdict makes the engine rerun the attempt.
+            proc::JobResult result;
+            result.status = proc::ResultStatus::Transient;
+            result.message = std::string(drill.what()) +
+                             " — frame trickled byte by byte";
+            proc::Writer body;
+            body.pod(assignment.leaseId);
+            result.serialize(body);
+            std::vector<std::byte> payload;
+            payload.reserve(1 + body.bytes().size());
+            payload.push_back(
+                static_cast<std::byte>(MsgType::JobDone));
+            payload.insert(payload.end(), body.bytes().begin(),
+                           body.bytes().end());
+            const auto size =
+                static_cast<std::uint32_t>(payload.size());
+            std::vector<char> frame(sizeof(size) + payload.size());
+            std::memcpy(frame.data(), &size, sizeof(size));
+            std::memcpy(frame.data() + sizeof(size), payload.data(),
+                        payload.size());
+            const std::lock_guard<std::mutex> write(_writeMutex);
+            for (std::size_t at = 0; at < frame.size();) {
+                const std::size_t chunk =
+                    std::min<std::size_t>(7, frame.size() - at);
+                const ssize_t wrote = ::send(
+                    _fd.get(), frame.data() + at, chunk,
+                    MSG_NOSIGNAL);
+                if (wrote < 0) {
+                    if (errno == EINTR)
+                        continue;
+                    break; // connection died; reader loop reports it
+                }
+                at += static_cast<std::size_t>(wrote);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+            }
+            _jobsServed.fetch_add(1);
+            return false;
+          }
+          case FaultKind::DuplicateSession:
+            rogueConnect(true);
+            requeueLive(assignment);
+            return false;
+          case FaultKind::TokenMismatch:
+            rogueConnect(false);
+            requeueLive(assignment);
+            return false;
           default:
             // Not a net kind (cannot happen: the injector only wraps
             // net kinds in NetDrillFault).
@@ -295,12 +548,19 @@ class Session
             sendMessage(_fd.get(), MsgType::JobDone, body.bytes());
             _jobsServed.fetch_add(1);
         } catch (const std::exception &) {
-            // Connection died under us; the reader loop reports it.
+            // Connection died under us: keep the result for the
+            // resumed session's handback (the reader loop reports
+            // the loss).
+            const std::lock_guard<std::mutex> lock(_mutex);
+            _resume->unsent.emplace_back(leaseId, result);
         }
     }
 
     const RemoteWorkerOptions &_options;
     OwnedFd _fd;
+    ResumeState *_resume;
+    const std::string _sessionId;
+    const std::string _name;
     const std::chrono::milliseconds _lease;
     const std::chrono::milliseconds _heartbeat;
 
@@ -311,8 +571,11 @@ class Session
     std::chrono::steady_clock::time_point _stallUntil{};
 
     std::mutex _writeMutex;
+    bool _drainSent = false;
+    std::atomic<unsigned> _active{0};
     std::atomic<std::uint64_t> _jobsServed{0};
     std::atomic<bool> _dropped{false};
+    std::atomic<bool> _drainClosed{false};
 
     std::thread _heartbeatThread;
     std::vector<std::thread> _executors;
@@ -330,6 +593,8 @@ toString(SessionEnd end)
         return "connection-lost";
       case SessionEnd::Rejected:
         return "rejected";
+      case SessionEnd::Drained:
+        return "drained";
     }
     return "unknown";
 }
@@ -337,39 +602,106 @@ toString(SessionEnd end)
 RemoteWorkerSession
 runRemoteWorker(const RemoteWorkerOptions &options)
 {
+    const std::string name =
+        options.name.empty() ? defaultWorkerName() : options.name;
+    const std::string session_id =
+        options.sessionId.empty() ? name + "/" + randomNonce()
+                                  : options.sessionId;
+    const unsigned slots = options.slots == 0 ? 1u : options.slots;
+
+    ResumeState resume;
+    RemoteWorkerSession total;
+    unsigned reconnects_left = options.reconnectAttempts;
+
+    // Only the first connect throws: once a session existed, every
+    // failure is reported in the session record instead.
     OwnedFd fd = connectTcp(options.host, options.port);
 
-    Hello hello;
-    hello.slots = static_cast<std::uint16_t>(
-        std::min(options.slots == 0 ? 1u : options.slots, 65535u));
-    hello.name =
-        options.name.empty() ? defaultWorkerName() : options.name;
-    proc::Writer hello_body;
-    hello.serialize(hello_body);
+    for (;;) {
+        RemoteWorkerSession outcome;
+        try {
+            std::vector<std::uint64_t> held;
+            held.reserve(resume.assignments.size() +
+                         resume.unsent.size());
+            for (const Assignment &assignment : resume.assignments)
+                held.push_back(assignment.leaseId);
+            for (const auto &entry : resume.unsent)
+                held.push_back(entry.first);
+            const ClientHandshake shake =
+                clientHandshake(fd.get(), name, session_id, slots,
+                                held, options.authToken);
+            if (!shake.connected) {
+                outcome.end = SessionEnd::ConnectionLost;
+                outcome.error = "controller closed during handshake";
+            } else if (!shake.accepted) {
+                // A reconnect can race the controller noticing the
+                // old connection's EOF: "already active" is the one
+                // retryable rejection.
+                const bool racing_old_self =
+                    shake.reason.find("already active") !=
+                        std::string::npos &&
+                    reconnects_left > 0;
+                if (!racing_old_self) {
+                    total.end = SessionEnd::Rejected;
+                    total.error = shake.reason;
+                    return total;
+                }
+                outcome.end = SessionEnd::ConnectionLost;
+                outcome.error = shake.reason;
+            } else {
+                if (shake.resumed) {
+                    total.resumes += 1;
+                } else {
+                    // Not resumed: the controller requeued whatever
+                    // we carried; those lease ids are dead.
+                    resume.assignments.clear();
+                    resume.unsent.clear();
+                }
+                Session session(options, std::move(fd), shake.ack,
+                                &resume, session_id, name);
+                outcome = session.serve(shake.resumed);
+            }
+        } catch (const std::exception &e) {
+            outcome.end = SessionEnd::ConnectionLost;
+            outcome.error = e.what();
+        }
+        total.jobsServed += outcome.jobsServed;
+        total.end = outcome.end;
+        total.error = outcome.error;
+        if (outcome.end != SessionEnd::ConnectionLost)
+            return total; // Shutdown or Drained: deliberate ends
 
-    RemoteWorkerSession outcome;
-    try {
-        sendMessage(fd.get(), MsgType::Hello, hello_body.bytes());
-        std::vector<std::byte> payload;
-        if (!recvMessage(fd.get(), payload)) {
-            outcome.error = "controller closed during handshake";
-            return outcome;
+        // Reconnect-storm drill: rapid connect/resume/hang-up cycles
+        // before the real reconnect, hammering park/resume.
+        while (resume.stormRounds > 0) {
+            resume.stormRounds -= 1;
+            try {
+                OwnedFd storm =
+                    connectTcp(options.host, options.port);
+                std::vector<std::uint64_t> held;
+                for (const Assignment &assignment :
+                     resume.assignments)
+                    held.push_back(assignment.leaseId);
+                for (const auto &entry : resume.unsent)
+                    held.push_back(entry.first);
+                (void)clientHandshake(storm.get(), name, session_id,
+                                      slots, held, options.authToken);
+                // Hang up immediately: the controller parks us again.
+            } catch (const std::exception &) {
+                break;
+            }
         }
-        proc::Reader in(payload);
-        if (readType(in) != MsgType::HelloAck)
-            throw proc::ProtocolError(
-                "expected hello-ack from the controller");
-        const HelloAck ack = HelloAck::deserialize(in);
-        if (!ack.accepted) {
-            outcome.end = SessionEnd::Rejected;
-            outcome.error = ack.reason;
-            return outcome;
+
+        if (reconnects_left == 0)
+            return total;
+        reconnects_left -= 1;
+        std::this_thread::sleep_for(options.reconnectDelay);
+        try {
+            fd = connectTcp(options.host, options.port);
+        } catch (const std::exception &e) {
+            total.error = e.what();
+            return total;
         }
-        Session session(options, std::move(fd), ack);
-        return session.serve();
-    } catch (const std::exception &e) {
-        outcome.error = e.what();
-        return outcome;
     }
 }
 

@@ -7,6 +7,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -58,7 +59,12 @@ OwnedFd::reset(int fd)
 OwnedFd
 listenTcp(const std::string &address, std::uint16_t port, int backlog)
 {
-    OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    // SOCK_CLOEXEC everywhere: the process-isolation backend forks
+    // sandbox children from the same process that may hold the
+    // controller's listening socket, and an inherited listener would
+    // keep the port alive (and accept connections into a dead
+    // process) after the controller exits.
+    OwnedFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
     if (!fd.valid())
         fail("socket");
     const int on = 1;
@@ -90,7 +96,8 @@ OwnedFd
 acceptClient(int listenFd)
 {
     for (;;) {
-        const int fd = ::accept(listenFd, nullptr, nullptr);
+        const int fd =
+            ::accept4(listenFd, nullptr, nullptr, SOCK_CLOEXEC);
         if (fd >= 0)
             return OwnedFd(fd);
         if (errno == EINTR)
@@ -104,7 +111,7 @@ acceptClient(int listenFd)
 OwnedFd
 connectTcp(const std::string &address, std::uint16_t port)
 {
-    OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    OwnedFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
     if (!fd.valid())
         fail("socket");
     // Frames are small (a JobRequest is a few hundred bytes) and
@@ -113,15 +120,40 @@ connectTcp(const std::string &address, std::uint16_t port)
     (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &on,
                        sizeof(on));
     const sockaddr_in endpoint = makeEndpoint(address, port);
+    if (::connect(fd.get(),
+                  reinterpret_cast<const sockaddr *>(&endpoint),
+                  sizeof(endpoint)) == 0)
+        return fd;
+    if (errno != EINTR)
+        fail("connect " + address + ":" + std::to_string(port));
+    // A signal interrupted connect(). The attempt keeps going in the
+    // kernel, and calling connect() again would report EALREADY (or
+    // EISCONN once it lands) — not a retry. The POSIX-blessed path
+    // is to wait for writability and read the final verdict from
+    // SO_ERROR.
     for (;;) {
-        if (::connect(fd.get(),
-                      reinterpret_cast<const sockaddr *>(&endpoint),
-                      sizeof(endpoint)) == 0)
-            return fd;
-        if (errno == EINTR)
-            continue;
+        pollfd waiter{};
+        waiter.fd = fd.get();
+        waiter.events = POLLOUT;
+        const int ready = ::poll(&waiter, 1, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            fail("poll during connect " + address + ":" +
+                 std::to_string(port));
+        }
+        break;
+    }
+    int err = 0;
+    socklen_t err_size = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err,
+                     &err_size) != 0)
+        fail("getsockopt(SO_ERROR) after connect");
+    if (err != 0) {
+        errno = err;
         fail("connect " + address + ":" + std::to_string(port));
     }
+    return fd;
 }
 
 void

@@ -12,6 +12,17 @@
  * IPv4 only, by design: the intended deployments are localhost worker
  * fleets (tests, CI smoke) and trusted lab networks; the address
  * parser accepts dotted quads and "localhost".
+ *
+ * Every socket here is opened close-on-exec (SOCK_CLOEXEC on
+ * socket(), accept4() for accepted connections): the
+ * process-isolation backend forks sandbox workers from the same
+ * process, and a forked child must not inherit the controller's
+ * listening fd or any live session socket. All blocking calls are
+ * EINTR-safe; an interrupted connect() is completed via
+ * poll(POLLOUT) + SO_ERROR rather than re-calling connect (which
+ * would misreport the in-progress attempt as EALREADY). Frame
+ * writes live in exec/proc/protocol.cc, whose writeAll already
+ * loops over partial writes and EINTR.
  */
 
 #ifndef RIGOR_EXEC_NET_SOCKET_HH

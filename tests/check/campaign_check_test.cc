@@ -202,6 +202,32 @@ TEST(CampaignCheck, RemotePlanRejectsLeaseNotExceedingHeartbeat)
         check::rules::kCampaignLeaseShorterThanDeadline));
 }
 
+TEST(CampaignCheck, RemotePlanRejectsACoarseHeartbeat)
+{
+    check::RemotePlan plan;
+    plan.enabled = true;
+    plan.workers = 3;
+    plan.leaseMs = 1000;
+    plan.heartbeatMs = 500; // exactly half: one beacon of margin
+    check::DiagnosticSink sink;
+    check::checkRemotePlan(plan, sink);
+    EXPECT_FALSE(sink.passed());
+    EXPECT_TRUE(
+        sink.hasRule(check::rules::kCampaignHeartbeatTooCoarse));
+}
+
+TEST(CampaignCheck, RemotePlanAcceptsAHeartbeatJustUnderHalf)
+{
+    check::RemotePlan plan;
+    plan.enabled = true;
+    plan.workers = 3;
+    plan.leaseMs = 1001;
+    plan.heartbeatMs = 500;
+    check::DiagnosticSink sink;
+    check::checkRemotePlan(plan, sink);
+    EXPECT_TRUE(sink.passed()) << sink.toString();
+}
+
 TEST(CampaignCheck, RemotePlanRejectsLeaseWithinTheAttemptDeadline)
 {
     check::RemotePlan plan;

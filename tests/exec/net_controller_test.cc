@@ -9,6 +9,7 @@
 
 #include "exec/fault_injection.hh"
 #include "exec/fault_policy.hh"
+#include "exec/net/auth.hh"
 #include "exec/net/controller.hh"
 #include "exec/net/remote_worker.hh"
 #include "exec/net/socket.hh"
@@ -91,16 +92,33 @@ class FakeWorker
     {
     }
 
+    /** Answers the controller's HMAC challenge when non-empty. */
+    std::string token;
+    /** Lease ids declared in the next Hello (session resume). */
+    std::vector<std::uint64_t> heldLeases;
+    /** Verdict of the last handshake that got past HelloAck. */
+    net::SessionAck session;
+
+    /**
+     * Full v2 handshake: Hello -> HelloAck -> [AuthProof] ->
+     * SessionAck. The returned HelloAck's accepted/reason reflect
+     * the final verdict so callers can assert on one object.
+     */
     net::HelloAck handshake(const std::string &name,
                             std::uint16_t slots = 1,
                             std::uint32_t magic = net::kWireMagic,
-                            std::uint16_t version = net::kWireVersion)
+                            std::uint16_t version = net::kWireVersion,
+                            std::string sessionId = "")
     {
+        if (sessionId.empty())
+            sessionId = name + "/session";
         net::Hello hello;
         hello.magic = magic;
         hello.version = version;
         hello.slots = slots;
         hello.name = name;
+        hello.sessionId = sessionId;
+        hello.heldLeases = heldLeases;
         proc::Writer body;
         hello.serialize(body);
         net::sendMessage(_fd.get(), net::MsgType::Hello,
@@ -109,7 +127,32 @@ class FakeWorker
         EXPECT_TRUE(net::recvMessage(_fd.get(), payload));
         proc::Reader in(payload);
         EXPECT_EQ(net::readType(in), net::MsgType::HelloAck);
-        return net::HelloAck::deserialize(in);
+        net::HelloAck ack = net::HelloAck::deserialize(in);
+        if (!ack.accepted)
+            return ack;
+        if (ack.authRequired) {
+            net::AuthProofMsg proof;
+            proof.proof = net::authProof(token, ack.challenge,
+                                         sessionId, name);
+            proc::Writer proof_body;
+            proof.serialize(proof_body);
+            net::sendMessage(_fd.get(), net::MsgType::AuthProof,
+                             proof_body.bytes());
+        }
+        std::vector<std::byte> verdict_payload;
+        if (!net::recvMessage(_fd.get(), verdict_payload)) {
+            ack.accepted = false;
+            ack.reason = "connection closed before session ack";
+            return ack;
+        }
+        proc::Reader verdict_in(verdict_payload);
+        EXPECT_EQ(net::readType(verdict_in),
+                  net::MsgType::SessionAck);
+        session = net::SessionAck::deserialize(verdict_in);
+        ack.accepted = session.accepted;
+        if (!session.accepted)
+            ack.reason = session.reason;
+        return ack;
     }
 
     /** Block until the controller assigns a job. */

@@ -175,6 +175,8 @@ TEST(NetProtocol, HandshakeStructsRoundTrip)
     net::Hello hello;
     hello.slots = 4;
     hello.name = "rack2:4242";
+    hello.sessionId = "rack2:4242/b1946ac9";
+    hello.heldLeases = {3, 17, 42};
     proc::Writer out;
     hello.serialize(out);
     proc::Reader in(out.bytes());
@@ -183,12 +185,17 @@ TEST(NetProtocol, HandshakeStructsRoundTrip)
     EXPECT_EQ(back.version, net::kWireVersion);
     EXPECT_EQ(back.slots, 4u);
     EXPECT_EQ(back.name, "rack2:4242");
+    EXPECT_EQ(back.sessionId, "rack2:4242/b1946ac9");
+    EXPECT_EQ(back.heldLeases,
+              (std::vector<std::uint64_t>{3, 17, 42}));
     EXPECT_TRUE(in.done());
 
     net::HelloAck ack;
     ack.accepted = true;
     ack.leaseMs = 10000;
     ack.heartbeatMs = 1000;
+    ack.authRequired = true;
+    ack.challenge = "f00dfaceb00c";
     proc::Writer ack_out;
     ack.serialize(ack_out);
     proc::Reader ack_in(ack_out.bytes());
@@ -198,6 +205,55 @@ TEST(NetProtocol, HandshakeStructsRoundTrip)
     EXPECT_TRUE(ack_back.reason.empty());
     EXPECT_EQ(ack_back.leaseMs, 10000u);
     EXPECT_EQ(ack_back.heartbeatMs, 1000u);
+    EXPECT_TRUE(ack_back.authRequired);
+    EXPECT_EQ(ack_back.challenge, "f00dfaceb00c");
+    EXPECT_TRUE(ack_in.done());
+}
+
+TEST(NetProtocol, AuthAndSessionStructsRoundTrip)
+{
+    net::AuthProofMsg proof;
+    proof.proof = std::string(64, 'a');
+    proc::Writer out;
+    proof.serialize(out);
+    proc::Reader in(out.bytes());
+    EXPECT_EQ(net::AuthProofMsg::deserialize(in).proof,
+              std::string(64, 'a'));
+    EXPECT_TRUE(in.done());
+
+    net::SessionAck verdict;
+    verdict.accepted = false;
+    verdict.reason = "bad auth proof";
+    verdict.resumed = true;
+    verdict.retainedLeases = 9;
+    proc::Writer verdict_out;
+    verdict.serialize(verdict_out);
+    proc::Reader verdict_in(verdict_out.bytes());
+    const net::SessionAck back =
+        net::SessionAck::deserialize(verdict_in);
+    EXPECT_FALSE(back.accepted);
+    EXPECT_EQ(back.reason, "bad auth proof");
+    EXPECT_TRUE(back.resumed);
+    EXPECT_EQ(back.retainedLeases, 9u);
+    EXPECT_TRUE(verdict_in.done());
+}
+
+TEST(NetProtocol, SendMessageSurvivesAClosedPeerWithoutSigpipe)
+{
+    // The controller must outlive any worker that hangs up mid-frame:
+    // sends go out MSG_NOSIGNAL, so a dead peer is an exception, not
+    // a process-killing SIGPIPE.
+    FdPair pair;
+    pair.closeRead();
+    // The first send may be swallowed by the socket buffer; keep
+    // pushing until the broken pipe surfaces as ProtocolError.
+    EXPECT_THROW(
+        {
+            for (int i = 0; i < 64; ++i)
+                net::sendMessage(pair.writeEnd(),
+                                 net::MsgType::Heartbeat);
+        },
+        proc::ProtocolError);
 }
 
 TEST(NetProtocol, TaggedMessagesRoundTripOverSocket)

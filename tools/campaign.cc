@@ -25,12 +25,22 @@
  * summary records); the metrics JSON snapshots every engine counter,
  * gauge, and histogram.
  *
+ * Distributed hardening: --auth-token-file demands an HMAC
+ * challenge-response from every worker before a lease is granted;
+ * --session-grace-ms parks a disconnected worker's leases awaiting a
+ * session resume instead of requeueing; SIGTERM drains gracefully —
+ * no new leases, in-flight cells finish, sinks flush, and the journal
+ * resumes the remainder.
+ *
  * Exit codes: 0 success (possibly degraded, with warnings printed),
  * 1 campaign failure, 2 usage error, 3 simulated crash (resume with
- * the same --journal).
+ * the same --journal), 4 drained on SIGTERM (resume with the same
+ * --journal).
  */
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -38,12 +48,14 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/campaign_check.hh"
 #include "cli_options.hh"
 #include "exec/fault_injection.hh"
 #include "exec/journal.hh"
+#include "exec/net/auth.hh"
 #include "exec/net/controller.hh"
 #include "methodology/adaptive_sampling.hh"
 #include "methodology/pb_experiment.hh"
@@ -61,6 +73,15 @@ namespace
 using rigor::exec::FaultKind;
 using rigor::tools::ArgCursor;
 using rigor::tools::CampaignCliOptions;
+
+/** Set by the SIGTERM handler; watched by the drain thread. */
+std::atomic<bool> g_drainRequested{false};
+
+void
+requestDrain(int)
+{
+    g_drainRequested.store(true);
+}
 
 struct CliOptions
 {
@@ -256,6 +277,19 @@ main(int argc, char **argv)
     CliOptions cli;
     if (!parseArgs(argc, argv, cli))
         return usage(argv[0]);
+    if (cli.campaign.isolation == rigor::exec::IsolationMode::Remote &&
+        cli.campaign.heartbeatMs * 2 >= cli.campaign.leaseMs) {
+        // Mirrors the pre-flight rule campaign.heartbeat-too-coarse:
+        // a heartbeat at (or past) half the lease leaves at most one
+        // beacon of margin, so one delayed packet reclaims a healthy
+        // worker's leases.
+        std::fprintf(stderr,
+                     "campaign: --heartbeat-ms %u is too coarse for "
+                     "--lease-ms %u (the heartbeat must be under "
+                     "half the lease)\n",
+                     cli.campaign.heartbeatMs, cli.campaign.leaseMs);
+        return 2;
+    }
 
     try {
         // Resolve the benchmark suite.
@@ -336,6 +370,11 @@ main(int argc, char **argv)
                 std::chrono::milliseconds(cli.campaign.leaseMs);
             net_opts.heartbeat =
                 std::chrono::milliseconds(cli.campaign.heartbeatMs);
+            net_opts.sessionGrace = std::chrono::milliseconds(
+                cli.campaign.sessionGraceMs);
+            if (!cli.campaign.authTokenFile.empty())
+                net_opts.authToken = rigor::exec::net::loadAuthToken(
+                    cli.campaign.authTokenFile);
             controller = std::make_unique<
                 rigor::exec::net::CampaignController>(net_opts);
             if (!cli.campaign.metricsOut.empty())
@@ -348,8 +387,11 @@ main(int argc, char **argv)
                     const std::string kind =
                         rigor::exec::net::toString(event.kind);
                     std::fprintf(
-                        stderr, "campaign: %s worker=%s%s%s%s%s\n",
+                        stderr,
+                        "campaign: %s worker=%s%s%s%s%s%s%s\n",
                         kind.c_str(), event.worker.c_str(),
+                        event.session.empty() ? "" : " session=",
+                        event.session.c_str(),
                         event.label.empty() ? "" : " cell=",
                         event.label.c_str(),
                         event.detail.empty() ? "" : ": ",
@@ -359,6 +401,7 @@ main(int argc, char **argv)
                     rigor::obs::LeaseEventRecord record;
                     record.kind = kind;
                     record.worker = event.worker;
+                    record.session = event.session;
                     record.leaseId = event.leaseId;
                     record.label = event.label;
                     record.detail = event.detail;
@@ -394,6 +437,49 @@ main(int argc, char **argv)
                     cli.campaign.remoteWorkers, cli.workerWaitMs);
                 return 1;
             }
+        }
+
+        // Graceful drain: SIGTERM stops lease granting, lets
+        // in-flight cells finish (bounded by one lease plus slack),
+        // fails the remainder so the journal can resume them, and
+        // exits 4. The watcher thread exists because beginDrain
+        // blocks and a signal handler must not; the join guard is
+        // declared after the controller so the watcher is stopped
+        // before the controller is torn down.
+        std::atomic<bool> watcher_stop{false};
+        std::thread drain_watcher;
+        struct WatcherJoin
+        {
+            std::atomic<bool> &stop;
+            std::thread &thread;
+            ~WatcherJoin()
+            {
+                stop.store(true);
+                if (thread.joinable())
+                    thread.join();
+            }
+        } watcher_join{watcher_stop, drain_watcher};
+        if (controller != nullptr) {
+            std::signal(SIGTERM, requestDrain);
+            drain_watcher = std::thread(
+                [&watcher_stop, &cli,
+                 ctrl = controller.get()]() {
+                    while (!watcher_stop.load()) {
+                        if (g_drainRequested.load()) {
+                            std::fprintf(
+                                stderr,
+                                "campaign: SIGTERM: draining (no new "
+                                "leases; waiting for in-flight "
+                                "cells)\n");
+                            ctrl->beginDrain(
+                                std::chrono::milliseconds(
+                                    cli.campaign.leaseMs + 1000));
+                            return;
+                        }
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(50));
+                    }
+                });
         }
 
         // Journal replays get a visible progress line naming the
@@ -449,6 +535,7 @@ main(int argc, char **argv)
         }
 
         rigor::methodology::PbExperimentResult result;
+        try {
         if (cli.campaign.replicates != 0) {
             rigor::methodology::RankStabilityOptions stability;
             stability.base = opts;
@@ -505,6 +592,25 @@ main(int argc, char **argv)
         } else {
             result = rigor::methodology::runPbExperiment(workloads,
                                                          opts);
+        }
+        } catch (const std::exception &e) {
+            if (controller == nullptr || !controller->draining())
+                throw;
+            // A SIGTERM drain deliberately fails the cells it could
+            // not finish; everything that did complete is already in
+            // the journal, so the same command resumes the remainder.
+            if (!cli.campaign.metricsOut.empty())
+                metrics.writeTo(cli.campaign.metricsOut);
+            if (!cli.campaign.traceOut.empty())
+                trace.writeTo(cli.campaign.traceOut);
+            if (!cli.campaign.manifestOut.empty())
+                manifest.writeTo(cli.campaign.manifestOut);
+            std::fprintf(stderr,
+                         "campaign: drained: %s\n"
+                         "campaign: rerun with the same --journal to "
+                         "resume\n",
+                         e.what());
+            return 4;
         }
 
         // Degradation trail first, table second: a reduced Table 9

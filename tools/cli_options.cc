@@ -106,6 +106,16 @@ parseFaultKind(const std::string &text, exec::FaultKind &kind)
         kind = FaultKind::StallHeartbeat;
     else if (text == "corrupt-frame")
         kind = FaultKind::CorruptFrame;
+    else if (text == "partition")
+        kind = FaultKind::Partition;
+    else if (text == "reconnect-storm")
+        kind = FaultKind::ReconnectStorm;
+    else if (text == "slow-loris")
+        kind = FaultKind::SlowLoris;
+    else if (text == "duplicate-session")
+        kind = FaultKind::DuplicateSession;
+    else if (text == "token-mismatch")
+        kind = FaultKind::TokenMismatch;
     else
         return false;
     return true;
@@ -336,6 +346,10 @@ CampaignCliOptions::tryParse(ArgCursor &args, const std::string &arg)
         }
         return m;
     }
+    if (name == "--session-grace-ms")
+        return unsigned_flag("--session-grace-ms", sessionGraceMs);
+    if (name == "--auth-token-file")
+        return path_flag("--auth-token-file", authTokenFile);
     if (name == "--mem-limit-mb") {
         const Match m = uint64_flag("--mem-limit-mb", memLimitMb);
         if (m == Match::Consumed && memLimitMb == 0) {
@@ -495,6 +509,8 @@ CampaignCliOptions::apply(exec::CampaignOptions &campaign) const
     campaign.leaseDuration = std::chrono::milliseconds(leaseMs);
     campaign.heartbeatInterval =
         std::chrono::milliseconds(heartbeatMs);
+    campaign.sessionGrace =
+        std::chrono::milliseconds(sessionGraceMs);
     campaign.remoteWorkers = remoteWorkers;
     campaign.sampling.enabled = sample;
     campaign.sampling.unitInstructions = sampleUnit;
@@ -535,7 +551,15 @@ CampaignCliOptions::usageText()
         "                         its cells are reclaimed and requeued\n"
         "                         (default 10000)\n"
         "  --heartbeat-ms N       remote: worker heartbeat cadence\n"
-        "                         (default 1000)\n"
+        "                         (default 1000; must stay under half\n"
+        "                         the lease)\n"
+        "  --session-grace-ms N   remote: hold a disconnected worker's\n"
+        "                         leases this long awaiting a session\n"
+        "                         resume with the same id (default\n"
+        "                         5000; 0 = reclaim immediately)\n"
+        "  --auth-token-file PATH remote: shared fleet token; workers\n"
+        "                         must answer an HMAC challenge before\n"
+        "                         any lease is granted\n"
         "  --collect              quarantine failures, don't fail fast\n"
         "  --degrade MODE         abort | drop-benchmark (with --collect)\n"
         "  --sample               SMARTS-style sampled simulation:\n"

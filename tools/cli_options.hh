@@ -68,8 +68,10 @@ bool splitList(const std::string &csv,
 /**
  * Parse a fault-drill kind name ("transient", "permanent", "hang",
  * "segfault", "abort", "busy-loop", "alloc-bomb", "kill",
- * "drop-connection", "stall-heartbeat", "corrupt-frame"). Shared by
- * campaign's --inject* flags and worker's --inject-label.
+ * "drop-connection", "stall-heartbeat", "corrupt-frame",
+ * "partition", "reconnect-storm", "slow-loris", "duplicate-session",
+ * "token-mismatch"). Shared by campaign's --inject* flags and
+ * worker's --inject-label.
  */
 bool parseFaultKind(const std::string &text, exec::FaultKind &kind);
 
@@ -123,6 +125,12 @@ struct CampaignCliOptions
     unsigned leaseMs = 10000;
     /** Remote isolation: advertised heartbeat cadence. */
     unsigned heartbeatMs = 1000;
+    /** Remote isolation: how long a disconnected worker's session is
+     *  parked awaiting resume (0 = reclaim immediately). */
+    unsigned sessionGraceMs = 5000;
+    /** Remote isolation: file holding the shared fleet auth token;
+     *  empty = authentication off. */
+    std::string authTokenFile;
     bool collect = false;
     check::DegradationMode degrade = check::DegradationMode::Abort;
     /** SMARTS-style sampled simulation (off = full detailed runs). */

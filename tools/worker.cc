@@ -17,16 +17,25 @@
  * forked sandbox pool, so a SIGSEGV or OOM costs one attempt, not
  * the daemon; under thread (the default) they run in-process.
  * --inject-label drills raise deterministic faults — including the
- * network kinds (drop-connection, stall-heartbeat, corrupt-frame)
- * that exercise the controller's lease reclaim, requeue, and
- * late-result rejection paths.
+ * network kinds (drop-connection, stall-heartbeat, corrupt-frame,
+ * partition, reconnect-storm, slow-loris, duplicate-session,
+ * token-mismatch) that exercise the controller's lease reclaim,
+ * session resume, auth, and late-result paths.
  *
- * Exit codes: 0 controller shutdown (clean campaign end), 1 session
+ * Hardening: --auth-token-file answers the controller's HMAC
+ * challenge; --reconnect N rides out broken connections by resuming
+ * the same session (held leases hand back, no requeue) when the
+ * controller's grace window allows; SIGTERM drains gracefully — the
+ * worker announces Drain, finishes held cells, and exits 0.
+ *
+ * Exit codes: 0 controller shutdown or drain (clean end), 1 session
  * failure (connection lost past --reconnect, handshake rejected),
  * 2 usage error.
  */
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -37,6 +46,7 @@
 
 #include "cli_options.hh"
 #include "exec/fault_injection.hh"
+#include "exec/net/auth.hh"
 #include "exec/net/remote_worker.hh"
 #include "exec/proc/worker_pool.hh"
 
@@ -45,6 +55,16 @@ namespace
 
 using rigor::exec::FaultKind;
 using rigor::tools::ArgCursor;
+
+/** Set by the SIGTERM handler; watched by the worker's heartbeat
+ *  thread, which announces the drain to the controller. */
+std::atomic<bool> g_drainRequested{false};
+
+void
+requestDrain(int)
+{
+    g_drainRequested.store(true);
+}
 
 struct CliOptions
 {
@@ -57,8 +77,10 @@ struct CliOptions
         rigor::exec::IsolationMode::Thread;
     std::uint64_t memLimitMb = 0;
     unsigned hardDeadlineMs = 0;
-    /** Extra sessions after a lost connection (0 = single session). */
+    /** Reconnect-and-resume tries after a lost connection. */
     unsigned reconnect = 0;
+    /** File holding the shared fleet auth token; empty = none. */
+    std::string authTokenFile;
     struct LabelFault
     {
         std::string substring;
@@ -87,14 +109,20 @@ usage(const char *argv0)
         "                         local sandbox pool for the attempts\n"
         "  --mem-limit-mb N       per-sandbox memory cap in MiB\n"
         "  --hard-deadline-ms N   SIGKILL a sandbox attempt past this\n"
-        "  --reconnect N          after a lost connection, retry the\n"
-        "                         session up to N times (default 0)\n"
+        "  --reconnect N          after a lost connection, reconnect\n"
+        "                         and resume the session up to N\n"
+        "                         times (held leases hand back when\n"
+        "                         the controller's grace allows)\n"
+        "  --auth-token-file PATH shared fleet token answering the\n"
+        "                         controller's HMAC challenge\n"
         "  --inject-label S:A:KIND  fault attempt A of jobs whose\n"
         "                         label contains S (KIND: transient|\n"
         "                         permanent|hang|segfault|abort|\n"
         "                         busy-loop|alloc-bomb|kill|\n"
         "                         drop-connection|stall-heartbeat|\n"
-        "                         corrupt-frame)\n"
+        "                         corrupt-frame|partition|\n"
+        "                         reconnect-storm|slow-loris|\n"
+        "                         duplicate-session|token-mismatch)\n"
         "  --help                 show this help\n",
         argv0);
     return 2;
@@ -165,6 +193,11 @@ parseArgs(int argc, char **argv, CliOptions &options)
             if (v == nullptr ||
                 !rigor::tools::parseUnsigned(v, options.reconnect))
                 return false;
+        } else if (arg == "--auth-token-file") {
+            const char *v = args.valueFor("--auth-token-file");
+            if (v == nullptr)
+                return false;
+            options.authTokenFile = v;
         } else if (arg == "--inject-label") {
             const char *v = args.valueFor("--inject-label");
             if (v == nullptr)
@@ -237,38 +270,48 @@ main(int argc, char **argv)
         opts.slots = cli.slots;
         opts.name = cli.name;
         opts.simulate = std::move(simulate);
+        opts.reconnectAttempts = cli.reconnect;
+        opts.drainFlag = &g_drainRequested;
+        if (!cli.authTokenFile.empty())
+            opts.authToken =
+                rigor::exec::net::loadAuthToken(cli.authTokenFile);
+        std::signal(SIGTERM, requestDrain);
 
-        unsigned attempts_left = cli.reconnect + 1;
+        // Mid-session reconnects (with lease handback) happen inside
+        // runRemoteWorker; this loop only retries the initial connect,
+        // drawing on the same --reconnect budget.
+        unsigned connect_tries = cli.reconnect + 1;
+        rigor::exec::net::RemoteWorkerSession session;
         while (true) {
-            --attempts_left;
-            rigor::exec::net::RemoteWorkerSession session;
             try {
                 session = rigor::exec::net::runRemoteWorker(opts);
+                break;
             } catch (const std::exception &e) {
-                // Connect failure: retry like a lost connection.
                 std::fprintf(stderr, "worker: %s\n", e.what());
-                session.end =
-                    rigor::exec::net::SessionEnd::ConnectionLost;
-                session.error = e.what();
+                if (--connect_tries == 0)
+                    return 1;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(200));
             }
-            std::fprintf(
-                stderr,
-                "worker: session ended (%s), %llu job(s) served%s%s\n",
-                rigor::exec::net::toString(session.end).c_str(),
-                static_cast<unsigned long long>(session.jobsServed),
-                session.error.empty() ? "" : ": ",
-                session.error.c_str());
-            if (session.end ==
-                rigor::exec::net::SessionEnd::Shutdown)
-                return 0;
-            if (session.end ==
-                rigor::exec::net::SessionEnd::Rejected)
-                return 1;
-            if (attempts_left == 0)
-                return 1;
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(200));
         }
+        std::fprintf(
+            stderr,
+            "worker: session ended (%s), %llu job(s) served, "
+            "%u resume(s)%s%s\n",
+            rigor::exec::net::toString(session.end).c_str(),
+            static_cast<unsigned long long>(session.jobsServed),
+            session.resumes,
+            session.error.empty() ? "" : ": ",
+            session.error.c_str());
+        switch (session.end) {
+          case rigor::exec::net::SessionEnd::Shutdown:
+          case rigor::exec::net::SessionEnd::Drained:
+            return 0;
+          case rigor::exec::net::SessionEnd::ConnectionLost:
+          case rigor::exec::net::SessionEnd::Rejected:
+            return 1;
+        }
+        return 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "worker: %s\n", e.what());
         return 1;
